@@ -1,0 +1,37 @@
+//! Simulator throughput: executing one barrier on the discrete-event
+//! fabric (the cost of a single "measurement" in the figure harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbar_core::algorithms::Algorithm;
+use hbar_simnet::barrier::measure_schedule;
+use hbar_simnet::world::{SimConfig, SimWorld};
+use hbar_topo::machine::MachineSpec;
+use hbar_topo::mapping::RankMapping;
+use std::hint::black_box;
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for (label, machine, p) in [
+        ("clusterA-64", MachineSpec::dual_quad_cluster(8), 64usize),
+        ("clusterB-120", MachineSpec::dual_hex_cluster(10), 120),
+    ] {
+        let members: Vec<usize> = (0..p).collect();
+        for alg in Algorithm::PAPER_SET {
+            let sched = alg.full_schedule(p, &members);
+            group.bench_with_input(BenchmarkId::new(label, alg.tag()), &sched, |b, sched| {
+                b.iter(|| {
+                    let mut world = SimWorld::new(
+                        SimConfig::exact(machine.clone(), RankMapping::RoundRobin),
+                        p,
+                    );
+                    black_box(measure_schedule(&mut world, black_box(sched), 1))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

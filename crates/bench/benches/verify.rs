@@ -1,0 +1,26 @@
+//! Eq. 3 knowledge-closure verification throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbar_core::algorithms::Algorithm;
+use hbar_core::verify::is_barrier;
+use std::hint::black_box;
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(20);
+    for p in [16usize, 64, 120] {
+        let members: Vec<usize> = (0..p).collect();
+        for alg in Algorithm::PAPER_SET {
+            let sched = alg.full_schedule(p, &members);
+            group.bench_with_input(
+                BenchmarkId::new(format!("p{p}"), alg.tag()),
+                &sched,
+                |b, sched| b.iter(|| black_box(is_barrier(black_box(sched)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

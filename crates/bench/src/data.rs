@@ -1,0 +1,183 @@
+//! Series/table data structures and gnuplot-style `.dat` output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One labelled curve: `(x, y)` points, x = process count, y = seconds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.0 == x).map(|p| p.1)
+    }
+
+    /// Largest y value (0 for an empty series).
+    pub fn y_max(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(0.0, f64::max)
+    }
+
+    /// The y value of the last point, if any.
+    pub fn y_last(&self) -> Option<f64> {
+        self.points.last().map(|p| p.1)
+    }
+}
+
+/// A group of series sharing an x axis (one panel of a figure).
+#[derive(Clone, Debug, Default)]
+pub struct SeriesGroup {
+    pub title: String,
+    pub series: Vec<Series>,
+}
+
+impl SeriesGroup {
+    /// Creates an empty group.
+    pub fn new(title: impl Into<String>) -> Self {
+        SeriesGroup {
+            title: title.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Finds a series by label.
+    pub fn get(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// All distinct x values, ascending.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+        xs
+    }
+
+    /// Renders a fixed-width text table: one row per x, one column per
+    /// series (µs values), suitable for terminals and EXPERIMENTS.md.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let _ = write!(out, "{:>6}", "P");
+        for s in &self.series {
+            let _ = write!(out, " {:>14}", s.label);
+        }
+        let _ = writeln!(out);
+        for x in self.xs() {
+            let _ = write!(out, "{:>6}", x);
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, " {:>12.1}us", y * 1e6);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes a gnuplot-style `.dat` file: a comment header, then one row
+    /// per x with a column per series (seconds; `nan` where missing).
+    pub fn write_dat(&self, path: &Path) -> io::Result<()> {
+        let mut out = String::new();
+        let _ = write!(out, "# {}\n# P", self.title);
+        for s in &self.series {
+            let _ = write!(out, " {}", s.label.replace(' ', "_"));
+        }
+        let _ = writeln!(out);
+        for x in self.xs() {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, " {y:.9}");
+                    }
+                    None => {
+                        let _ = write!(out, " nan");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> SeriesGroup {
+        let mut g = SeriesGroup::new("Test figure");
+        let mut a = Series::new("D");
+        a.push(2.0, 1e-4);
+        a.push(4.0, 2e-4);
+        let mut b = Series::new("T");
+        b.push(2.0, 1.5e-4);
+        g.series.push(a);
+        g.series.push(b);
+        g
+    }
+
+    #[test]
+    fn xs_are_sorted_and_deduped() {
+        assert_eq!(group().xs(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn y_queries() {
+        let g = group();
+        assert_eq!(g.get("D").unwrap().y_at(4.0), Some(2e-4));
+        assert_eq!(g.get("T").unwrap().y_at(4.0), None);
+        assert_eq!(g.get("D").unwrap().y_max(), 2e-4);
+        assert_eq!(g.get("D").unwrap().y_last(), Some(2e-4));
+        assert!(g.get("X").is_none());
+    }
+
+    #[test]
+    fn table_contains_values_and_dashes() {
+        let table = group().render_table();
+        assert!(table.contains("## Test figure"));
+        assert!(table.contains("100.0us"));
+        assert!(table.contains("-"));
+    }
+
+    #[test]
+    fn dat_roundtrip_structure() {
+        let g = group();
+        let dir = std::env::temp_dir().join("hbar_bench_dat_test");
+        let path = dir.join("fig.dat");
+        g.write_dat(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# Test figure"));
+        assert!(text.contains("# P D T"));
+        assert!(text.contains("2 0.000100000 0.000150000"));
+        assert!(text.contains("4 0.000200000 nan"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,297 @@
+//! Run-time adaptation: deciding when re-tuning pays off.
+//!
+//! §VIII of the paper sketches this as future work: "With a topological
+//! model ready, the generation and evaluation of adapted patterns
+//! requires on the order of 0.1 seconds, making it feasible to
+//! periodically re-evaluate the efficiency of synchronization through
+//! changing conditions. … This would only make it worthwhile to adapt
+//! the algorithm when the overhead could be amortized over a sufficient
+//! number of subsequent synchronizations. Developing an efficient scheme
+//! to estimate the profitability of dynamically altering methods makes
+//! an interesting topic for further study."
+//!
+//! [`AdaptiveBarrier`] implements that scheme:
+//!
+//! 1. it owns a currently deployed tuned schedule and a moving window of
+//!    observed barrier durations;
+//! 2. a sustained gap between observation and prediction flags the
+//!    profile as stale ([`AdaptiveBarrier::is_degraded`]);
+//! 3. given refreshed cost matrices (from incremental instrumentation or
+//!    re-profiling), [`AdaptiveBarrier::evaluate_retune`] tunes a
+//!    candidate, prices the switch (re-tuning compute plus schedule
+//!    distribution), and recommends switching only when the projected
+//!    per-invocation saving amortizes over the expected remaining
+//!    invocations.
+
+use crate::compose::{tune_hybrid_costs, TunedBarrier, TunerConfig};
+use crate::cost::predict_barrier_cost;
+use crate::schedule::BarrierSchedule;
+use hbar_topo::cost::CostMatrices;
+use std::collections::VecDeque;
+
+/// Knobs of the adaptation policy.
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// Number of recent observations kept for the degradation test.
+    pub window: usize,
+    /// Observed/predicted ratio above which the deployed schedule is
+    /// considered degraded (e.g. 1.5 = 50 % slower than the model says).
+    pub degradation_threshold: f64,
+    /// One-off cost of switching schedules (seconds): re-tuning compute
+    /// plus communicating the new pattern to all ranks. The paper puts
+    /// the tuning part at ~0.1 s.
+    pub retune_overhead: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window: 32,
+            degradation_threshold: 1.5,
+            retune_overhead: 0.1,
+        }
+    }
+}
+
+/// Outcome of a re-tuning evaluation.
+#[derive(Clone, Debug)]
+pub struct RetuneDecision {
+    /// Estimated current per-invocation cost (mean of the window, or the
+    /// deployed prediction when no observations exist).
+    pub current_cost: f64,
+    /// Predicted per-invocation cost of the freshly tuned candidate.
+    pub candidate_cost: f64,
+    /// `(current − candidate) × expected_invocations − retune_overhead`.
+    pub projected_net_saving: f64,
+    /// Whether switching is recommended.
+    pub retune: bool,
+}
+
+/// A deployed tuned barrier plus the adaptation state machine.
+pub struct AdaptiveBarrier {
+    current: TunedBarrier,
+    members: Vec<usize>,
+    tuner: TunerConfig,
+    policy: AdaptiveConfig,
+    observations: VecDeque<f64>,
+    /// Count of schedule switches performed (for tests/telemetry).
+    pub retune_count: usize,
+}
+
+impl AdaptiveBarrier {
+    /// Tunes the initial schedule from `cost` for `members`.
+    pub fn new(
+        cost: &CostMatrices,
+        members: &[usize],
+        tuner: TunerConfig,
+        policy: AdaptiveConfig,
+    ) -> Self {
+        assert!(policy.window > 0, "observation window must be non-empty");
+        let current = tune_hybrid_costs(cost, members, &tuner);
+        AdaptiveBarrier {
+            current,
+            members: members.to_vec(),
+            tuner,
+            policy,
+            observations: VecDeque::new(),
+            retune_count: 0,
+        }
+    }
+
+    /// The currently deployed schedule.
+    pub fn schedule(&self) -> &BarrierSchedule {
+        &self.current.schedule
+    }
+
+    /// The currently deployed tuning result.
+    pub fn current(&self) -> &TunedBarrier {
+        &self.current
+    }
+
+    /// Records one observed barrier duration (seconds).
+    pub fn observe(&mut self, duration: f64) {
+        assert!(duration.is_finite() && duration >= 0.0, "invalid duration {duration}");
+        if self.observations.len() == self.policy.window {
+            self.observations.pop_front();
+        }
+        self.observations.push_back(duration);
+    }
+
+    /// Mean of the observation window, if any observations exist.
+    pub fn mean_observed(&self) -> Option<f64> {
+        if self.observations.is_empty() {
+            None
+        } else {
+            Some(self.observations.iter().sum::<f64>() / self.observations.len() as f64)
+        }
+    }
+
+    /// True when the window is full and its mean exceeds the deployed
+    /// prediction by the degradation threshold — the cheap trigger for
+    /// re-profiling and [`Self::evaluate_retune`].
+    pub fn is_degraded(&self) -> bool {
+        self.observations.len() == self.policy.window
+            && self.current.predicted_cost > 0.0
+            && self.mean_observed().expect("window full") / self.current.predicted_cost
+                > self.policy.degradation_threshold
+    }
+
+    /// Prices a switch to a schedule tuned from `updated` cost matrices,
+    /// amortized over `expected_invocations` future barrier calls.
+    /// Does not switch; see [`Self::retune_if_profitable`].
+    pub fn evaluate_retune(&self, updated: &CostMatrices, expected_invocations: f64) -> RetuneDecision {
+        let candidate = tune_hybrid_costs(updated, &self.members, &self.tuner);
+        // The current schedule's cost under *present* conditions: prefer
+        // live observations; fall back to re-pricing it on the updated
+        // matrices.
+        let current_cost = self.mean_observed().unwrap_or_else(|| {
+            predict_barrier_cost(&self.current.schedule, updated, &self.tuner.cost_params, None)
+                .barrier_cost
+        });
+        let per_call = current_cost - candidate.predicted_cost;
+        let projected = per_call * expected_invocations.max(0.0) - self.policy.retune_overhead;
+        RetuneDecision {
+            current_cost,
+            candidate_cost: candidate.predicted_cost,
+            projected_net_saving: projected,
+            retune: projected > 0.0,
+        }
+    }
+
+    /// Evaluates and, if profitable, deploys the candidate (clearing the
+    /// observation window). Returns the decision taken.
+    pub fn retune_if_profitable(
+        &mut self,
+        updated: &CostMatrices,
+        expected_invocations: f64,
+    ) -> RetuneDecision {
+        let decision = self.evaluate_retune(updated, expected_invocations);
+        if decision.retune {
+            self.current = tune_hybrid_costs(updated, &self.members, &self.tuner);
+            self.observations.clear();
+            self.retune_count += 1;
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbar_topo::machine::MachineSpec;
+    use hbar_topo::mapping::RankMapping;
+    use hbar_topo::profile::TopologyProfile;
+
+    fn base_costs() -> (CostMatrices, Vec<usize>) {
+        let machine = MachineSpec::dual_quad_cluster(2);
+        let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::RoundRobin);
+        let members: Vec<usize> = (0..prof.p).collect();
+        (prof.cost, members)
+    }
+
+    /// Scale all inter-rank costs by `f` (congestion from background load).
+    fn congested(cost: &CostMatrices, f: f64) -> CostMatrices {
+        let mut c = cost.clone();
+        for i in 0..c.p() {
+            for j in 0..c.p() {
+                if i != j {
+                    c.o[(i, j)] *= f;
+                    c.l[(i, j)] *= f;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn initial_schedule_is_valid() {
+        let (cost, members) = base_costs();
+        let ab = AdaptiveBarrier::new(&cost, &members, TunerConfig::default(), AdaptiveConfig::default());
+        assert!(crate::verify::is_barrier(ab.schedule()));
+        assert_eq!(ab.retune_count, 0);
+    }
+
+    #[test]
+    fn degradation_requires_full_window_and_high_ratio() {
+        let (cost, members) = base_costs();
+        let policy = AdaptiveConfig {
+            window: 4,
+            degradation_threshold: 1.5,
+            ..AdaptiveConfig::default()
+        };
+        let mut ab = AdaptiveBarrier::new(&cost, &members, TunerConfig::default(), policy);
+        let pred = ab.current().predicted_cost;
+        // Partial window: no verdict even with terrible numbers.
+        ab.observe(pred * 10.0);
+        assert!(!ab.is_degraded());
+        for _ in 0..3 {
+            ab.observe(pred * 10.0);
+        }
+        assert!(ab.is_degraded());
+        // Healthy observations clear the flag as they displace the bad ones.
+        for _ in 0..4 {
+            ab.observe(pred);
+        }
+        assert!(!ab.is_degraded());
+    }
+
+    #[test]
+    fn retune_only_when_amortizable() {
+        let (cost, members) = base_costs();
+        let policy = AdaptiveConfig {
+            window: 4,
+            degradation_threshold: 1.2,
+            retune_overhead: 0.1,
+        };
+        let mut ab = AdaptiveBarrier::new(&cost, &members, TunerConfig::default(), policy);
+        // Conditions change: everything 3x slower, and the deployed
+        // schedule observed at 4x its prediction (it suffers extra
+        // congestion a re-tuned pattern would avoid).
+        let updated = congested(&cost, 3.0);
+        let observed = ab.current().predicted_cost * 12.0;
+        for _ in 0..4 {
+            ab.observe(observed);
+        }
+        assert!(ab.is_degraded());
+        // A handful of remaining invocations cannot amortize 0.1 s.
+        let few = ab.evaluate_retune(&updated, 10.0);
+        assert!(!few.retune, "{few:?}");
+        // Millions of invocations can.
+        let many = ab.retune_if_profitable(&updated, 1e6);
+        assert!(many.retune, "{many:?}");
+        assert_eq!(ab.retune_count, 1);
+        assert!(ab.mean_observed().is_none(), "window cleared after switch");
+        assert!(crate::verify::is_barrier(ab.schedule()));
+    }
+
+    #[test]
+    fn no_observations_falls_back_to_reprediction() {
+        let (cost, members) = base_costs();
+        let ab = AdaptiveBarrier::new(&cost, &members, TunerConfig::default(), AdaptiveConfig::default());
+        // Same conditions: the candidate equals the deployed schedule, so
+        // saving is ~zero and the overhead makes re-tuning unprofitable.
+        let d = ab.evaluate_retune(&cost, 1e9);
+        assert!(!d.retune, "{d:?}");
+        assert!((d.current_cost - d.candidate_cost).abs() <= d.current_cost * 0.05);
+    }
+
+    #[test]
+    fn decision_scales_with_expected_invocations() {
+        let (cost, members) = base_costs();
+        let mut ab = AdaptiveBarrier::new(
+            &cost,
+            &members,
+            TunerConfig::default(),
+            AdaptiveConfig {
+                window: 2,
+                ..AdaptiveConfig::default()
+            },
+        );
+        ab.observe(ab.current().predicted_cost * 50.0);
+        ab.observe(ab.current().predicted_cost * 50.0);
+        let updated = cost.clone();
+        let low = ab.evaluate_retune(&updated, 1.0);
+        let high = ab.evaluate_retune(&updated, 1e7);
+        assert!(low.projected_net_saving < high.projected_net_saving);
+    }
+}

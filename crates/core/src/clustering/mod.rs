@@ -1,0 +1,14 @@
+//! Rank clustering over the topological metric (§VII-A).
+//!
+//! "A common, important observation … is that the layers of the
+//! interconnect divide processes into closely coupled subsets, separated
+//! by remote links which are orders of magnitude slower than local
+//! communication." The paper discovers those subsets with sparse spatial
+//! centers (SSS) clustering, which only requires a metric space — the
+//! reason the topological profile is kept symmetric.
+
+mod sss;
+mod tree;
+
+pub use sss::{sss_clusters, SSS_DEFAULT_SPARSENESS};
+pub use tree::{build_cluster_tree, ClusterNode};

@@ -1,0 +1,158 @@
+//! Sparse spatial centers (SSS) clustering.
+//!
+//! Following Brisaboa et al. (SOFSEM 2008), as used by the paper: scan the
+//! points in order; the first point becomes a center ("with rank 0 as a
+//! member of the first cluster"); each subsequent point becomes a new
+//! center iff its distance to every existing center exceeds
+//! `sparseness × diameter`, and otherwise joins its nearest center's
+//! cluster. The paper uses a sparseness parameter of 35 % of the diameter,
+//! which yields node-level granularity on both of its test systems.
+
+use hbar_topo::metric::DistanceMetric;
+
+/// The paper's sparseness parameter: 35 % of the point-set diameter.
+pub const SSS_DEFAULT_SPARSENESS: f64 = 0.35;
+
+/// Clusters `members` (global ranks) by SSS over `metric`.
+///
+/// `diameter` is the reference diameter multiplied by `sparseness` to get
+/// the center-admission threshold. Pass the *global* diameter to reproduce
+/// the paper's two-level outcome (local distances never re-split); pass
+/// `metric.diameter_of(members)` to re-scale per level and refine further.
+///
+/// Returns the clusters in center-discovery order; each cluster's first
+/// element is its center. Every cluster is non-empty and the union is
+/// exactly `members` (order within a cluster follows the input order).
+///
+/// # Panics
+/// Panics if `members` is empty or `sparseness` is not in `(0, 1]`.
+pub fn sss_clusters(
+    metric: &DistanceMetric,
+    members: &[usize],
+    sparseness: f64,
+    diameter: f64,
+) -> Vec<Vec<usize>> {
+    assert!(!members.is_empty(), "cannot cluster zero members");
+    assert!(
+        sparseness > 0.0 && sparseness <= 1.0,
+        "sparseness must be in (0, 1], got {sparseness}"
+    );
+    let threshold = sparseness * diameter;
+    let mut centers: Vec<usize> = vec![members[0]];
+    let mut clusters: Vec<Vec<usize>> = vec![vec![members[0]]];
+    for &m in &members[1..] {
+        // Nearest existing center.
+        let (best_idx, best_dist) = centers
+            .iter()
+            .enumerate()
+            .map(|(ci, &c)| (ci, metric.dist(c, m)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("at least one center");
+        if best_dist > threshold {
+            centers.push(m);
+            clusters.push(vec![m]);
+        } else {
+            clusters[best_idx].push(m);
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbar_matrix::DenseMatrix;
+    use hbar_topo::machine::MachineSpec;
+    use hbar_topo::mapping::RankMapping;
+    use hbar_topo::profile::TopologyProfile;
+
+    fn cluster_machine(machine: &MachineSpec, mapping: &RankMapping, p: usize) -> Vec<Vec<usize>> {
+        let prof = TopologyProfile::from_ground_truth_for(machine, mapping, p);
+        let metric = DistanceMetric::from_costs(&prof.cost);
+        sss_clusters(&metric, &(0..p).collect::<Vec<_>>(), SSS_DEFAULT_SPARSENESS, metric.diameter())
+    }
+
+    #[test]
+    fn paper_parameters_yield_node_granularity_block() {
+        // Cluster A fully populated, block mapping: 8 clusters of 8 ranks.
+        let machine = MachineSpec::dual_quad_cluster(8);
+        let clusters = cluster_machine(&machine, &RankMapping::Block, 64);
+        assert_eq!(clusters.len(), 8);
+        for (ci, cl) in clusters.iter().enumerate() {
+            assert_eq!(cl.len(), 8, "cluster {ci}: {cl:?}");
+            let expect: Vec<usize> = (ci * 8..(ci + 1) * 8).collect();
+            assert_eq!(cl, &expect);
+        }
+    }
+
+    #[test]
+    fn paper_parameters_yield_node_granularity_round_robin() {
+        // 22 ranks round-robin over 3 nodes (the Fig. 10 case): clusters
+        // must group ranks by node, i.e. by r mod 3.
+        let machine = MachineSpec::dual_quad_cluster(8);
+        let clusters = cluster_machine(&machine, &RankMapping::RoundRobin, 22);
+        assert_eq!(clusters.len(), 3);
+        for cl in &clusters {
+            let node = cl[0] % 3;
+            assert!(cl.iter().all(|&r| r % 3 == node), "{cl:?}");
+        }
+        // Rank 0 seeds the first cluster.
+        assert_eq!(clusters[0][0], 0);
+    }
+
+    #[test]
+    fn hex_cluster_node_granularity() {
+        let machine = MachineSpec::dual_hex_cluster(10);
+        let clusters = cluster_machine(&machine, &RankMapping::RoundRobin, 120);
+        assert_eq!(clusters.len(), 10);
+        assert!(clusters.iter().all(|c| c.len() == 12));
+    }
+
+    #[test]
+    fn lower_sparseness_refines_to_sockets() {
+        // "Further lowering the sparseness parameter can refine the
+        // clustering to cores on a chip" — on a single node, a threshold
+        // below the cross-socket distance splits the two sockets.
+        let machine = MachineSpec::dual_quad_cluster(1);
+        let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::Block);
+        let metric = DistanceMetric::from_costs(&prof.cost);
+        let members: Vec<usize> = (0..8).collect();
+        let coarse = sss_clusters(&metric, &members, 1.0, metric.diameter());
+        assert_eq!(coarse.len(), 1);
+        let fine = sss_clusters(&metric, &members, 0.3, metric.diameter());
+        assert_eq!(fine.len(), 2);
+        assert_eq!(fine[0], vec![0, 1, 2, 3]);
+        assert_eq!(fine[1], vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn union_is_input_and_clusters_disjoint() {
+        let machine = MachineSpec::dual_quad_cluster(4);
+        let clusters = cluster_machine(&machine, &RankMapping::RoundRobin, 27);
+        let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..27).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_member_single_cluster() {
+        let d = DenseMatrix::new(1);
+        let metric = hbar_topo::metric::DistanceMetric::from_matrix(d);
+        let clusters = sss_clusters(&metric, &[0], 0.35, 0.0);
+        assert_eq!(clusters, vec![vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cluster zero members")]
+    fn empty_members_panics() {
+        let metric = hbar_topo::metric::DistanceMetric::from_matrix(DenseMatrix::new(0));
+        sss_clusters(&metric, &[], 0.35, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparseness must be in")]
+    fn invalid_sparseness_panics() {
+        let metric = hbar_topo::metric::DistanceMetric::from_matrix(DenseMatrix::new(2));
+        sss_clusters(&metric, &[0, 1], 0.0, 1.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Flattened per-rank barrier programs.
+
+use crate::schedule::BarrierSchedule;
+use serde::{Deserialize, Serialize};
+
+/// One step of a rank's program: post all receives, issue all synchronous
+/// sends, then wait for everything to complete before the next step.
+///
+/// Receives are posted before sends (as the paper's general simulator
+/// does with its nonblocking request arrays), so no execution backend
+/// needs an unexpected-message queue deeper than one stage.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankStep {
+    /// Ranks to receive one signal from, in ascending order.
+    pub recvs: Vec<usize>,
+    /// Ranks to send one signal to, in ascending order.
+    pub sends: Vec<usize>,
+}
+
+impl RankStep {
+    /// True if the step involves no communication.
+    pub fn is_empty(&self) -> bool {
+        self.recvs.is_empty() && self.sends.is_empty()
+    }
+}
+
+/// The compiled barrier program of one rank.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankProgram {
+    /// The rank this program belongs to.
+    pub rank: usize,
+    /// Steps in execution order (no-op steps already eliminated).
+    pub steps: Vec<RankStep>,
+}
+
+impl RankProgram {
+    /// Total number of signals this rank sends.
+    pub fn send_count(&self) -> usize {
+        self.steps.iter().map(|s| s.sends.len()).sum()
+    }
+
+    /// Total number of signals this rank receives.
+    pub fn recv_count(&self) -> usize {
+        self.steps.iter().map(|s| s.recvs.len()).sum()
+    }
+}
+
+/// Compiles a schedule into one program per rank.
+///
+/// Per-rank no-op elimination: a rank's program contains only the stages
+/// in which it sends or receives, preserving their relative order. This
+/// is safe because message matching between a fixed `(src, dst)` pair is
+/// FIFO in every backend, and a rank's step boundaries only synchronize
+/// its *own* requests — exactly the specialization the paper's generator
+/// performs ("the generated test programs specialize the logic of the
+/// general model, eliminate no-op transmission steps, etc.").
+pub fn compile_schedule(schedule: &BarrierSchedule) -> Vec<RankProgram> {
+    let n = schedule.n();
+    let mut programs: Vec<RankProgram> = (0..n)
+        .map(|rank| RankProgram {
+            rank,
+            steps: Vec::new(),
+        })
+        .collect();
+    for stage in schedule.stages() {
+        // Gather per-rank sends and receives for this stage.
+        let mut steps: Vec<RankStep> = vec![RankStep::default(); n];
+        for (i, j) in stage.matrix.edges() {
+            steps[i].sends.push(j);
+            steps[j].recvs.push(i);
+        }
+        for (rank, step) in steps.into_iter().enumerate() {
+            if !step.is_empty() {
+                programs[rank].steps.push(step);
+            }
+        }
+    }
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Algorithm;
+    use crate::schedule::Stage;
+    use hbar_matrix::BoolMatrix;
+
+    #[test]
+    fn linear_barrier_programs() {
+        let members: Vec<usize> = (0..4).collect();
+        let sched = Algorithm::Linear.full_schedule(4, &members);
+        let progs = compile_schedule(&sched);
+        // Master: step 0 receives from 1..3, step 1 sends to 1..3.
+        assert_eq!(progs[0].steps.len(), 2);
+        assert_eq!(progs[0].steps[0].recvs, vec![1, 2, 3]);
+        assert!(progs[0].steps[0].sends.is_empty());
+        assert_eq!(progs[0].steps[1].sends, vec![1, 2, 3]);
+        // Others: one send step, one receive step.
+        for prog in &progs[1..4] {
+            assert_eq!(prog.steps.len(), 2);
+            assert_eq!(prog.steps[0].sends, vec![0]);
+            assert_eq!(prog.steps[1].recvs, vec![0]);
+        }
+    }
+
+    #[test]
+    fn noop_stages_are_skipped_per_rank() {
+        // Rank 3 is idle in stage 0, active in stage 1.
+        let mut sched = BarrierSchedule::new(4);
+        sched.push(Stage::arrival(BoolMatrix::from_edges(4, &[(1, 0)])));
+        sched.push(Stage::arrival(BoolMatrix::from_edges(4, &[(3, 0)])));
+        let progs = compile_schedule(&sched);
+        assert_eq!(progs[3].steps.len(), 1, "idle stage removed");
+        assert_eq!(progs[3].steps[0].sends, vec![0]);
+        assert_eq!(progs[0].steps.len(), 2, "active in both");
+        assert!(progs[2].steps.is_empty(), "fully idle rank has no steps");
+    }
+
+    #[test]
+    fn send_recv_counts_balance() {
+        let members: Vec<usize> = (0..22).collect();
+        for alg in [Algorithm::Tree, Algorithm::Dissemination, Algorithm::Linear] {
+            let sched = alg.full_schedule(22, &members);
+            let progs = compile_schedule(&sched);
+            let sends: usize = progs.iter().map(RankProgram::send_count).sum();
+            let recvs: usize = progs.iter().map(RankProgram::recv_count).sum();
+            assert_eq!(sends, recvs, "{alg}");
+            assert_eq!(sends, sched.total_signals(), "{alg}");
+        }
+    }
+
+    #[test]
+    fn partner_lists_are_sorted() {
+        let members: Vec<usize> = (0..16).collect();
+        let sched = Algorithm::Dissemination.full_schedule(16, &members);
+        for prog in compile_schedule(&sched) {
+            for step in &prog.steps {
+                assert!(step.sends.windows(2).all(|w| w[0] < w[1]));
+                assert!(step.recvs.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+}

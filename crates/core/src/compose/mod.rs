@@ -1,0 +1,28 @@
+//! Greedy hierarchical barrier composition (§VII-B of the paper).
+//!
+//! "The overall approach is to traverse the tree of clusters and evaluate
+//! all three algorithms on the cluster level, greedily selecting the one
+//! with the lowest predicted cost of its arrival phases. The next step is
+//! to traverse the tree bottom-up, combining the local barriers on the
+//! same level into an overall structure for complete arrival, before
+//! inferring the departure phases by a reversed sequence of transpose
+//! matrices."
+//!
+//! Two details from the paper are reproduced exactly:
+//!
+//! * **Early merging** — concurrent local barriers of differing stage
+//!   counts are embedded into one stage sequence aligned at their first
+//!   stage ("merging shorter sequences with longer ones as early as
+//!   possible").
+//! * **Root dissemination rule** — candidate costs are arrival cost × 2
+//!   (approximating the departure), *except* dissemination at the root,
+//!   which is × 1 and exempt from the departure transposition, because its
+//!   arrival phases leave every top-level representative fully informed.
+
+mod exhaustive;
+mod greedy;
+
+pub use exhaustive::{search_optimal_barrier, SearchConfig, SearchResult};
+pub use greedy::{
+    tune_hybrid, tune_hybrid_costs, tune_hybrid_for, LevelChoice, TunedBarrier, TunerConfig,
+};

@@ -1,0 +1,352 @@
+//! Barrier schedules: ordered sequences of incidence-matrix stages.
+//!
+//! §V-A of the paper: "we choose to represent an overall algorithm as a
+//! sequence of steps 0, 1, …, k, in which each process may signal any
+//! combination of other processes, where the signals sent in each step
+//! must be received before subsequent steps can begin."
+//!
+//! Each [`Stage`] carries its incidence matrix plus the [`SendMode`] the
+//! cost model should apply: arrival phases use Eq. 1 (receivers may still
+//! be computing), departure phases use Eq. 2 (receivers are known to block
+//! inside the barrier already).
+
+use hbar_matrix::BoolMatrix;
+use hbar_topo::cost::SendMode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One step of a barrier: who signals whom, and under which cost equation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    pub matrix: BoolMatrix,
+    pub mode: SendMode,
+}
+
+impl Stage {
+    /// An arrival-phase stage (Eq. 1 cost).
+    pub fn arrival(matrix: BoolMatrix) -> Self {
+        Stage {
+            matrix,
+            mode: SendMode::General,
+        }
+    }
+
+    /// A departure-phase stage (Eq. 2 cost).
+    pub fn departure(matrix: BoolMatrix) -> Self {
+        Stage {
+            matrix,
+            mode: SendMode::ReceiversAwaiting,
+        }
+    }
+}
+
+/// A complete signal pattern for `n` processes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BarrierSchedule {
+    n: usize,
+    stages: Vec<Stage>,
+}
+
+impl BarrierSchedule {
+    /// An empty schedule over `n` processes.
+    pub fn new(n: usize) -> Self {
+        BarrierSchedule { n, stages: Vec::new() }
+    }
+
+    /// Builds from arrival-phase matrices (all stages get Eq. 1 mode).
+    pub fn from_arrival_matrices(n: usize, matrices: Vec<BoolMatrix>) -> Self {
+        let mut s = Self::new(n);
+        for m in matrices {
+            s.push(Stage::arrival(m));
+        }
+        s
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if the schedule has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stages in execution order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Just the incidence matrices, in execution order.
+    pub fn matrices(&self) -> Vec<&BoolMatrix> {
+        self.stages.iter().map(|s| &s.matrix).collect()
+    }
+
+    /// Appends a stage.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or if any process signals itself.
+    pub fn push(&mut self, stage: Stage) {
+        assert_eq!(stage.matrix.n(), self.n, "stage dimension mismatch");
+        for i in 0..self.n {
+            assert!(!stage.matrix.get(i, i), "rank {i} signals itself");
+        }
+        self.stages.push(stage);
+    }
+
+    /// Appends all stages of `other`.
+    pub fn append(&mut self, other: &BarrierSchedule) {
+        assert_eq!(other.n, self.n, "schedule dimension mismatch");
+        for s in &other.stages {
+            self.stages.push(s.clone());
+        }
+    }
+
+    /// Total number of signals across all stages.
+    pub fn total_signals(&self) -> usize {
+        self.stages.iter().map(|s| s.matrix.popcount()).sum()
+    }
+
+    /// The departure sequence implied by this arrival sequence: the same
+    /// matrices transposed, applied in reverse order (paper §V-B), marked
+    /// with Eq. 2 mode. `skip_last` drops that many trailing arrival stages
+    /// from the transposition — used when the root level is a dissemination
+    /// barrier, whose stages require no departure (§VII-B).
+    pub fn departure_reversed(&self, skip_last: usize) -> BarrierSchedule {
+        assert!(skip_last <= self.stages.len(), "cannot skip {skip_last} of {} stages", self.stages.len());
+        let mut out = BarrierSchedule::new(self.n);
+        let take = self.stages.len() - skip_last;
+        for s in self.stages[..take].iter().rev() {
+            out.push(Stage::departure(s.matrix.transpose()));
+        }
+        out
+    }
+
+    /// Removes stages whose matrices are entirely zero ("eliminate no-op
+    /// transmission steps", §VII-C), returning how many were removed.
+    pub fn strip_noop_stages(&mut self) -> usize {
+        let before = self.stages.len();
+        self.stages.retain(|s| !s.matrix.is_zero());
+        before - self.stages.len()
+    }
+
+    /// ORs `other`'s stages into this schedule starting at stage
+    /// `offset`, extending this schedule if needed. Both operands must
+    /// agree on stage modes where they overlap. This is the "merge shorter
+    /// sequences with longer ones as early as possible" operation of
+    /// §VII-B: concurrent local barriers are embedded into a single global
+    /// stage sequence aligned at their first stage.
+    ///
+    /// # Panics
+    /// Panics if overlapping stages disagree on mode, or if the merged
+    /// matrices would have a rank signalling itself.
+    pub fn merge_overlay(&mut self, other: &BarrierSchedule, offset: usize) {
+        assert_eq!(other.n, self.n, "schedule dimension mismatch");
+        for (k, s) in other.stages.iter().enumerate() {
+            let idx = offset + k;
+            if idx < self.stages.len() {
+                assert_eq!(
+                    self.stages[idx].mode, s.mode,
+                    "mode mismatch merging stage {k} at offset {offset}"
+                );
+                self.stages[idx].matrix.or_assign(&s.matrix);
+            } else {
+                // Pad with empty stages if the offset skips past the end.
+                while self.stages.len() < idx {
+                    self.stages.push(Stage {
+                        matrix: BoolMatrix::zeros(self.n),
+                        mode: s.mode,
+                    });
+                }
+                self.stages.push(s.clone());
+            }
+        }
+    }
+
+    /// The ranks that participate (send or receive) in any stage.
+    pub fn participants(&self) -> Vec<usize> {
+        let mut active = vec![false; self.n];
+        for s in &self.stages {
+            for (i, j) in s.matrix.edges() {
+                active[i] = true;
+                active[j] = true;
+            }
+        }
+        (0..self.n).filter(|&r| active[r]).collect()
+    }
+
+    /// Verifies the schedule synchronizes all `n` processes (Eq. 3).
+    pub fn is_barrier(&self) -> bool {
+        crate::verify::is_barrier(self)
+    }
+}
+
+impl fmt::Display for BarrierSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BarrierSchedule over {} ranks, {} stages:", self.n, self.stages.len())?;
+        for (k, s) in self.stages.iter().enumerate() {
+            let mode = match s.mode {
+                SendMode::General => "arrival",
+                SendMode::ReceiversAwaiting => "departure",
+            };
+            writeln!(f, "S{k} ({mode}, {} signals):", s.matrix.popcount())?;
+            writeln!(f, "{}", s.matrix)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear(n: usize) -> BarrierSchedule {
+        let mut s0 = BoolMatrix::zeros(n);
+        for i in 1..n {
+            s0.set(i, 0, true);
+        }
+        let s1 = s0.transpose();
+        let mut sched = BarrierSchedule::new(n);
+        sched.push(Stage::arrival(s0));
+        sched.push(Stage::departure(s1));
+        sched
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let sched = linear(4);
+        assert_eq!(sched.n(), 4);
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched.total_signals(), 6);
+        assert_eq!(sched.stages()[0].mode, SendMode::General);
+        assert_eq!(sched.stages()[1].mode, SendMode::ReceiversAwaiting);
+    }
+
+    #[test]
+    #[should_panic(expected = "signals itself")]
+    fn self_signal_rejected() {
+        let mut sched = BarrierSchedule::new(3);
+        let mut m = BoolMatrix::zeros(3);
+        m.set(1, 1, true);
+        sched.push(Stage::arrival(m));
+    }
+
+    #[test]
+    fn departure_reversed_transposes_in_reverse() {
+        let mut sched = BarrierSchedule::new(4);
+        let a = BoolMatrix::from_edges(4, &[(1, 0), (3, 2)]);
+        let b = BoolMatrix::from_edges(4, &[(2, 0)]);
+        sched.push(Stage::arrival(a.clone()));
+        sched.push(Stage::arrival(b.clone()));
+        let dep = sched.departure_reversed(0);
+        assert_eq!(dep.len(), 2);
+        assert_eq!(dep.stages()[0].matrix, b.transpose());
+        assert_eq!(dep.stages()[1].matrix, a.transpose());
+        assert!(dep.stages().iter().all(|s| s.mode == SendMode::ReceiversAwaiting));
+    }
+
+    #[test]
+    fn departure_reversed_can_skip_root_stages() {
+        let mut sched = BarrierSchedule::new(4);
+        let a = BoolMatrix::from_edges(4, &[(1, 0)]);
+        let b = BoolMatrix::from_edges(4, &[(0, 1), (1, 0)]); // "root dissemination"
+        sched.push(Stage::arrival(a.clone()));
+        sched.push(Stage::arrival(b));
+        let dep = sched.departure_reversed(1);
+        assert_eq!(dep.len(), 1);
+        assert_eq!(dep.stages()[0].matrix, a.transpose());
+    }
+
+    #[test]
+    fn strip_noop_removes_empty_stages() {
+        let mut sched = BarrierSchedule::new(3);
+        sched.push(Stage::arrival(BoolMatrix::zeros(3)));
+        sched.push(Stage::arrival(BoolMatrix::from_edges(3, &[(1, 0)])));
+        sched.push(Stage::arrival(BoolMatrix::zeros(3)));
+        assert_eq!(sched.strip_noop_stages(), 2);
+        assert_eq!(sched.len(), 1);
+    }
+
+    #[test]
+    fn merge_overlay_aligns_at_offset_zero() {
+        // A 1-stage linear arrival merges into the first of 3 tree stages
+        // (the Fig. 10 situation).
+        let mut long = BarrierSchedule::new(6);
+        long.push(Stage::arrival(BoolMatrix::from_edges(6, &[(1, 0)])));
+        long.push(Stage::arrival(BoolMatrix::from_edges(6, &[(2, 0)])));
+        long.push(Stage::arrival(BoolMatrix::from_edges(6, &[(3, 0)])));
+        let mut short = BarrierSchedule::new(6);
+        short.push(Stage::arrival(BoolMatrix::from_edges(6, &[(5, 4)])));
+        long.merge_overlay(&short, 0);
+        assert_eq!(long.len(), 3);
+        assert!(long.stages()[0].matrix.get(5, 4), "short stage embedded early");
+        assert!(long.stages()[0].matrix.get(1, 0));
+        assert!(!long.stages()[1].matrix.get(5, 4));
+    }
+
+    #[test]
+    fn merge_overlay_extends_when_longer() {
+        let mut a = BarrierSchedule::new(4);
+        a.push(Stage::arrival(BoolMatrix::from_edges(4, &[(1, 0)])));
+        let mut b = BarrierSchedule::new(4);
+        b.push(Stage::arrival(BoolMatrix::from_edges(4, &[(3, 2)])));
+        b.push(Stage::arrival(BoolMatrix::from_edges(4, &[(2, 0)])));
+        a.merge_overlay(&b, 0);
+        assert_eq!(a.len(), 2);
+        assert!(a.stages()[0].matrix.get(1, 0) && a.stages()[0].matrix.get(3, 2));
+        assert!(a.stages()[1].matrix.get(2, 0));
+    }
+
+    #[test]
+    fn merge_overlay_with_offset_pads() {
+        let mut a = BarrierSchedule::new(3);
+        let mut b = BarrierSchedule::new(3);
+        b.push(Stage::arrival(BoolMatrix::from_edges(3, &[(1, 0)])));
+        a.merge_overlay(&b, 2);
+        assert_eq!(a.len(), 3);
+        assert!(a.stages()[0].matrix.is_zero());
+        assert!(a.stages()[1].matrix.is_zero());
+        assert!(a.stages()[2].matrix.get(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mode mismatch")]
+    fn merge_overlay_mode_conflict_panics() {
+        let mut a = BarrierSchedule::new(3);
+        a.push(Stage::arrival(BoolMatrix::from_edges(3, &[(1, 0)])));
+        let mut b = BarrierSchedule::new(3);
+        b.push(Stage::departure(BoolMatrix::from_edges(3, &[(2, 0)])));
+        a.merge_overlay(&b, 0);
+    }
+
+    #[test]
+    fn participants_lists_active_ranks() {
+        let mut sched = BarrierSchedule::new(6);
+        sched.push(Stage::arrival(BoolMatrix::from_edges(6, &[(1, 0), (4, 3)])));
+        assert_eq!(sched.participants(), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn linear_schedule_is_barrier() {
+        assert!(linear(5).is_barrier());
+        let mut arrival_only = BarrierSchedule::new(5);
+        let mut s0 = BoolMatrix::zeros(5);
+        for i in 1..5 {
+            s0.set(i, 0, true);
+        }
+        arrival_only.push(Stage::arrival(s0));
+        assert!(!arrival_only.is_barrier());
+    }
+
+    #[test]
+    fn display_mentions_modes() {
+        let text = format!("{}", linear(3));
+        assert!(text.contains("arrival"));
+        assert!(text.contains("departure"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Barrier verification via the Eq. 3 knowledge closure.
+//!
+//! "The signal pattern encoded in the sequence S₀, S₁, …, S_k represents a
+//! barrier if and only if all elements of K_k are non-zero" (§V-A), where
+//! `K_a = K_{a-1} + K_{a-1} · S_a` starting from the identity.
+
+use crate::schedule::BarrierSchedule;
+use hbar_matrix::{knowledge_steps, BoolMatrix, KnowledgeTrace};
+
+/// True iff `schedule` synchronizes all of its processes.
+pub fn is_barrier(schedule: &BarrierSchedule) -> bool {
+    trace(schedule).is_barrier()
+}
+
+/// The full per-stage knowledge trace of a schedule.
+pub fn trace(schedule: &BarrierSchedule) -> KnowledgeTrace {
+    let matrices: Vec<BoolMatrix> = schedule.stages().iter().map(|s| s.matrix.clone()).collect();
+    knowledge_steps(schedule.n(), &matrices)
+}
+
+/// A human-readable explanation of why a schedule fails to be a barrier:
+/// for each rank pair `(i, j)` where `j` never learns of `i`'s arrival,
+/// one entry. Empty when the schedule is a valid barrier.
+pub fn missing_knowledge(schedule: &BarrierSchedule) -> Vec<(usize, usize)> {
+    let k = trace(schedule);
+    let last = k.last();
+    let mut missing = Vec::new();
+    for i in 0..schedule.n() {
+        for j in 0..schedule.n() {
+            if !last.get(i, j) {
+                missing.push((i, j));
+            }
+        }
+    }
+    missing
+}
+
+/// Checks that a schedule is a barrier *for a subset* of ranks: all
+/// members' arrivals must become known to all members (non-members may be
+/// untouched). Used to validate local barriers over clusters before they
+/// are composed into a full-system pattern.
+pub fn synchronizes_subset(schedule: &BarrierSchedule, members: &[usize]) -> bool {
+    let k = trace(schedule);
+    let last = k.last();
+    members
+        .iter()
+        .all(|&i| members.iter().all(|&j| last.get(i, j)))
+}
+
+/// Counts the stages a rank actively participates in (sends or receives),
+/// which is its number of communication rounds after no-op elimination.
+pub fn active_stage_count(schedule: &BarrierSchedule, rank: usize) -> usize {
+    schedule
+        .stages()
+        .iter()
+        .filter(|s| s.matrix.row_popcount(rank) > 0 || s.matrix.col_iter(rank).next().is_some())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Stage;
+
+    fn dissemination(n: usize) -> BarrierSchedule {
+        let mut sched = BarrierSchedule::new(n);
+        let mut step = 1;
+        while step < n {
+            let mut m = BoolMatrix::zeros(n);
+            for i in 0..n {
+                m.set(i, (i + step) % n, true);
+            }
+            sched.push(Stage::arrival(m));
+            step *= 2;
+        }
+        sched
+    }
+
+    #[test]
+    fn dissemination_verifies_for_many_sizes() {
+        for n in [2, 3, 4, 5, 7, 8, 9, 16, 22, 60, 64, 120] {
+            assert!(is_barrier(&dissemination(n)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn truncated_dissemination_fails_with_witnesses() {
+        let mut sched = dissemination(8);
+        // Remove the last stage: no longer a barrier.
+        let stages: Vec<Stage> = sched.stages()[..2].to_vec();
+        sched = BarrierSchedule::new(8);
+        for s in stages {
+            sched.push(s);
+        }
+        assert!(!is_barrier(&sched));
+        let missing = missing_knowledge(&sched);
+        assert!(!missing.is_empty());
+        // After offsets 1,2 each rank knows the previous 3 ranks' arrivals;
+        // rank 0's arrival cannot have reached rank 4 (distance 4 forward).
+        assert!(missing.contains(&(0, 4)));
+    }
+
+    #[test]
+    fn subset_synchronization() {
+        // A local linear barrier over ranks {2, 5, 7} of a 9-rank system.
+        let n = 9;
+        let members = [2, 5, 7];
+        let mut s0 = BoolMatrix::zeros(n);
+        s0.set(5, 2, true);
+        s0.set(7, 2, true);
+        let s1 = s0.transpose();
+        let mut sched = BarrierSchedule::new(n);
+        sched.push(Stage::arrival(s0));
+        sched.push(Stage::departure(s1));
+        assert!(synchronizes_subset(&sched, &members));
+        assert!(!is_barrier(&sched), "non-members are not synchronized");
+        assert!(!synchronizes_subset(&sched, &[2, 5, 7, 8]));
+    }
+
+    #[test]
+    fn active_stage_count_ignores_idle_stages() {
+        let n = 4;
+        let mut sched = BarrierSchedule::new(n);
+        sched.push(Stage::arrival(BoolMatrix::from_edges(n, &[(1, 0)])));
+        sched.push(Stage::arrival(BoolMatrix::from_edges(n, &[(2, 0)])));
+        sched.push(Stage::arrival(BoolMatrix::from_edges(n, &[(3, 2)])));
+        assert_eq!(active_stage_count(&sched, 0), 2);
+        assert_eq!(active_stage_count(&sched, 1), 1);
+        assert_eq!(active_stage_count(&sched, 2), 2);
+        assert_eq!(active_stage_count(&sched, 3), 1);
+    }
+
+    #[test]
+    fn empty_schedule_is_barrier_only_for_single_rank() {
+        assert!(is_barrier(&BarrierSchedule::new(1)));
+        assert!(!is_barrier(&BarrierSchedule::new(2)));
+    }
+}

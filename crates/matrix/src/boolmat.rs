@@ -1,0 +1,491 @@
+//! Bitset-backed square boolean matrices.
+//!
+//! Rows are stored as contiguous `u64` words, so the and/or product that
+//! drives barrier verification reduces to word-wise OR of whole rows: for
+//! each set bit `(i, k)` of the left operand, row `k` of the right operand
+//! is OR-ed into row `i` of the result. For the `P ≤ 128` scales evaluated
+//! in the paper a row is one or two words, making verification effectively
+//! linear in the number of signals.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A square boolean matrix stored as packed 64-bit words per row.
+///
+/// The entry `(row, col)` is interpreted throughout this workspace as
+/// "`row` signals `col`" (an edge of a barrier dependency graph layer).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BoolMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BoolMatrix {
+    /// Creates the `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64).max(1);
+        BoolMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; words_per_row * n],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from an edge list of `(from, to)` pairs.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut m = Self::zeros(n);
+        for &(i, j) in edges {
+            m.set(i, j, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from nested boolean rows (row-major), mainly for
+    /// tests and doc examples mirroring the paper's figures.
+    ///
+    /// # Panics
+    /// Panics if the rows do not form a square matrix.
+    pub fn from_rows(rows: &[Vec<bool>]) -> Self {
+        let n = rows.len();
+        let mut m = Self::zeros(n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has length {} != {n}", row.len());
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start = i * self.words_per_row;
+        start..start + self.words_per_row
+    }
+
+    /// Borrow of row `i`'s words.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.bits[self.row_range(i)]
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range {}", self.n);
+        self.bits[i * self.words_per_row + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Writes entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: bool) {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range {}", self.n);
+        let w = &mut self.bits[i * self.words_per_row + j / 64];
+        if v {
+            *w |= 1 << (j % 64);
+        } else {
+            *w &= !(1 << (j % 64));
+        }
+    }
+
+    /// Returns true if every entry is set — the paper's criterion for a
+    /// signal-pattern sequence to constitute a barrier (all processes know
+    /// of all arrivals).
+    pub fn is_all_true(&self) -> bool {
+        (0..self.n).all(|i| self.row_popcount(i) == self.n)
+    }
+
+    /// Returns true if no entry is set (a no-op stage).
+    pub fn is_zero(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set entries in row `i` (out-degree of `i` in this layer).
+    pub fn row_popcount(&self, i: usize) -> usize {
+        self.row(i).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Total number of set entries (signals in this stage).
+    pub fn popcount(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over set columns of row `i`, ascending.
+    pub fn row_iter(&self, i: usize) -> RowIter<'_> {
+        RowIter {
+            words: self.row(i),
+            word_idx: 0,
+            current: self.row(i).first().copied().unwrap_or(0),
+            n: self.n,
+        }
+    }
+
+    /// Iterator over set rows of column `j` (in-neighbours of `j`), ascending.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&i| self.get(i, j))
+    }
+
+    /// Iterator over all set `(row, col)` pairs in row-major order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| self.row_iter(i).map(move |j| (i, j)))
+    }
+
+    /// Transpose. Barrier departure phases are the transposed arrival
+    /// matrices applied in reverse order (paper §V-B).
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.n);
+        for (i, j) in self.edges() {
+            t.set(j, i, true);
+        }
+        t
+    }
+
+    /// Saturating (boolean OR) sum: `self | other`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn or(&self, other: &Self) -> Self {
+        assert_eq!(self.n, other.n, "dimension mismatch {} vs {}", self.n, other.n);
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+
+    /// In-place boolean OR.
+    pub fn or_assign(&mut self, other: &Self) {
+        assert_eq!(self.n, other.n, "dimension mismatch {} vs {}", self.n, other.n);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Boolean AND.
+    pub fn and(&self, other: &Self) -> Self {
+        assert_eq!(self.n, other.n, "dimension mismatch {} vs {}", self.n, other.n);
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+        out
+    }
+
+    /// Boolean (and/or semiring) matrix product `self · other`.
+    ///
+    /// Entry `(i, j)` of the result is set iff there is some `k` with
+    /// `self[i][k] ∧ other[k][j]` — i.e. knowledge held at `i` flows to `j`
+    /// through a stage-`other` signal from `k`.
+    pub fn and_or_product(&self, other: &Self) -> Self {
+        assert_eq!(self.n, other.n, "dimension mismatch {} vs {}", self.n, other.n);
+        let mut out = Self::zeros(self.n);
+        for i in 0..self.n {
+            // OR together the rows of `other` selected by row i of `self`.
+            for k in self.row_iter(i) {
+                let src_range = other.row_range(k);
+                let dst_range = out.row_range(i);
+                let (dst, src) = (dst_range.start, src_range.start);
+                for w in 0..self.words_per_row {
+                    out.bits[dst + w] |= other.bits[src + w];
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the set of rows with at least one set entry (active senders).
+    pub fn active_rows(&self) -> Vec<usize> {
+        (0..self.n).filter(|&i| self.row_popcount(i) > 0).collect()
+    }
+
+    /// Embeds this matrix into a larger `m × m` matrix, mapping local index
+    /// `k` to global index `index_map[k]`.
+    ///
+    /// Used when a local barrier over a rank cluster is lifted into the
+    /// full-system signal pattern (paper §VII-B).
+    ///
+    /// # Panics
+    /// Panics if `index_map.len() != self.n`, if `m` is too small, or if the
+    /// map contains duplicate targets.
+    pub fn embed(&self, m: usize, index_map: &[usize]) -> Self {
+        assert_eq!(index_map.len(), self.n, "index map length mismatch");
+        let mut seen = vec![false; m];
+        for &g in index_map {
+            assert!(g < m, "mapped index {g} out of range {m}");
+            assert!(!seen[g], "duplicate mapped index {g}");
+            seen[g] = true;
+        }
+        let mut out = Self::zeros(m);
+        for (i, j) in self.edges() {
+            out.set(index_map[i], index_map[j], true);
+        }
+        out
+    }
+
+    /// Extracts the submatrix over `indices` (in the given order).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn submatrix(&self, indices: &[usize]) -> Self {
+        let mut out = Self::zeros(indices.len());
+        for (li, &gi) in indices.iter().enumerate() {
+            for (lj, &gj) in indices.iter().enumerate() {
+                if self.get(gi, gj) {
+                    out.set(li, lj, true);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Iterator over the set bits of one row.
+pub struct RowIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    n: usize,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * 64 + bit;
+                if idx < self.n {
+                    return Some(idx);
+                }
+                // Bits beyond n should never be set, but guard anyway.
+                continue;
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+impl fmt::Debug for BoolMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BoolMatrix {}x{} [", self.n, self.n)?;
+        for i in 0..self.n {
+            write!(f, "  ")?;
+            for j in 0..self.n {
+                write!(f, "{}", if self.get(i, j) { '1' } else { '0' })?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BoolMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", if self.get(i, j) { '1' } else { '0' })?;
+            }
+            if i + 1 < self.n {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_zero() {
+        let m = BoolMatrix::zeros(5);
+        assert!(m.is_zero());
+        assert!(!m.is_all_true());
+        assert_eq!(m.popcount(), 0);
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = BoolMatrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), i == j);
+            }
+        }
+        assert_eq!(m.popcount(), 4);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BoolMatrix::zeros(70); // spans two words per row
+        m.set(69, 69, true);
+        m.set(69, 0, true);
+        m.set(0, 64, true);
+        assert!(m.get(69, 69));
+        assert!(m.get(69, 0));
+        assert!(m.get(0, 64));
+        assert!(!m.get(0, 63));
+        m.set(69, 69, false);
+        assert!(!m.get(69, 69));
+    }
+
+    #[test]
+    fn row_iter_crosses_word_boundary() {
+        let mut m = BoolMatrix::zeros(130);
+        for j in [0, 63, 64, 127, 128, 129] {
+            m.set(1, j, true);
+        }
+        let cols: Vec<usize> = m.row_iter(1).collect();
+        assert_eq!(cols, vec![0, 63, 64, 127, 128, 129]);
+    }
+
+    #[test]
+    fn col_iter_matches_transpose_row() {
+        let m = BoolMatrix::from_edges(6, &[(0, 3), (2, 3), (5, 3), (3, 1)]);
+        let t = m.transpose();
+        let via_col: Vec<usize> = m.col_iter(3).collect();
+        let via_row: Vec<usize> = t.row_iter(3).collect();
+        assert_eq!(via_col, via_row);
+        assert_eq!(via_col, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = BoolMatrix::from_edges(9, &[(0, 1), (1, 2), (8, 0), (4, 4)]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn or_and_combinations() {
+        let a = BoolMatrix::from_edges(3, &[(0, 1), (1, 2)]);
+        let b = BoolMatrix::from_edges(3, &[(1, 2), (2, 0)]);
+        let o = a.or(&b);
+        assert!(o.get(0, 1) && o.get(1, 2) && o.get(2, 0));
+        assert_eq!(o.popcount(), 3);
+        let n = a.and(&b);
+        assert!(n.get(1, 2));
+        assert_eq!(n.popcount(), 1);
+    }
+
+    #[test]
+    fn product_is_reachability_step() {
+        // 0 -> 1 -> 2: knowledge at 0 after "0 knows itself" times S(0->1)
+        let s = BoolMatrix::from_edges(3, &[(0, 1), (1, 2)]);
+        let k = BoolMatrix::identity(3);
+        let k1 = k.and_or_product(&s);
+        // I·S = S
+        assert_eq!(k1, s);
+        // Two-step: (I+S)·S includes 0->2 through 1.
+        let k_acc = k.or(&s);
+        let k2 = k_acc.and_or_product(&s);
+        assert!(k2.get(0, 2));
+    }
+
+    #[test]
+    fn product_dimension_128_boundary() {
+        // Exactly two words per row.
+        let n = 128;
+        let mut s = BoolMatrix::zeros(n);
+        for i in 0..n - 1 {
+            s.set(i, i + 1, true);
+        }
+        let p = s.and_or_product(&s);
+        assert!(p.get(0, 2));
+        assert!(!p.get(0, 1));
+        assert!(p.get(125, 127));
+    }
+
+    #[test]
+    fn linear_barrier_matrices_from_paper_fig2() {
+        // Figure 2: S0 has ranks 1..3 signalling rank 0; S1 = S0^T.
+        let s0 = BoolMatrix::from_rows(&[
+            vec![false, false, false, false],
+            vec![true, false, false, false],
+            vec![true, false, false, false],
+            vec![true, false, false, false],
+        ]);
+        let s1 = s0.transpose();
+        for j in 1..4 {
+            assert!(s1.get(0, j));
+        }
+        assert_eq!(s1.row_popcount(0), 3);
+    }
+
+    #[test]
+    fn embed_maps_edges() {
+        let local = BoolMatrix::from_edges(3, &[(0, 1), (1, 2)]);
+        let global = local.embed(10, &[7, 2, 5]);
+        assert!(global.get(7, 2));
+        assert!(global.get(2, 5));
+        assert_eq!(global.popcount(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate mapped index")]
+    fn embed_rejects_duplicates() {
+        let local = BoolMatrix::zeros(2);
+        local.embed(5, &[1, 1]);
+    }
+
+    #[test]
+    fn submatrix_inverse_of_embed() {
+        let local = BoolMatrix::from_edges(4, &[(0, 3), (3, 1), (2, 2)]);
+        let map = [9, 0, 4, 6];
+        let global = local.embed(12, &map);
+        assert_eq!(global.submatrix(&map), local);
+    }
+
+    #[test]
+    fn active_rows_reports_senders() {
+        let m = BoolMatrix::from_edges(5, &[(1, 0), (3, 0), (3, 2)]);
+        assert_eq!(m.active_rows(), vec![1, 3]);
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let m = BoolMatrix::from_edges(2, &[(0, 1)]);
+        assert_eq!(format!("{m}"), "0 1\n0 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BoolMatrix::zeros(3).get(3, 0);
+    }
+
+    #[test]
+    fn zero_dimension_matrix() {
+        let m = BoolMatrix::zeros(0);
+        assert!(m.is_zero());
+        // An empty matrix vacuously satisfies "all true".
+        assert!(m.is_all_true());
+        assert_eq!(m.edges().count(), 0);
+    }
+}

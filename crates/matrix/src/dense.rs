@@ -1,0 +1,318 @@
+//! Row-major dense matrices, used with `f64` entries for the topological
+//! cost matrices `O` (startup overheads) and `L` (per-message latencies).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A square row-major dense matrix.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> DenseMatrix<T> {
+    /// Creates an `n × n` matrix filled with `T::default()`.
+    pub fn new(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![T::default(); n * n],
+        }
+    }
+
+    /// Creates an `n × n` matrix filled with `value`.
+    pub fn filled(n: usize, value: T) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![value; n * n],
+        }
+    }
+}
+
+impl<T> DenseMatrix<T> {
+    /// Builds from a row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * n`.
+    pub fn from_vec(n: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), n * n, "expected {} entries, got {}", n * n, data.len());
+        DenseMatrix { n, data }
+    }
+
+    /// Builds entry-by-entry from a function of `(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { n, data }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Borrow of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Flat row-major view of all entries.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Applies `f` to every entry, producing a new matrix.
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> DenseMatrix<U> {
+        DenseMatrix {
+            n: self.n,
+            data: self.data.iter().map(&mut f).collect(),
+        }
+    }
+}
+
+impl<T: Clone> DenseMatrix<T> {
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        let n = self.n;
+        DenseMatrix::from_fn(n, |i, j| self[(j, i)].clone())
+    }
+
+    /// Extracts the submatrix over `indices` (in the given order).
+    pub fn submatrix(&self, indices: &[usize]) -> Self {
+        DenseMatrix::from_fn(indices.len(), |i, j| self[(indices[i], indices[j])].clone())
+    }
+}
+
+impl DenseMatrix<f64> {
+    /// Maximum finite entry, or `None` for an empty matrix.
+    pub fn max(&self) -> Option<f64> {
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Minimum finite entry, or `None` for an empty matrix.
+    pub fn min(&self) -> Option<f64> {
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Minimum finite off-diagonal entry, or `None` if there is none.
+    pub fn min_off_diagonal(&self) -> Option<f64> {
+        let mut acc: Option<f64> = None;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && self[(i, j)].is_finite() {
+                    acc = Some(acc.map_or(self[(i, j)], |a| a.min(self[(i, j)])));
+                }
+            }
+        }
+        acc
+    }
+
+    /// Maximum finite off-diagonal entry, or `None` if there is none.
+    pub fn max_off_diagonal(&self) -> Option<f64> {
+        let mut acc: Option<f64> = None;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && self[(i, j)].is_finite() {
+                    acc = Some(acc.map_or(self[(i, j)], |a| a.max(self[(i, j)])));
+                }
+            }
+        }
+        acc
+    }
+
+    /// Mean of the entries selected by `pred(row, col)`; `None` if empty.
+    pub fn mean_where(&self, mut pred: impl FnMut(usize, usize) -> bool) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if pred(i, j) {
+                    sum += self[(i, j)];
+                    count += 1;
+                }
+            }
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+
+    /// Symmetrizes in place: both `(i,j)` and `(j,i)` become their mean.
+    ///
+    /// The paper assumes `O_ij = O_ji` (symmetric links) so that round-trip
+    /// cost is twice one-way cost; measured estimates are symmetrized the
+    /// same way before clustering.
+    pub fn symmetrize(&mut self) {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let m = (self[(i, j)] + self[(j, i)]) / 2.0;
+                self[(i, j)] = m;
+                self[(j, i)] = m;
+            }
+        }
+    }
+
+    /// Returns true if the matrix is exactly symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self[(i, j)] != self[(j, i)] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum absolute relative deviation from symmetry,
+    /// `max |a_ij - a_ji| / max(|a_ij|, |a_ji|, eps)`.
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let (a, b) = (self[(i, j)], self[(j, i)]);
+                let denom = a.abs().max(b.abs()).max(1e-300);
+                worst = worst.max((a - b).abs() / denom);
+            }
+        }
+        worst
+    }
+}
+
+impl<T> Index<(usize, usize)> for DenseMatrix<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range {}", self.n);
+        &self.data[i * self.n + j]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for DenseMatrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range {}", self.n);
+        &mut self.data[i * self.n + j]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for DenseMatrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.n, self.n)?;
+        for i in 0..self.n {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_default_filled() {
+        let m: DenseMatrix<f64> = DenseMatrix::new(3);
+        assert_eq!(m.as_slice(), &[0.0; 9]);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let m = DenseMatrix::from_fn(3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 2)], 12.0);
+        assert_eq!(m.row(2), &[20.0, 21.0, 22.0]);
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        let m = DenseMatrix::from_fn(4, |i, j| (i * 4 + j) as f64);
+        let t = m.transpose();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], t[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn submatrix_selects() {
+        let m = DenseMatrix::from_fn(5, |i, j| (i * 5 + j) as f64);
+        let s = m.submatrix(&[4, 0]);
+        assert_eq!(s[(0, 0)], 24.0);
+        assert_eq!(s[(0, 1)], 20.0);
+        assert_eq!(s[(1, 0)], 4.0);
+        assert_eq!(s[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let m = DenseMatrix::from_vec(2, vec![5.0, 1.0, 9.0, 0.5]);
+        assert_eq!(m.max(), Some(9.0));
+        assert_eq!(m.min(), Some(0.5));
+        assert_eq!(m.min_off_diagonal(), Some(1.0));
+        assert_eq!(m.max_off_diagonal(), Some(9.0));
+    }
+
+    #[test]
+    fn mean_where_off_diagonal() {
+        let m = DenseMatrix::from_vec(2, vec![100.0, 2.0, 4.0, 100.0]);
+        assert_eq!(m.mean_where(|i, j| i != j), Some(3.0));
+        assert_eq!(m.mean_where(|_, _| false), None);
+    }
+
+    #[test]
+    fn symmetrize_and_checks() {
+        let mut m = DenseMatrix::from_vec(2, vec![0.0, 2.0, 4.0, 0.0]);
+        assert!(!m.is_symmetric());
+        assert!(m.asymmetry() > 0.4);
+        m.symmetrize();
+        assert!(m.is_symmetric());
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let m = DenseMatrix::from_vec(2, vec![1.0f64, 2.0, 3.0, 4.0]);
+        let b = m.map(|&v| v > 2.5);
+        assert!(!b[(0, 0)] && !b[(0, 1)]);
+        assert!(b[(1, 0)] && b[(1, 1)]);
+    }
+
+    #[test]
+    fn empty_matrix_extremes_are_none() {
+        let m: DenseMatrix<f64> = DenseMatrix::new(0);
+        assert_eq!(m.max(), None);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.min_off_diagonal(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let m: DenseMatrix<f64> = DenseMatrix::new(2);
+        let _ = m[(2, 0)];
+    }
+}

@@ -1,0 +1,165 @@
+//! Knowledge-closure computations for barrier verification.
+//!
+//! The paper's Eq. 3 tracks which arrivals each process knows about after
+//! every stage: starting from `K₋₁ = I` (each process knows of its own
+//! arrival), each stage `S_a` propagates knowledge along its signals:
+//!
+//! ```text
+//! K_a = K_{a-1} + K_{a-1} · S_a        (boolean semiring)
+//! ```
+//!
+//! A stage sequence is a barrier iff the final `K_k` is the all-ones matrix.
+//! Note the orientation: entry `K[i][j]` set means *j knows that i arrived*
+//! (row i's knowledge has reached column j), because a signal `i → j`
+//! carries everything its sender knows.
+
+use crate::BoolMatrix;
+
+/// The per-stage knowledge matrices of a stage sequence, starting with the
+/// identity (before any stage) and ending with the final knowledge state.
+pub struct KnowledgeTrace {
+    /// `states[a]` is `K_{a-1}` in the paper's numbering; `states[0] = I`.
+    pub states: Vec<BoolMatrix>,
+}
+
+impl KnowledgeTrace {
+    /// Final knowledge matrix after all stages.
+    pub fn last(&self) -> &BoolMatrix {
+        self.states.last().expect("trace always has the identity state")
+    }
+
+    /// True if the traced sequence synchronizes all processes.
+    pub fn is_barrier(&self) -> bool {
+        self.last().is_all_true()
+    }
+
+    /// The first stage index after which knowledge is complete, if any.
+    /// (`Some(0)` would mean complete after stage 0, i.e. `states[1]` full.)
+    pub fn first_complete_stage(&self) -> Option<usize> {
+        self.states
+            .iter()
+            .skip(1)
+            .position(|k| k.is_all_true())
+    }
+}
+
+/// Runs Eq. 3 over `stages` and returns only the final knowledge matrix.
+pub fn knowledge_closure(n: usize, stages: &[BoolMatrix]) -> BoolMatrix {
+    let mut k = BoolMatrix::identity(n);
+    for s in stages {
+        assert_eq!(s.n(), n, "stage dimension {} != {}", s.n(), n);
+        let flow = k.and_or_product(s);
+        k.or_assign(&flow);
+    }
+    k
+}
+
+/// Runs Eq. 3 over `stages`, recording the knowledge matrix after every
+/// stage (plus the initial identity).
+pub fn knowledge_steps(n: usize, stages: &[BoolMatrix]) -> KnowledgeTrace {
+    let mut states = Vec::with_capacity(stages.len() + 1);
+    let mut k = BoolMatrix::identity(n);
+    states.push(k.clone());
+    for s in stages {
+        assert_eq!(s.n(), n, "stage dimension {} != {}", s.n(), n);
+        let flow = k.and_or_product(s);
+        k.or_assign(&flow);
+        states.push(k.clone());
+    }
+    KnowledgeTrace { states }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_stages(n: usize) -> Vec<BoolMatrix> {
+        // All non-zero ranks signal rank 0, then rank 0 signals everyone.
+        let mut s0 = BoolMatrix::zeros(n);
+        for i in 1..n {
+            s0.set(i, 0, true);
+        }
+        let s1 = s0.transpose();
+        vec![s0, s1]
+    }
+
+    #[test]
+    fn linear_barrier_closes() {
+        for n in [1, 2, 3, 4, 7, 65] {
+            let k = knowledge_closure(n, &linear_stages(n));
+            assert!(k.is_all_true(), "linear barrier failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn arrival_only_is_not_a_barrier() {
+        let stages = linear_stages(5);
+        let k = knowledge_closure(5, &stages[..1]);
+        assert!(!k.is_all_true());
+        // Rank 0 knows all arrivals...
+        for i in 0..5 {
+            assert!(k.get(i, 0), "rank 0 should know arrival of {i}");
+        }
+        // ...but rank 1 does not know rank 2 arrived.
+        assert!(!k.get(2, 1));
+    }
+
+    #[test]
+    fn empty_stage_list_keeps_identity() {
+        let k = knowledge_closure(4, &[]);
+        assert_eq!(k, BoolMatrix::identity(4));
+    }
+
+    #[test]
+    fn trace_records_progress() {
+        let trace = knowledge_steps(4, &linear_stages(4));
+        assert_eq!(trace.states.len(), 3);
+        assert_eq!(trace.states[0], BoolMatrix::identity(4));
+        assert!(!trace.states[1].is_all_true());
+        assert!(trace.states[2].is_all_true());
+        assert!(trace.is_barrier());
+        assert_eq!(trace.first_complete_stage(), Some(1));
+    }
+
+    #[test]
+    fn knowledge_is_monotone() {
+        let trace = knowledge_steps(6, &linear_stages(6));
+        for w in trace.states.windows(2) {
+            let (prev, next) = (&w[0], &w[1]);
+            // prev ⊆ next
+            assert_eq!(prev.and(next), *prev);
+        }
+    }
+
+    #[test]
+    fn dissemination_pattern_closes_without_departure() {
+        // dlog2(n)e stages; stage s: i signals (i + 2^s) mod n.
+        let n = 6;
+        let mut stages = Vec::new();
+        let mut step = 1;
+        while step < n {
+            let mut s = BoolMatrix::zeros(n);
+            for i in 0..n {
+                s.set(i, (i + step) % n, true);
+            }
+            stages.push(s);
+            step *= 2;
+        }
+        let trace = knowledge_steps(n, &stages);
+        assert!(trace.is_barrier());
+        // No earlier prefix closes: first completion is at the final stage.
+        assert_eq!(trace.first_complete_stage(), Some(stages.len() - 1));
+    }
+
+    #[test]
+    fn single_process_is_trivially_synchronized() {
+        let k = knowledge_closure(1, &[]);
+        assert!(k.is_all_true());
+    }
+
+    #[test]
+    #[should_panic(expected = "stage dimension")]
+    fn dimension_mismatch_panics() {
+        knowledge_closure(3, &[BoolMatrix::zeros(4)]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the matrix substrate.
+
+use hbar_matrix::{knowledge_closure, BoolMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+fn arb_bool_matrix(max_n: usize) -> impl Strategy<Value = BoolMatrix> {
+    (1..=max_n)
+        .prop_flat_map(move |n| {
+            (
+                Just(n),
+                prop::collection::vec((0..n, 0..n), 0..n * 3),
+            )
+        })
+        .prop_map(|(n, edges)| BoolMatrix::from_edges(n, &edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// De Morgan-ish algebra: (A|B)ᵀ = Aᵀ|Bᵀ and (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_distributes(n in 1usize..30,
+                             e1 in prop::collection::vec((0usize..30, 0usize..30), 0..60),
+                             e2 in prop::collection::vec((0usize..30, 0usize..30), 0..60)) {
+        let clip = |edges: Vec<(usize, usize)>| -> Vec<(usize, usize)> {
+            edges.into_iter().filter(|(i, j)| *i < n && *j < n).collect()
+        };
+        let a = BoolMatrix::from_edges(n, &clip(e1));
+        let b = BoolMatrix::from_edges(n, &clip(e2));
+        prop_assert_eq!(a.or(&b).transpose(), a.transpose().or(&b.transpose()));
+        prop_assert_eq!(
+            a.and_or_product(&b).transpose(),
+            b.transpose().and_or_product(&a.transpose())
+        );
+    }
+
+    /// Identity is neutral for the boolean product.
+    #[test]
+    fn identity_is_neutral(m in arb_bool_matrix(40)) {
+        let i = BoolMatrix::identity(m.n());
+        prop_assert_eq!(i.and_or_product(&m), m.clone());
+        prop_assert_eq!(m.and_or_product(&i), m);
+    }
+
+    /// The boolean product is associative.
+    #[test]
+    fn product_is_associative(n in 1usize..16,
+                              e in prop::collection::vec((0usize..16, 0usize..16), 0..90)) {
+        let edges: Vec<(usize, usize)> = e.into_iter().filter(|(i, j)| *i < n && *j < n).collect();
+        let third = edges.len() / 3;
+        let a = BoolMatrix::from_edges(n, &edges[..third]);
+        let b = BoolMatrix::from_edges(n, &edges[third..2 * third]);
+        let c = BoolMatrix::from_edges(n, &edges[2 * third..]);
+        prop_assert_eq!(
+            a.and_or_product(&b).and_or_product(&c),
+            a.and_or_product(&b.and_or_product(&c))
+        );
+    }
+
+    /// popcount is consistent with the edge iterator and row popcounts.
+    #[test]
+    fn popcount_consistency(m in arb_bool_matrix(50)) {
+        let via_edges = m.edges().count();
+        let via_rows: usize = (0..m.n()).map(|i| m.row_popcount(i)).sum();
+        prop_assert_eq!(m.popcount(), via_edges);
+        prop_assert_eq!(m.popcount(), via_rows);
+    }
+
+    /// Stage order within a *pipeline* matters, but closure over a
+    /// permutation of identical stages doesn't change the final result
+    /// when every stage is the same matrix.
+    #[test]
+    fn closure_idempotent_on_repeated_stage(m in arb_bool_matrix(20), reps in 1usize..5) {
+        let n = m.n();
+        let stages: Vec<BoolMatrix> = std::iter::repeat_n(m.clone(), reps + n).collect();
+        let k1 = knowledge_closure(n, &stages);
+        // More repetitions beyond n cannot add knowledge (fixed point).
+        let more: Vec<BoolMatrix> = std::iter::repeat_n(m, 2 * (reps + n)).collect();
+        let k2 = knowledge_closure(n, &more);
+        prop_assert_eq!(k1, k2);
+    }
+
+    /// Dense symmetrize is idempotent and commutes with transpose.
+    #[test]
+    fn symmetrize_idempotent(n in 1usize..12, vals in prop::collection::vec(-100.0f64..100.0, 144)) {
+        let mut m = DenseMatrix::from_fn(n, |i, j| vals[(i * n + j) % vals.len()]);
+        m.symmetrize();
+        prop_assert!(m.is_symmetric());
+        let mut again = m.clone();
+        again.symmetrize();
+        prop_assert_eq!(again, m.clone());
+        prop_assert_eq!(m.transpose(), m);
+    }
+}

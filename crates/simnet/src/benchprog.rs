@@ -1,0 +1,197 @@
+//! The §IV-A profiling workloads as two-rank program pairs.
+//!
+//! All three benchmarks measure between a *source* (local rank 0) and a
+//! *destination* (local rank 1) placed on the two cores of interest:
+//!
+//! * [`ping_pong`] — `reps` round trips at a given payload size; the
+//!   Hockney-style `O_ij` estimate is the regression intercept of the
+//!   one-way time over growing sizes;
+//! * [`multi_message`] — `reps` bursts of `k` simultaneous zero-byte
+//!   sends; the `L_ij` estimate is the regression gradient of the burst
+//!   completion time over `k = 1 … 32`;
+//! * [`noop_calls`] — `k` transmission-free calls; their mean cost is the
+//!   `O_ii` estimate.
+
+use crate::program::Program;
+use crate::world::{SimResult, SimWorld};
+use crate::{ns_to_sec, Time};
+
+/// Builds the ping-pong program pair: `reps` round trips of `bytes`-sized
+/// synchronous messages.
+pub fn ping_pong(bytes: usize, reps: usize) -> (Program, Program) {
+    assert!(reps > 0, "need at least one repetition");
+    let mut a = Program::new();
+    let mut b = Program::new();
+    for _ in 0..reps {
+        a = a.issend_bytes(1, bytes).wait_all().irecv(1).wait_all();
+        b = b.irecv(0).wait_all().issend_bytes(0, bytes).wait_all();
+    }
+    (a, b)
+}
+
+/// Mean one-way transmission time (seconds) from a completed ping-pong
+/// run: half the mean round-trip time at the initiator.
+pub fn ping_pong_one_way(result: &SimResult, reps: usize) -> f64 {
+    ns_to_sec(result.finish[0]) / (2.0 * reps as f64)
+}
+
+/// Builds the multi-message burst pair: `reps` rounds, each posting `k`
+/// zero-byte synchronous sends before a single completion wait.
+pub fn multi_message(k: usize, reps: usize) -> (Program, Program) {
+    assert!(k > 0 && reps > 0, "need at least one message and repetition");
+    let mut a = Program::new();
+    let mut b = Program::new();
+    for _ in 0..reps {
+        for _ in 0..k {
+            a = a.issend(1);
+            b = b.irecv(0);
+        }
+        a = a.wait_all();
+        b = b.wait_all();
+    }
+    (a, b)
+}
+
+/// Mean burst completion time (seconds) at the sender.
+pub fn multi_message_burst_time(result: &SimResult, reps: usize) -> f64 {
+    ns_to_sec(result.finish[0]) / reps as f64
+}
+
+/// Builds the transmission-free call program (single rank active).
+pub fn noop_calls(k: usize) -> Program {
+    assert!(k > 0, "need at least one call");
+    let mut p = Program::new();
+    for _ in 0..k {
+        p = p.noop_call();
+    }
+    p
+}
+
+/// Mean per-call overhead (seconds).
+pub fn noop_call_mean(result: &SimResult, k: usize) -> f64 {
+    ns_to_sec(result.finish[0]) / k as f64
+}
+
+/// Convenience: run a two-rank benchmark pair in `world` (which must have
+/// exactly 2 ranks) and return the result.
+///
+/// # Panics
+/// Panics if the world does not have 2 ranks or the run deadlocks (the
+/// benchmark programs cannot deadlock by construction).
+pub fn run_pair(world: &mut SimWorld, pair: (Program, Program)) -> SimResult {
+    assert_eq!(world.p(), 2, "benchmark worlds have exactly two ranks");
+    world
+        .run(vec![pair.0, pair.1])
+        .expect("benchmark programs cannot deadlock")
+}
+
+/// Measured one-way time of a size-`bytes` ping-pong between the two
+/// ranks of `world`, mean of `reps` repetitions.
+pub fn measure_one_way(world: &mut SimWorld, bytes: usize, reps: usize) -> f64 {
+    let res = run_pair(world, ping_pong(bytes, reps));
+    ping_pong_one_way(&res, reps)
+}
+
+/// Measured completion time of a `k`-message burst, mean of `reps`.
+pub fn measure_burst(world: &mut SimWorld, k: usize, reps: usize) -> f64 {
+    let res = run_pair(world, multi_message(k, reps));
+    multi_message_burst_time(&res, reps)
+}
+
+/// Measured mean transmission-free call cost over `k` calls at rank 0.
+pub fn measure_noop(world: &mut SimWorld, k: usize) -> f64 {
+    let progs = vec![noop_calls(k), Program::new()];
+    let res = world.run(progs).expect("no communication, cannot deadlock");
+    noop_call_mean(&res, k)
+}
+
+/// Virtual duration helper for tests.
+pub fn makespan_sec(result: &SimResult) -> f64 {
+    ns_to_sec(result.finish.iter().copied().max().unwrap_or(0) as Time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::SimConfig;
+    use hbar_topo::machine::{LinkClass, MachineSpec};
+    use hbar_topo::mapping::RankMapping;
+
+    fn pair_world(machine: MachineSpec, core_a: usize, core_b: usize) -> SimWorld {
+        let cfg = SimConfig::exact(machine, RankMapping::Custom(vec![core_a, core_b]));
+        SimWorld::new(cfg, 2)
+    }
+
+    #[test]
+    fn ping_pong_recovers_effective_o_inter_node() {
+        let machine = MachineSpec::new(2, 1, 1);
+        let gt = machine.ground_truth.clone();
+        let mut world = pair_world(machine, 0, 1);
+        let one_way = measure_one_way(&mut world, 0, 10);
+        let expect = gt.effective_o(LinkClass::InterNode);
+        let rel = (one_way - expect).abs() / expect;
+        assert!(rel < 0.02, "one-way {one_way} vs effective O {expect}");
+    }
+
+    #[test]
+    fn ping_pong_scales_with_payload() {
+        let machine = MachineSpec::new(2, 1, 1);
+        let gt = machine.ground_truth.clone();
+        let mut world = pair_world(machine, 0, 1);
+        let small = measure_one_way(&mut world, 1, 5);
+        let big = measure_one_way(&mut world, 1 << 20, 5);
+        let per_byte = (big - small) / ((1 << 20) - 1) as f64;
+        let expect = gt.link(LinkClass::InterNode).ns_per_byte * 1e-9;
+        assert!(
+            (per_byte - expect).abs() / expect < 0.05,
+            "per-byte {per_byte} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn burst_gradient_recovers_effective_l() {
+        // The marginal cost of messages 8→16 approximates L (pipelined
+        // spacing), for both a local and a remote pair.
+        for (machine, a, b, class) in [
+            (MachineSpec::new(1, 1, 2), 0usize, 1usize, LinkClass::SameSocket),
+            (MachineSpec::new(1, 2, 1), 0, 1, LinkClass::CrossSocket),
+            (MachineSpec::new(2, 1, 1), 0, 1, LinkClass::InterNode),
+        ] {
+            let gt = machine.ground_truth.clone();
+            let mut world = pair_world(machine, a, b);
+            let t8 = measure_burst(&mut world, 8, 5);
+            let t16 = measure_burst(&mut world, 16, 5);
+            let marginal = (t16 - t8) / 8.0;
+            let expect = gt.effective_l(class);
+            let rel = (marginal - expect).abs() / expect;
+            assert!(rel < 0.15, "{class:?}: marginal {marginal} vs L {expect}");
+        }
+    }
+
+    #[test]
+    fn noop_mean_recovers_call_overhead() {
+        let machine = MachineSpec::new(1, 1, 2);
+        let gt = machine.ground_truth.clone();
+        let mut world = pair_world(machine, 0, 1);
+        let mean = measure_noop(&mut world, 64);
+        assert!((mean - gt.effective_oii()).abs() < 1e-12, "{mean}");
+    }
+
+    #[test]
+    fn burst_time_grows_monotonically_in_k() {
+        let machine = MachineSpec::new(2, 1, 1);
+        let mut world = pair_world(machine, 0, 1);
+        let mut prev = 0.0;
+        for k in [1, 2, 4, 8, 16, 32] {
+            let t = measure_burst(&mut world, k, 3);
+            assert!(t > prev, "k={k}: {t} <= {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_panics() {
+        ping_pong(0, 0);
+    }
+}

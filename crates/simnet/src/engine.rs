@@ -1,0 +1,579 @@
+//! The discrete-event engine.
+//!
+//! ## Microscopic model
+//!
+//! A message from rank `i` to rank `j` of link class `c` passes through
+//! serial resources in order, each charging a (possibly noise-perturbed)
+//! occupancy from the machine's [`GroundTruth`]:
+//!
+//! 1. **Sender CPU** — `call_overhead + cpu_send(c)`; consecutive calls by
+//!    the same process serialize here.
+//! 2. **Node NIC TX** (inter-node only) — `nic_tx`; all traffic leaving a
+//!    node serializes here, which is what makes many ranks per node
+//!    sharing one gigabit NIC expensive (and what the measured `L`
+//!    captures for inter-node pairs).
+//! 3. **Wire** — `wire + bytes · ns_per_byte`, unlimited parallelism.
+//! 4. **Node NIC RX** (inter-node only) — `nic_rx`.
+//! 5. **Receiver CPU** — `cpu_recv(c)`, charged when the message matches a
+//!    posted receive (at the later of availability and posting).
+//!
+//! A synchronous send's request completes at the *sender* when the
+//! receiver has processed the message, plus one wire delay for the
+//! acknowledgement — the `MPI_Issend` property the paper's benchmarks
+//! lean on ("making local completion an indication that both processes
+//! have been involved").
+//!
+//! Receives match per `(src, dst)` pair in FIFO order. Posting any call
+//! costs `call_overhead` on the caller's CPU. `Delay` models computation
+//! without occupying the CPU resource (message progress continues, as
+//! with an MPI progress thread).
+
+use crate::noise::NoiseState;
+use crate::program::{Instr, Program};
+use crate::trace::{Trace, TraceEvent};
+use crate::Time;
+use hbar_topo::machine::{CoreId, GroundTruth, LinkClass};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A serial resource reserved in event-time order.
+#[derive(Clone, Copy, Debug, Default)]
+struct Resource {
+    free_at: Time,
+}
+
+impl Resource {
+    /// Reserves the resource for `dur` starting no earlier than `at`;
+    /// returns the completion time.
+    fn acquire(&mut self, at: Time, dur: Time) -> Time {
+        let start = self.free_at.max(at);
+        self.free_at = start + dur;
+        self.free_at
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum EventKind {
+    /// Resume a process's program interpretation.
+    Resume { proc: usize },
+    /// A message has finished its wire (and pre-RX) journey.
+    Arrive { dst: usize, src: usize, class: LinkClass },
+    /// A receive request completed at `proc`.
+    RecvComplete { proc: usize },
+    /// A synchronous send request completed at `proc`.
+    SendComplete { proc: usize },
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Proc {
+    program: Vec<Instr>,
+    pc: usize,
+    /// Requests issued and not yet completed.
+    outstanding: usize,
+    /// Blocked in `WaitAll` (or at end of program awaiting completions).
+    waiting: bool,
+    done: bool,
+    /// Posted, unmatched receives: per source, post times (FIFO).
+    posted: Vec<VecDeque<Time>>,
+    /// Arrived, unmatched messages: per source, availability times (FIFO).
+    ready: Vec<VecDeque<(Time, LinkClass)>>,
+    finish: Option<Time>,
+    marks: Vec<(String, Time)>,
+}
+
+/// Error returned when the simulation cannot complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimDeadlock {
+    /// Processes that never finished, with their program counters and
+    /// outstanding request counts.
+    pub stuck: Vec<(usize, usize, usize)>,
+}
+
+impl std::fmt::Display for SimDeadlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation deadlock; stuck (proc, pc, outstanding): {:?}", self.stuck)
+    }
+}
+
+impl std::error::Error for SimDeadlock {}
+
+/// Outcome of one engine run.
+#[derive(Clone, Debug)]
+pub struct EngineResult {
+    /// Per-process completion time of its entire program.
+    pub finish: Vec<Time>,
+    /// Per-process recorded `Mark` timestamps.
+    pub marks: Vec<Vec<(String, Time)>>,
+    /// Total events processed (a proxy for simulation effort).
+    pub events: u64,
+    /// Per-message event trace, if recording was enabled.
+    pub trace: Option<Trace>,
+}
+
+/// The event-driven interpreter for one run.
+pub struct Engine {
+    procs: Vec<Proc>,
+    cores: Vec<CoreId>,
+    gt: GroundTruth,
+    cpu: Vec<Resource>,
+    nic_tx: Vec<Resource>,
+    nic_rx: Vec<Resource>,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    noise: NoiseState,
+    events: u64,
+    trace: Option<Trace>,
+}
+
+impl Engine {
+    /// Builds an engine for `programs[r]` running on `cores[r]`.
+    ///
+    /// # Panics
+    /// Panics if program and core counts differ, if any instruction
+    /// references an out-of-range rank, or if a rank messages itself.
+    pub fn new(
+        programs: Vec<Program>,
+        cores: Vec<CoreId>,
+        gt: GroundTruth,
+        noise: NoiseState,
+    ) -> Self {
+        assert_eq!(programs.len(), cores.len(), "one core per program required");
+        let p = programs.len();
+        for (r, prog) in programs.iter().enumerate() {
+            for ins in &prog.instrs {
+                match ins {
+                    Instr::Issend { dst, .. } => {
+                        assert!(*dst < p, "rank {r} sends to out-of-range {dst}");
+                        assert_ne!(*dst, r, "rank {r} sends to itself");
+                    }
+                    Instr::Irecv { src } => {
+                        assert!(*src < p, "rank {r} receives from out-of-range {src}");
+                        assert_ne!(*src, r, "rank {r} receives from itself");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let max_node = cores.iter().map(|c| c.node).max().unwrap_or(0);
+        let procs = programs
+            .into_iter()
+            .map(|prog| Proc {
+                program: prog.instrs,
+                pc: 0,
+                outstanding: 0,
+                waiting: false,
+                done: false,
+                posted: vec![VecDeque::new(); p],
+                ready: vec![VecDeque::new(); p],
+                finish: None,
+                marks: Vec::new(),
+            })
+            .collect();
+        Engine {
+            procs,
+            cores,
+            gt,
+            cpu: vec![Resource::default(); p],
+            nic_tx: vec![Resource::default(); max_node + 1],
+            nic_rx: vec![Resource::default(); max_node + 1],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            noise,
+            events: 0,
+            trace: None,
+        }
+    }
+
+    /// Enables per-message trace recording for this run.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::default());
+    }
+
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.events.push(event);
+        }
+    }
+
+    fn schedule(&mut self, time: Time, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn link_class(&self, a: usize, b: usize) -> LinkClass {
+        self.cores[a].link_class(&self.cores[b])
+    }
+
+    /// Runs all programs to completion.
+    pub fn run(mut self) -> Result<EngineResult, SimDeadlock> {
+        let p = self.procs.len();
+        for r in 0..p {
+            self.schedule(0, EventKind::Resume { proc: r });
+        }
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            self.events += 1;
+            match ev.kind {
+                EventKind::Resume { proc } => self.run_program(proc, ev.time),
+                EventKind::Arrive { dst, src, class } => {
+                    // NIC RX serialization for inter-node traffic.
+                    let available = if class == LinkClass::InterNode {
+                        let dur = self.noise.sample(self.gt.link(class).nic_rx_ns);
+                        self.nic_rx[self.cores[dst].node].acquire(ev.time, dur)
+                    } else {
+                        ev.time
+                    };
+                    self.record(TraceEvent::Delivered { time: available, src, dst });
+                    if let Some(post_time) = self.procs[dst].posted[src].pop_front() {
+                        self.complete_match(src, dst, class, available.max(post_time));
+                    } else {
+                        self.procs[dst].ready[src].push_back((available, class));
+                    }
+                }
+                EventKind::RecvComplete { proc } | EventKind::SendComplete { proc } => {
+                    let pr = &mut self.procs[proc];
+                    debug_assert!(pr.outstanding > 0, "completion without outstanding request");
+                    pr.outstanding -= 1;
+                    if pr.waiting && pr.outstanding == 0 {
+                        pr.waiting = false;
+                        self.run_program(proc, ev.time);
+                    }
+                }
+            }
+        }
+        let stuck: Vec<(usize, usize, usize)> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, pr)| !pr.done)
+            .map(|(r, pr)| (r, pr.pc, pr.outstanding))
+            .collect();
+        if !stuck.is_empty() {
+            return Err(SimDeadlock { stuck });
+        }
+        Ok(EngineResult {
+            finish: self.procs.iter().map(|pr| pr.finish.expect("done implies finish")).collect(),
+            marks: self.procs.iter_mut().map(|pr| std::mem::take(&mut pr.marks)).collect(),
+            events: self.events,
+            trace: self.trace.take(),
+        })
+    }
+
+    /// Matches a message `src → dst`: charges the receiver CPU, completes
+    /// the receive, and acknowledges the synchronous sender.
+    fn complete_match(&mut self, src: usize, dst: usize, class: LinkClass, at: Time) {
+        let dur = self.noise.sample(self.gt.link(class).cpu_recv_ns);
+        let done = self.cpu[dst].acquire(at, dur);
+        self.schedule(done, EventKind::RecvComplete { proc: dst });
+        self.record(TraceEvent::RecvCompleted { time: done, src, dst });
+        // Acknowledgement back to the synchronous sender: one wire delay.
+        let ack = self.noise.sample(self.gt.link(class).wire_ns);
+        self.schedule(done + ack, EventKind::SendComplete { proc: src });
+        self.record(TraceEvent::SendCompleted { time: done + ack, src, dst });
+    }
+
+    /// Interprets `proc`'s program starting at time `now` until it blocks
+    /// or finishes.
+    fn run_program(&mut self, proc: usize, now: Time) {
+        let mut now = now;
+        loop {
+            let pr = &self.procs[proc];
+            if pr.done {
+                return;
+            }
+            if pr.pc >= pr.program.len() {
+                let pr = &mut self.procs[proc];
+                if pr.outstanding == 0 {
+                    pr.done = true;
+                    pr.finish = Some(now);
+                } else {
+                    // Implicit trailing WaitAll: finish when requests drain.
+                    pr.waiting = true;
+                }
+                return;
+            }
+            let instr = pr.program[pr.pc].clone();
+            match instr {
+                Instr::Delay { ns } => {
+                    self.procs[proc].pc += 1;
+                    self.schedule(now + ns, EventKind::Resume { proc });
+                    return;
+                }
+                Instr::Mark { label } => {
+                    self.procs[proc].marks.push((label, now));
+                    self.procs[proc].pc += 1;
+                }
+                Instr::NoOpCall => {
+                    let dur = self.noise.sample(self.gt.call_overhead_ns);
+                    now = self.cpu[proc].acquire(now, dur);
+                    self.procs[proc].pc += 1;
+                }
+                Instr::WaitAll => {
+                    if self.procs[proc].outstanding == 0 {
+                        self.procs[proc].pc += 1;
+                    } else {
+                        self.procs[proc].waiting = true;
+                        self.procs[proc].pc += 1; // resume past the wait
+                        return;
+                    }
+                }
+                Instr::Irecv { src } => {
+                    let dur = self.noise.sample(self.gt.call_overhead_ns);
+                    now = self.cpu[proc].acquire(now, dur);
+                    self.procs[proc].pc += 1;
+                    self.procs[proc].outstanding += 1;
+                    if let Some((available, class)) = self.procs[proc].ready[src].pop_front() {
+                        self.complete_match(src, proc, class, available.max(now));
+                    } else {
+                        self.procs[proc].posted[src].push_back(now);
+                    }
+                }
+                Instr::Issend { dst, bytes } => {
+                    let class = self.link_class(proc, dst);
+                    let lc = *self.gt.link(class);
+                    let inject = self
+                        .noise
+                        .sample(self.gt.call_overhead_ns + lc.cpu_send_ns);
+                    now = self.cpu[proc].acquire(now, inject);
+                    self.record(TraceEvent::SendInjected { time: now, src: proc, dst });
+                    self.procs[proc].pc += 1;
+                    self.procs[proc].outstanding += 1;
+                    let after_tx = if class == LinkClass::InterNode {
+                        let dur = self.noise.sample(lc.nic_tx_ns);
+                        self.nic_tx[self.cores[proc].node].acquire(now, dur)
+                    } else {
+                        now
+                    };
+                    let wire = self
+                        .noise
+                        .sample(lc.wire_ns + (bytes as f64 * lc.ns_per_byte).round() as Time);
+                    self.schedule(after_tx + wire, EventKind::Arrive { dst, src: proc, class });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::program::Program;
+    use hbar_topo::machine::MachineSpec;
+
+    fn engine_for(machine: &MachineSpec, flat_cores: &[usize], programs: Vec<Program>) -> Engine {
+        let cores: Vec<CoreId> = flat_cores.iter().map(|&c| machine.core(c)).collect();
+        Engine::new(
+            programs,
+            cores,
+            machine.ground_truth.clone(),
+            NoiseState::new(NoiseModel::none(), 0),
+        )
+    }
+
+    #[test]
+    fn empty_programs_finish_at_zero() {
+        let m = MachineSpec::new(1, 1, 2);
+        let res = engine_for(&m, &[0, 1], vec![Program::new(), Program::new()])
+            .run()
+            .unwrap();
+        assert_eq!(res.finish, vec![0, 0]);
+    }
+
+    #[test]
+    fn single_signal_same_socket_cost_breakdown() {
+        let m = MachineSpec::new(1, 1, 2);
+        let gt = &m.ground_truth;
+        let p0 = Program::new().issend(1).wait_all();
+        let p1 = Program::new().irecv(0).wait_all();
+        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        let c = gt.link(LinkClass::SameSocket);
+        // Receiver done: inject + wire + cpu_recv (recv pre-posted at call_overhead).
+        let inject = gt.call_overhead_ns + c.cpu_send_ns;
+        let recv_done = inject + c.wire_ns + c.cpu_recv_ns;
+        assert_eq!(res.finish[1], recv_done);
+        // Sender done: + ack wire.
+        assert_eq!(res.finish[0], recv_done + c.wire_ns);
+    }
+
+    #[test]
+    fn inter_node_message_pays_nic_and_wire() {
+        let m = MachineSpec::new(2, 1, 1);
+        let gt = m.ground_truth.clone();
+        let p0 = Program::new().issend(1).wait_all();
+        let p1 = Program::new().irecv(0).wait_all();
+        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        let c = gt.link(LinkClass::InterNode);
+        let recv_done =
+            gt.call_overhead_ns + c.cpu_send_ns + c.nic_tx_ns + c.wire_ns + c.nic_rx_ns + c.cpu_recv_ns;
+        assert_eq!(res.finish[1], recv_done);
+        assert_eq!(res.finish[0], recv_done + c.wire_ns);
+    }
+
+    #[test]
+    fn payload_adds_bandwidth_term() {
+        let m = MachineSpec::new(2, 1, 1);
+        let gt = m.ground_truth.clone();
+        let bytes = 1 << 16;
+        let p0 = Program::new().issend_bytes(1, bytes).wait_all();
+        let p1 = Program::new().irecv(0).wait_all();
+        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        let c = gt.link(LinkClass::InterNode);
+        let extra = (bytes as f64 * c.ns_per_byte).round() as Time;
+        let expect = gt.call_overhead_ns
+            + c.cpu_send_ns
+            + c.nic_tx_ns
+            + c.wire_ns
+            + extra
+            + c.nic_rx_ns
+            + c.cpu_recv_ns;
+        assert_eq!(res.finish[1], expect);
+    }
+
+    #[test]
+    fn message_before_receive_is_queued() {
+        // Receiver delays before posting: message waits, match at post time.
+        let m = MachineSpec::new(1, 1, 2);
+        let gt = m.ground_truth.clone();
+        let c = *gt.link(LinkClass::SameSocket);
+        let delay = 1_000_000;
+        let p0 = Program::new().issend(1).wait_all();
+        let p1 = Program::new().delay(delay).irecv(0).wait_all();
+        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        let post = delay + gt.call_overhead_ns;
+        assert_eq!(res.finish[1], post + c.cpu_recv_ns);
+        assert_eq!(res.finish[0], post + c.cpu_recv_ns + c.wire_ns);
+    }
+
+    #[test]
+    fn sync_send_blocks_until_receiver_participates() {
+        // The Issend property §III relies on: sender completion implies
+        // receiver involvement, so a late receiver delays the sender.
+        let m = MachineSpec::new(2, 1, 1);
+        let delay = 5_000_000;
+        let p0 = Program::new().issend(1).wait_all().mark("sent");
+        let p1 = Program::new().delay(delay).irecv(0).wait_all();
+        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        assert!(res.finish[0] > delay);
+    }
+
+    #[test]
+    fn consecutive_sends_serialize_on_sender_cpu() {
+        let m = MachineSpec::new(1, 2, 2);
+        let gt = m.ground_truth.clone();
+        // Rank 0 sends to 1 (same socket) and 2 (cross socket).
+        let p0 = Program::new().issend(1).issend(2).wait_all();
+        let p1 = Program::new().irecv(0).wait_all();
+        let p2 = Program::new().irecv(0).wait_all();
+        let res = engine_for(&m, &[0, 1, 2], vec![p0, p1, p2]).run().unwrap();
+        let same = *gt.link(LinkClass::SameSocket);
+        let cross = *gt.link(LinkClass::CrossSocket);
+        let inj1 = gt.call_overhead_ns + same.cpu_send_ns;
+        let inj2 = gt.call_overhead_ns + cross.cpu_send_ns;
+        // Second injection starts only after the first finishes.
+        let second_arrival = inj1 + inj2 + cross.wire_ns;
+        assert_eq!(res.finish[2], second_arrival + cross.cpu_recv_ns);
+    }
+
+    #[test]
+    fn nic_serializes_concurrent_inter_node_senders() {
+        // Two ranks on node 0 send to two ranks on node 1 simultaneously:
+        // the shared NIC TX forces one message behind the other.
+        let m = MachineSpec::new(2, 1, 2);
+        let gt = m.ground_truth.clone();
+        let c = *gt.link(LinkClass::InterNode);
+        let progs = vec![
+            Program::new().issend(2).wait_all(),
+            Program::new().issend(3).wait_all(),
+            Program::new().irecv(0).wait_all(),
+            Program::new().irecv(1).wait_all(),
+        ];
+        let res = engine_for(&m, &[0, 1, 2, 3], progs).run().unwrap();
+        let first = gt.call_overhead_ns + c.cpu_send_ns + c.nic_tx_ns + c.wire_ns + c.nic_rx_ns + c.cpu_recv_ns;
+        let finishes = [res.finish[2], res.finish[3]];
+        let early = *finishes.iter().min().unwrap();
+        let late = *finishes.iter().max().unwrap();
+        assert_eq!(early, first);
+        // The later message queued one NIC TX slot (RX slot overlaps it).
+        assert_eq!(late, first + c.nic_tx_ns);
+    }
+
+    #[test]
+    fn fifo_matching_per_pair() {
+        // Two sends 0→1 match two receives in order; the pair completes.
+        let m = MachineSpec::new(1, 1, 2);
+        let p0 = Program::new().issend(1).issend(1).wait_all();
+        let p1 = Program::new().irecv(0).irecv(0).wait_all();
+        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        assert!(res.finish[0] > 0 && res.finish[1] > 0);
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let m = MachineSpec::new(1, 1, 2);
+        // Receive that never gets a message.
+        let p0 = Program::new().irecv(1).wait_all();
+        let err = engine_for(&m, &[0, 1], vec![p0, Program::new()])
+            .run()
+            .unwrap_err();
+        assert_eq!(err.stuck.len(), 1);
+        assert_eq!(err.stuck[0].0, 0);
+        assert_eq!(err.stuck[0].2, 1, "one outstanding request");
+    }
+
+    #[test]
+    fn marks_record_virtual_times() {
+        let m = MachineSpec::new(1, 1, 2);
+        let p0 = Program::new().mark("start").delay(500).mark("end");
+        let res = engine_for(&m, &[0, 1], vec![p0, Program::new()]).run().unwrap();
+        assert_eq!(res.marks[0][0], ("start".into(), 0));
+        assert_eq!(res.marks[0][1], ("end".into(), 500));
+    }
+
+    #[test]
+    #[should_panic(expected = "sends to itself")]
+    fn self_send_rejected() {
+        let m = MachineSpec::new(1, 1, 2);
+        let p0 = Program::new().issend(0);
+        engine_for(&m, &[0, 1], vec![p0, Program::new()]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let m = MachineSpec::new(2, 1, 2);
+        let mk = || {
+            vec![
+                Program::new().issend(2).irecv(3).wait_all(),
+                Program::new().issend(3).irecv(2).wait_all(),
+                Program::new().issend(3).irecv(0).wait_all().issend(1).wait_all(),
+                Program::new().irecv(1).irecv(2).wait_all().issend(0).wait_all(),
+            ]
+        };
+        let r1 = engine_for(&m, &[0, 1, 2, 3], mk()).run().unwrap();
+        let r2 = engine_for(&m, &[0, 1, 2, 3], mk()).run().unwrap();
+        assert_eq!(r1.finish, r2.finish);
+        assert_eq!(r1.events, r2.events);
+    }
+}

@@ -1,0 +1,45 @@
+//! Discrete-event simulation of heterogeneous clusters.
+//!
+//! This crate is the stand-in for the paper's physical testbeds (see
+//! DESIGN.md, substitution 1): an event-driven model of processes pinned
+//! to cores, exchanging zero- or small-payload messages through a
+//! three-level interconnect (shared socket, cross socket, inter-node) with
+//! serial per-resource occupancies (sender CPU, per-node NIC TX/RX,
+//! receiver CPU) and seeded measurement noise.
+//!
+//! The execution semantics mirror what the paper relies on from OpenMPI:
+//! **synchronous sends** (`MPI_Issend`) whose local completion implies the
+//! receiver participated, nonblocking receives, and per-step `Waitall`.
+//! Processes run little instruction [`program`]s, which is exactly how the
+//! paper's general simulator executes matrix-encoded barriers.
+//!
+//! * [`engine`] — the event queue and process interpreter;
+//! * [`world`] — user-facing configuration and runs;
+//! * [`noise`] — multiplicative jitter plus rare preemption spikes;
+//! * [`benchprog`] — the §IV-A profiling workloads (ping-pong size sweep,
+//!   multi-message bursts, transmission-free calls);
+//! * [`profiling`] — the full `|P|²` pairwise benchmark driver that
+//!   produces a [`hbar_topo::profile::TopologyProfile`] by regression;
+//! * [`barrier`] — compiled barrier execution and the staggered-delay
+//!   synchronization check of §VI.
+
+pub mod barrier;
+pub mod benchprog;
+pub mod engine;
+pub mod noise;
+pub mod profiling;
+pub mod program;
+pub mod trace;
+pub mod world;
+
+pub use noise::NoiseModel;
+pub use program::{Instr, Program};
+pub use world::{SimConfig, SimResult, SimWorld};
+
+/// Virtual time in integer nanoseconds.
+pub type Time = u64;
+
+/// Converts virtual nanoseconds to seconds.
+pub fn ns_to_sec(t: Time) -> f64 {
+    t as f64 * 1e-9
+}

@@ -1,0 +1,181 @@
+//! Measurement noise for the simulated hardware.
+//!
+//! §IV-B of the paper stresses that its profiles are statistical estimates
+//! gathered under realistic conditions — runs "were subject to
+//! interference from unrelated load", yet "results still proved to be
+//! reproducible". To preserve that property of the methodology, every
+//! resource occupancy and wire delay in the simulator can be perturbed by:
+//!
+//! * **multiplicative jitter** — a one-sided half-normal factor
+//!   `1 + σ·|z|`, modelling cache state, scheduling and stack variance;
+//! * **preemption spikes** — with small probability an occupancy absorbs
+//!   an exponentially distributed extra delay, modelling OS preemption and
+//!   unrelated load (the source of the paper's ~200 µs error floor).
+
+use crate::Time;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Noise parameters. `NoiseModel::none()` gives a deterministic machine.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Standard deviation of the half-normal jitter factor (0 = off).
+    pub jitter_sigma: f64,
+    /// Probability that any single occupancy absorbs a preemption spike.
+    pub spike_prob: f64,
+    /// Mean duration of a preemption spike, in nanoseconds.
+    pub spike_mean_ns: f64,
+    /// Base RNG seed; runs derive sub-seeds from it deterministically.
+    pub seed: u64,
+}
+
+impl NoiseModel {
+    /// No noise: the simulator becomes a deterministic cost calculator.
+    pub fn none() -> Self {
+        NoiseModel {
+            jitter_sigma: 0.0,
+            spike_prob: 0.0,
+            spike_mean_ns: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Noise calibrated for the experiments: a few percent of jitter and
+    /// occasional O(100 µs) preemptions, matching the error magnitudes the
+    /// paper reports against its predictions.
+    pub fn realistic(seed: u64) -> Self {
+        NoiseModel {
+            jitter_sigma: 0.04,
+            spike_prob: 2e-5,
+            spike_mean_ns: 120_000.0,
+            seed,
+        }
+    }
+
+    /// True if all stochastic components are disabled.
+    pub fn is_deterministic(&self) -> bool {
+        self.jitter_sigma == 0.0 && self.spike_prob == 0.0
+    }
+}
+
+/// Per-run sampling state.
+pub struct NoiseState {
+    model: NoiseModel,
+    rng: SmallRng,
+}
+
+impl NoiseState {
+    /// Creates sampling state for one run; `run_salt` decorrelates
+    /// repeated runs under the same model.
+    pub fn new(model: NoiseModel, run_salt: u64) -> Self {
+        NoiseState {
+            model,
+            rng: SmallRng::seed_from_u64(model.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(run_salt)),
+        }
+    }
+
+    /// Perturbs a base duration.
+    pub fn sample(&mut self, base_ns: Time) -> Time {
+        if self.model.is_deterministic() || base_ns == 0 {
+            return base_ns;
+        }
+        let mut t = base_ns as f64;
+        if self.model.jitter_sigma > 0.0 {
+            t *= 1.0 + self.model.jitter_sigma * half_normal(&mut self.rng);
+        }
+        if self.model.spike_prob > 0.0 && self.rng.random::<f64>() < self.model.spike_prob {
+            t += exponential(&mut self.rng, self.model.spike_mean_ns);
+        }
+        t.round() as Time
+    }
+}
+
+/// |z| for z ~ N(0, 1), via Box–Muller.
+fn half_normal(rng: &mut SmallRng) -> f64 {
+    let u1 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    z.abs()
+}
+
+/// Exponentially distributed with the given mean.
+fn exponential(rng: &mut SmallRng, mean: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut s = NoiseState::new(NoiseModel::none(), 7);
+        for v in [0u64, 1, 1000, 30_000] {
+            assert_eq!(s.sample(v), v);
+        }
+    }
+
+    #[test]
+    fn jitter_is_one_sided_and_bounded_in_expectation() {
+        let model = NoiseModel {
+            jitter_sigma: 0.05,
+            spike_prob: 0.0,
+            spike_mean_ns: 0.0,
+            seed: 42,
+        };
+        let mut s = NoiseState::new(model, 0);
+        let base = 10_000u64;
+        let n = 5000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let v = s.sample(base);
+            assert!(v >= base, "jitter must never shorten an occupancy");
+            sum += v;
+        }
+        let mean = sum as f64 / n as f64;
+        // E[1 + σ|z|] = 1 + σ·sqrt(2/π) ≈ 1.04 at σ=0.05.
+        assert!((mean / base as f64) < 1.08, "mean factor {}", mean / base as f64);
+        assert!((mean / base as f64) > 1.01);
+    }
+
+    #[test]
+    fn spikes_occur_at_roughly_configured_rate() {
+        let model = NoiseModel {
+            jitter_sigma: 0.0,
+            spike_prob: 0.01,
+            spike_mean_ns: 1_000_000.0,
+            seed: 1,
+        };
+        let mut s = NoiseState::new(model, 0);
+        let base = 100u64;
+        let n = 100_000;
+        let spikes = (0..n).filter(|_| s.sample(base) > base * 100).count();
+        let rate = spikes as f64 / n as f64;
+        assert!((0.005..0.02).contains(&rate), "spike rate {rate}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed_and_salt() {
+        let model = NoiseModel::realistic(9);
+        let mut a = NoiseState::new(model, 3);
+        let mut b = NoiseState::new(model, 3);
+        for _ in 0..100 {
+            assert_eq!(a.sample(5000), b.sample(5000));
+        }
+        // Different salt decorrelates.
+        let mut c = NoiseState::new(model, 4);
+        let same = (0..100).filter(|_| {
+            let x = NoiseState::new(model, 3).sample(5000);
+            x == c.sample(5000)
+        }).count();
+        assert!(same < 100);
+    }
+
+    #[test]
+    fn zero_base_stays_zero() {
+        let mut s = NoiseState::new(NoiseModel::realistic(5), 0);
+        assert_eq!(s.sample(0), 0);
+    }
+}

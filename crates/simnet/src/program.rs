@@ -1,0 +1,146 @@
+//! Per-process instruction programs.
+//!
+//! A simulated process executes a straight-line program of communication
+//! calls — the same execution model as the paper's general barrier
+//! simulator (nonblocking synchronized sends, nonblocking receives, and a
+//! completion wait per stage), plus the pieces its benchmarks need
+//! (payload sends, compute delays, transmission-free calls).
+
+use crate::Time;
+use serde::{Deserialize, Serialize};
+
+/// One instruction of a simulated process.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Nonblocking synchronous send of `bytes` payload to `dst`; completes
+    /// only after the receiver has processed the message (`MPI_Issend`).
+    Issend { dst: usize, bytes: usize },
+    /// Nonblocking receive of one message from `src` (`MPI_Irecv`).
+    Irecv { src: usize },
+    /// Block until every request issued so far has completed
+    /// (`MPI_Waitall` over the process's request array).
+    WaitAll,
+    /// Local computation for the given virtual duration (used by the
+    /// staggered-delay synchronization check of §VI).
+    Delay { ns: Time },
+    /// A communication call that causes no transmission — the workload of
+    /// the paper's `O_ii` benchmark.
+    NoOpCall,
+    /// Records the current virtual time under a label.
+    Mark { label: String },
+}
+
+/// A straight-line program for one simulated process.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    pub instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// An empty program (the process finishes immediately at time 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a synchronous zero-byte signal send.
+    pub fn issend(mut self, dst: usize) -> Self {
+        self.instrs.push(Instr::Issend { dst, bytes: 0 });
+        self
+    }
+
+    /// Appends a synchronous payload send.
+    pub fn issend_bytes(mut self, dst: usize, bytes: usize) -> Self {
+        self.instrs.push(Instr::Issend { dst, bytes });
+        self
+    }
+
+    /// Appends a nonblocking receive.
+    pub fn irecv(mut self, src: usize) -> Self {
+        self.instrs.push(Instr::Irecv { src });
+        self
+    }
+
+    /// Appends a completion wait.
+    pub fn wait_all(mut self) -> Self {
+        self.instrs.push(Instr::WaitAll);
+        self
+    }
+
+    /// Appends a compute delay.
+    pub fn delay(mut self, ns: Time) -> Self {
+        self.instrs.push(Instr::Delay { ns });
+        self
+    }
+
+    /// Appends a transmission-free call.
+    pub fn noop_call(mut self) -> Self {
+        self.instrs.push(Instr::NoOpCall);
+        self
+    }
+
+    /// Appends a timestamp mark.
+    pub fn mark(mut self, label: &str) -> Self {
+        self.instrs.push(Instr::Mark { label: label.into() });
+        self
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Number of send instructions (used by tests to sanity-check
+    /// program builders).
+    pub fn send_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Issend { .. }))
+            .count()
+    }
+
+    /// Number of receive instructions.
+    pub fn recv_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Irecv { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let p = Program::new()
+            .delay(100)
+            .irecv(2)
+            .issend(1)
+            .wait_all()
+            .mark("done");
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.send_count(), 1);
+        assert_eq!(p.recv_count(), 1);
+        assert_eq!(p.instrs[0], Instr::Delay { ns: 100 });
+        assert_eq!(p.instrs[4], Instr::Mark { label: "done".into() });
+    }
+
+    #[test]
+    fn payload_send_records_bytes() {
+        let p = Program::new().issend_bytes(3, 4096);
+        assert_eq!(p.instrs[0], Instr::Issend { dst: 3, bytes: 4096 });
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::new();
+        assert!(p.is_empty());
+        assert_eq!(p.send_count(), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Execution traces: per-message event records from a simulated run.
+//!
+//! Traces expose what the aggregate completion times hide — when each
+//! signal was injected, delivered and consumed — which is what the §VIII
+//! "instrumentation required to capture incremental cost updates at run
+//! time" would collect on a real system. The adaptive controller's
+//! refreshed cost matrices can be estimated from exactly these records.
+
+use crate::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Sender CPU finished injecting the message.
+    SendInjected { time: Time, src: usize, dst: usize },
+    /// Message became available at the receiver (past NIC RX).
+    Delivered { time: Time, src: usize, dst: usize },
+    /// Receiver finished processing the message (receive completed).
+    RecvCompleted { time: Time, src: usize, dst: usize },
+    /// The synchronous sender's request completed (acknowledged).
+    SendCompleted { time: Time, src: usize, dst: usize },
+}
+
+impl TraceEvent {
+    /// Event timestamp.
+    pub fn time(&self) -> Time {
+        match *self {
+            TraceEvent::SendInjected { time, .. }
+            | TraceEvent::Delivered { time, .. }
+            | TraceEvent::RecvCompleted { time, .. }
+            | TraceEvent::SendCompleted { time, .. } => time,
+        }
+    }
+
+    /// `(src, dst)` of the message this event belongs to.
+    pub fn pair(&self) -> (usize, usize) {
+        match *self {
+            TraceEvent::SendInjected { src, dst, .. }
+            | TraceEvent::Delivered { src, dst, .. }
+            | TraceEvent::RecvCompleted { src, dst, .. }
+            | TraceEvent::SendCompleted { src, dst, .. } => (src, dst),
+        }
+    }
+}
+
+/// A full trace of one run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+}
+
+/// Per-pair signal latency statistics extracted from a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairLatency {
+    pub src: usize,
+    pub dst: usize,
+    /// One entry per message: receive-completion minus injection (ns).
+    pub latencies: Vec<Time>,
+}
+
+impl PairLatency {
+    /// Mean latency in seconds.
+    pub fn mean_sec(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.latencies.iter().sum::<Time>() as f64 / self.latencies.len() as f64 * 1e-9
+    }
+}
+
+impl Trace {
+    /// Number of messages fully delivered and consumed.
+    pub fn completed_messages(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RecvCompleted { .. }))
+            .count()
+    }
+
+    /// Injection count (messages sent).
+    pub fn injected_messages(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SendInjected { .. }))
+            .count()
+    }
+
+    /// Matches injections to receive completions per `(src, dst)` pair
+    /// in FIFO order (the engine's matching discipline) and returns the
+    /// observed latencies. This is the §VIII incremental measurement: a
+    /// live re-estimate of each link's effective one-message cost.
+    pub fn pair_latencies(&self) -> Vec<PairLatency> {
+        let mut injected: HashMap<(usize, usize), Vec<Time>> = HashMap::new();
+        let mut completed: HashMap<(usize, usize), Vec<Time>> = HashMap::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::SendInjected { time, src, dst } => {
+                    injected.entry((*src, *dst)).or_default().push(*time);
+                }
+                TraceEvent::RecvCompleted { time, src, dst } => {
+                    completed.entry((*src, *dst)).or_default().push(*time);
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        for ((src, dst), inj) in injected {
+            let comp = completed.get(&(src, dst)).cloned().unwrap_or_default();
+            let latencies: Vec<Time> = inj
+                .iter()
+                .zip(&comp)
+                .map(|(&a, &b)| b.saturating_sub(a))
+                .collect();
+            out.push(PairLatency { src, dst, latencies });
+        }
+        out.sort_by_key(|pl| (pl.src, pl.dst));
+        out
+    }
+
+    /// The last event time (0 for an empty trace).
+    pub fn end_time(&self) -> Time {
+        self.events.iter().map(TraceEvent::time).max().unwrap_or(0)
+    }
+
+    /// Produces refreshed cost matrices by blending observed per-pair
+    /// one-message latencies into a prior profile's `O` matrix:
+    /// `O'_ij = (1 − blend) · O_ij + blend · mean(observed_ij)` for every
+    /// pair with at least one observation; unobserved pairs and the `L`
+    /// matrix keep their prior values.
+    ///
+    /// This is the "relatively inexpensive" incremental cost update of
+    /// §VIII: barrier traffic itself re-measures the links it uses, and
+    /// the result feeds [`AdaptiveBarrier`](hbar_core::adaptive::AdaptiveBarrier)
+    /// directly.
+    ///
+    /// # Panics
+    /// Panics if `blend` is outside `[0, 1]` or a traced rank exceeds the
+    /// prior's dimensions.
+    pub fn refresh_costs(&self, prior: &hbar_topo::cost::CostMatrices, blend: f64) -> hbar_topo::cost::CostMatrices {
+        assert!((0.0..=1.0).contains(&blend), "blend must be in [0,1], got {blend}");
+        let mut updated = prior.clone();
+        for pl in self.pair_latencies() {
+            if pl.latencies.is_empty() {
+                continue;
+            }
+            assert!(
+                pl.src < prior.p() && pl.dst < prior.p(),
+                "trace rank ({}, {}) outside profile of {}",
+                pl.src,
+                pl.dst,
+                prior.p()
+            );
+            let observed = pl.mean_sec();
+            let o = &mut updated.o[(pl.src, pl.dst)];
+            *o = (1.0 - blend) * *o + blend * observed;
+        }
+        updated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            events: vec![
+                TraceEvent::SendInjected { time: 10, src: 0, dst: 1 },
+                TraceEvent::Delivered { time: 50, src: 0, dst: 1 },
+                TraceEvent::RecvCompleted { time: 60, src: 0, dst: 1 },
+                TraceEvent::SendCompleted { time: 90, src: 0, dst: 1 },
+                TraceEvent::SendInjected { time: 100, src: 0, dst: 1 },
+                TraceEvent::RecvCompleted { time: 180, src: 0, dst: 1 },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_and_end_time() {
+        let t = sample();
+        assert_eq!(t.injected_messages(), 2);
+        assert_eq!(t.completed_messages(), 2);
+        assert_eq!(t.end_time(), 180);
+    }
+
+    #[test]
+    fn pair_latencies_fifo_matched() {
+        let t = sample();
+        let pl = t.pair_latencies();
+        assert_eq!(pl.len(), 1);
+        assert_eq!(pl[0].src, 0);
+        assert_eq!(pl[0].dst, 1);
+        assert_eq!(pl[0].latencies, vec![50, 80]);
+        assert!((pl[0].mean_sec() - 65e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_trace_is_sane() {
+        let t = Trace::default();
+        assert_eq!(t.completed_messages(), 0);
+        assert_eq!(t.end_time(), 0);
+        assert!(t.pair_latencies().is_empty());
+    }
+
+    #[test]
+    fn refresh_costs_blends_observations() {
+        use hbar_topo::cost::CostMatrices;
+        let t = sample(); // latencies 50 ns and 80 ns on (0, 1)
+        let mut prior = CostMatrices::zeros(2);
+        prior.o[(0, 1)] = 100e-9;
+        prior.o[(1, 0)] = 100e-9;
+        prior.l[(0, 1)] = 7e-9;
+        let updated = t.refresh_costs(&prior, 0.5);
+        // Observed mean 65 ns blended 50/50 with 100 ns prior → 82.5 ns.
+        assert!((updated.o[(0, 1)] - 82.5e-9).abs() < 1e-15);
+        // Unobserved direction and L untouched.
+        assert_eq!(updated.o[(1, 0)], 100e-9);
+        assert_eq!(updated.l[(0, 1)], 7e-9);
+        // blend = 0 is the identity; blend = 1 adopts the observation.
+        assert_eq!(t.refresh_costs(&prior, 0.0).o[(0, 1)], 100e-9);
+        assert!((t.refresh_costs(&prior, 1.0).o[(0, 1)] - 65e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "blend must be in")]
+    fn refresh_rejects_bad_blend() {
+        let t = Trace::default();
+        let prior = hbar_topo::cost::CostMatrices::zeros(2);
+        t.refresh_costs(&prior, 1.5);
+    }
+}

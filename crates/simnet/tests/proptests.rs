@@ -1,0 +1,140 @@
+//! Property-based tests of the discrete-event engine.
+
+use hbar_core::algorithms::Algorithm;
+use hbar_simnet::barrier::{measure_schedule, staggered_delay_check};
+use hbar_simnet::program::Program;
+use hbar_simnet::world::{SimConfig, SimWorld};
+use hbar_simnet::NoiseModel;
+use hbar_topo::machine::MachineSpec;
+use hbar_topo::mapping::RankMapping;
+use proptest::prelude::*;
+
+/// Random machine shapes within the paper's scale.
+fn arb_machine() -> impl Strategy<Value = MachineSpec> {
+    (1usize..=3, 1usize..=2, 1usize..=4)
+        .prop_map(|(nodes, sockets, cores)| MachineSpec::new(nodes, sockets, cores))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Verified barrier schedules never deadlock on the simulator, and
+    /// always take positive time for ≥2 ranks.
+    #[test]
+    fn verified_barriers_never_deadlock(machine in arb_machine(), alg_idx in 0usize..3, seed in 0u64..100) {
+        let p = machine.total_cores();
+        prop_assume!(p >= 2);
+        let alg = Algorithm::PAPER_SET[alg_idx];
+        let members: Vec<usize> = (0..p).collect();
+        let sched = alg.full_schedule(p, &members);
+        let mut world = SimWorld::new(
+            SimConfig {
+                machine,
+                mapping: RankMapping::RoundRobin,
+                noise: NoiseModel::realistic(seed),
+            },
+            p,
+        );
+        let t = measure_schedule(&mut world, &sched, 2);
+        prop_assert!(t > 0.0);
+    }
+
+    /// A matched send/receive pattern between random pairs completes,
+    /// and the makespan is deterministic for a fixed configuration.
+    #[test]
+    fn matched_pairs_complete_deterministically(
+        machine in arb_machine(),
+        pairs in prop::collection::vec((0usize..12, 0usize..12), 1..10),
+    ) {
+        let p = machine.total_cores();
+        prop_assume!(p >= 2);
+        // Build per-rank programs from the sanitized pair list.
+        let mk = |p: usize, pairs: &[(usize, usize)]| {
+            let mut programs: Vec<Program> = (0..p).map(|_| Program::new()).collect();
+            for &(a, b) in pairs {
+                let (a, b) = (a % p, b % p);
+                if a == b {
+                    continue;
+                }
+                programs[a] = std::mem::take(&mut programs[a]).issend(b);
+                programs[b] = std::mem::take(&mut programs[b]).irecv(a);
+            }
+            programs.into_iter().map(|pr| pr.wait_all()).collect::<Vec<_>>()
+        };
+        let cfg = SimConfig::exact(machine, RankMapping::Block);
+        let mut w1 = SimWorld::new(cfg.clone(), p);
+        let r1 = w1.run(mk(p, &pairs)).expect("matched pattern completes");
+        let mut w2 = SimWorld::new(cfg, p);
+        let r2 = w2.run(mk(p, &pairs)).expect("matched pattern completes");
+        prop_assert_eq!(r1.finish, r2.finish);
+    }
+
+    /// Adding a delay to any one rank never reduces the makespan of a
+    /// barrier (monotonicity of the simulated fabric).
+    #[test]
+    fn delay_is_monotone(delayed in 0usize..8, delay_ms in 1u64..50) {
+        let machine = MachineSpec::new(2, 1, 4);
+        let p = 8;
+        let members: Vec<usize> = (0..p).collect();
+        let sched = Algorithm::Tree.full_schedule(p, &members);
+        let programs = hbar_simnet::barrier::schedule_programs(&sched, 1);
+        let cfg = SimConfig::exact(machine, RankMapping::RoundRobin);
+        let mut world = SimWorld::new(cfg, p);
+        let base = world.run(programs.clone()).expect("runs").finish;
+        let delayed_programs: Vec<Program> = programs
+            .iter()
+            .enumerate()
+            .map(|(r, pr)| {
+                if r == delayed {
+                    let mut d = Program::new().delay(delay_ms * 1_000_000);
+                    d.instrs.extend(pr.instrs.iter().cloned());
+                    d
+                } else {
+                    pr.clone()
+                }
+            })
+            .collect();
+        let slow = world.run(delayed_programs).expect("runs").finish;
+        for r in 0..p {
+            prop_assert!(slow[r] >= base[r], "rank {r}: {} < {}", slow[r], base[r]);
+        }
+        // And everyone waits out the delay (it is a barrier).
+        let min_finish = slow.iter().copied().min().unwrap();
+        prop_assert!(min_finish >= delay_ms * 1_000_000);
+    }
+
+    /// Noise never makes anything faster than the deterministic fabric.
+    #[test]
+    fn noise_only_slows_down(seed in 1u64..200) {
+        let machine = MachineSpec::new(2, 1, 2);
+        let p = 4;
+        let members: Vec<usize> = (0..p).collect();
+        let sched = Algorithm::Dissemination.full_schedule(p, &members);
+        let mut exact = SimWorld::new(SimConfig::exact(machine.clone(), RankMapping::Block), p);
+        let t_exact = measure_schedule(&mut exact, &sched, 1);
+        let mut noisy = SimWorld::new(
+            SimConfig {
+                machine,
+                mapping: RankMapping::Block,
+                noise: NoiseModel::realistic(seed),
+            },
+            p,
+        );
+        let t_noisy = measure_schedule(&mut noisy, &sched, 1);
+        prop_assert!(t_noisy >= t_exact * 0.999, "{t_noisy} < {t_exact}");
+    }
+
+    /// The §VI staggered-delay check holds for every paper algorithm on
+    /// random machines.
+    #[test]
+    fn delay_check_holds_on_random_machines(machine in arb_machine(), alg_idx in 0usize..3) {
+        let p = machine.total_cores();
+        prop_assume!((2..=12).contains(&p));
+        let alg = Algorithm::PAPER_SET[alg_idx];
+        let members: Vec<usize> = (0..p).collect();
+        let sched = alg.full_schedule(p, &members);
+        let mut world = SimWorld::new(SimConfig::exact(machine, RankMapping::RoundRobin), p);
+        let (ok, _) = staggered_delay_check(&mut world, &sched, 5_000_000);
+        prop_assert!(ok);
+    }
+}

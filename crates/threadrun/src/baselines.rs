@@ -1,0 +1,189 @@
+//! Classical shared-memory barriers, as comparison points for generated
+//! schedules executed on threads.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier as StdBarrier;
+
+/// A reusable thread barrier.
+pub trait ThreadBarrier: Sync {
+    /// Blocks until all `n` participants have called `wait`.
+    fn wait(&self);
+    /// Short name for benchmark labels.
+    fn name(&self) -> &'static str;
+}
+
+/// The classic central-counter barrier with a global generation word
+/// (sense reversal by generation): the last arriver resets the counter
+/// and bumps the generation; everyone else spins on the generation.
+pub struct CentralCounterBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicU64,
+}
+
+impl CentralCounterBarrier {
+    /// Creates a barrier for `n` participants.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        CentralCounterBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ThreadBarrier for CentralCounterBarrier {
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if spins < 128 {
+                    std::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "central-counter"
+    }
+}
+
+/// `std::sync::Barrier` adapter (futex-based blocking barrier).
+pub struct StdSyncBarrier {
+    inner: StdBarrier,
+}
+
+impl StdSyncBarrier {
+    /// Creates a barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        StdSyncBarrier {
+            inner: StdBarrier::new(n),
+        }
+    }
+}
+
+impl ThreadBarrier for StdSyncBarrier {
+    fn wait(&self) {
+        self.inner.wait();
+    }
+
+    fn name(&self) -> &'static str {
+        "std-sync"
+    }
+}
+
+/// Runs `iterations` waits of `barrier` on `n` threads and returns the
+/// mean per-barrier duration at the slowest thread.
+pub fn time_thread_barrier(
+    barrier: &dyn ThreadBarrier,
+    n: usize,
+    iterations: usize,
+) -> std::time::Duration {
+    use std::time::Instant;
+    assert!(iterations > 0);
+    let start_line = StdBarrier::new(n);
+    let mut worst = std::time::Duration::ZERO;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let start_line = &start_line;
+                scope.spawn(move || {
+                    start_line.wait();
+                    let t0 = Instant::now();
+                    for _ in 0..iterations {
+                        barrier.wait();
+                    }
+                    t0.elapsed()
+                })
+            })
+            .collect();
+        for h in handles {
+            worst = worst.max(h.join().expect("barrier thread panicked"));
+        }
+    });
+    worst / iterations as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn check_synchronizes(barrier: &dyn ThreadBarrier, n: usize) {
+        // Phase counter: all threads must see the full arrival count of a
+        // phase before anyone proceeds to the next.
+        let arrived = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..n {
+                let arrived = &arrived;
+                scope.spawn(move || {
+                    for phase in 1..=20usize {
+                        arrived.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        assert!(arrived.load(Ordering::SeqCst) >= phase * n);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(arrived.load(Ordering::SeqCst), 20 * n);
+    }
+
+    #[test]
+    fn central_counter_synchronizes() {
+        check_synchronizes(&CentralCounterBarrier::new(4), 4);
+    }
+
+    #[test]
+    fn std_sync_synchronizes() {
+        check_synchronizes(&StdSyncBarrier::new(3), 3);
+    }
+
+    #[test]
+    fn central_counter_is_reusable_many_times() {
+        let b = CentralCounterBarrier::new(2);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let b = &b;
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        b.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn timing_returns_positive_duration() {
+        let b = CentralCounterBarrier::new(4);
+        let t = time_thread_barrier(&b, 4, 100);
+        assert!(t > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn single_participant_barrier_is_free_flowing() {
+        let b = CentralCounterBarrier::new(1);
+        for _ in 0..100 {
+            b.wait();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_panics() {
+        CentralCounterBarrier::new(0);
+    }
+}

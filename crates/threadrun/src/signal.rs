@@ -1,0 +1,150 @@
+//! Pairwise atomic signal cells.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many spin iterations to burn before yielding the CPU while waiting.
+/// Oversubscribed runs (more ranks than cores) rely on the yield.
+const SPIN_BEFORE_YIELD: u32 = 128;
+
+/// A `p × p` board of monotonic signal and acknowledgement counters.
+///
+/// `sig[src][dst]` counts signals sent from `src` to `dst`;
+/// `ack[src][dst]` counts signals from `src` consumed by `dst`. Counters
+/// never reset, so repeated barrier executions need no reinitialization —
+/// each side tracks its own expected counts.
+pub struct SignalBoard {
+    p: usize,
+    sig: Vec<CachePadded<AtomicU64>>,
+    ack: Vec<CachePadded<AtomicU64>>,
+}
+
+impl SignalBoard {
+    /// Creates a zeroed board for `p` ranks.
+    pub fn new(p: usize) -> Self {
+        SignalBoard {
+            p,
+            sig: (0..p * p).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            ack: (0..p * p).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    #[inline]
+    fn idx(&self, src: usize, dst: usize) -> usize {
+        debug_assert!(src < self.p && dst < self.p);
+        src * self.p + dst
+    }
+
+    /// Posts one signal `src → dst` (the nonblocking send).
+    #[inline]
+    pub fn signal(&self, src: usize, dst: usize) {
+        self.sig[self.idx(src, dst)].fetch_add(1, Ordering::Release);
+    }
+
+    /// Blocks until at least `expected` signals `src → dst` have been
+    /// posted, then acknowledges consumption of the `expected`-th (the
+    /// receive side of a synchronous signal).
+    #[inline]
+    pub fn consume(&self, src: usize, dst: usize, expected: u64) {
+        let cell = &self.sig[self.idx(src, dst)];
+        wait_until(|| cell.load(Ordering::Acquire) >= expected);
+        self.ack[self.idx(src, dst)].fetch_add(1, Ordering::Release);
+    }
+
+    /// Blocks until the receiver has consumed at least `expected` signals
+    /// `src → dst` (the completion wait of a synchronous send).
+    #[inline]
+    pub fn await_ack(&self, src: usize, dst: usize, expected: u64) {
+        let cell = &self.ack[self.idx(src, dst)];
+        wait_until(|| cell.load(Ordering::Acquire) >= expected);
+    }
+
+    /// Current signal count (for tests).
+    pub fn signal_count(&self, src: usize, dst: usize) -> u64 {
+        self.sig[self.idx(src, dst)].load(Ordering::Acquire)
+    }
+
+    /// Current acknowledgement count (for tests).
+    pub fn ack_count(&self, src: usize, dst: usize) -> u64 {
+        self.ack[self.idx(src, dst)].load(Ordering::Acquire)
+    }
+}
+
+/// Spin-then-yield wait loop.
+#[inline]
+fn wait_until(cond: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        if spins < SPIN_BEFORE_YIELD {
+            std::hint::spin_loop();
+            spins += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn signal_then_consume_single_thread() {
+        let b = SignalBoard::new(2);
+        b.signal(0, 1);
+        assert_eq!(b.signal_count(0, 1), 1);
+        b.consume(0, 1, 1); // already posted: returns immediately
+        assert_eq!(b.ack_count(0, 1), 1);
+        b.await_ack(0, 1, 1);
+    }
+
+    #[test]
+    fn counters_are_directional() {
+        let b = SignalBoard::new(3);
+        b.signal(2, 0);
+        assert_eq!(b.signal_count(2, 0), 1);
+        assert_eq!(b.signal_count(0, 2), 0);
+    }
+
+    #[test]
+    fn cross_thread_rendezvous() {
+        let b = Arc::new(SignalBoard::new(2));
+        let b2 = Arc::clone(&b);
+        let t = std::thread::spawn(move || {
+            // Receiver: consume 100 signals in order.
+            for k in 1..=100 {
+                b2.consume(0, 1, k);
+            }
+        });
+        for k in 1..=100u64 {
+            b.signal(0, 1);
+            b.await_ack(0, 1, k);
+        }
+        t.join().unwrap();
+        assert_eq!(b.signal_count(0, 1), 100);
+        assert_eq!(b.ack_count(0, 1), 100);
+    }
+
+    #[test]
+    fn sender_blocks_until_receiver_consumes() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let b = Arc::new(SignalBoard::new(2));
+        let consumed = Arc::new(AtomicBool::new(false));
+        let (b2, c2) = (Arc::clone(&b), Arc::clone(&consumed));
+        let receiver = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            c2.store(true, Ordering::SeqCst);
+            b2.consume(0, 1, 1);
+        });
+        b.signal(0, 1);
+        b.await_ack(0, 1, 1);
+        assert!(consumed.load(Ordering::SeqCst), "ack must follow consumption");
+        receiver.join().unwrap();
+    }
+}

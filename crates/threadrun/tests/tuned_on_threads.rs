@@ -1,0 +1,59 @@
+//! Tuned hybrid barriers executed on real threads.
+
+use hbar_core::codegen::compile_schedule;
+use hbar_core::compose::{tune_hybrid, TunerConfig};
+use hbar_threadrun::executor::ThreadExecutor;
+use hbar_threadrun::harness;
+use hbar_topo::machine::MachineSpec;
+use hbar_topo::mapping::RankMapping;
+use hbar_topo::profile::TopologyProfile;
+use std::time::Duration;
+
+fn tuned_for(p: usize) -> hbar_core::compose::TunedBarrier {
+    let machine = MachineSpec::new(1, 2, p.div_ceil(2));
+    let profile = TopologyProfile::from_ground_truth_for(&machine, &RankMapping::Block, p);
+    tune_hybrid(&profile, &TunerConfig::default())
+}
+
+#[test]
+fn tuned_hybrid_executes_and_synchronizes_on_threads() {
+    for p in [2usize, 4, 6] {
+        let tuned = tuned_for(p);
+        let (ok, runs) =
+            harness::staggered_delay_check(&tuned.schedule, Duration::from_millis(12));
+        assert!(ok, "p={p}: {runs:?}");
+    }
+}
+
+#[test]
+fn tuned_hybrid_timing_is_sane() {
+    let tuned = tuned_for(4);
+    let mut ex = ThreadExecutor::new(compile_schedule(&tuned.schedule));
+    let t = ex.time_barrier(100);
+    assert!(t > Duration::ZERO);
+    assert!(t < Duration::from_millis(20), "per-barrier {t:?}");
+}
+
+#[test]
+fn extended_tuner_schedules_also_run_on_threads() {
+    let machine = MachineSpec::new(1, 2, 2);
+    let profile = TopologyProfile::from_ground_truth(&machine, &RankMapping::Block);
+    let tuned = tune_hybrid(&profile, &TunerConfig::extended());
+    let (ok, _) = harness::staggered_delay_check(&tuned.schedule, Duration::from_millis(10));
+    assert!(ok);
+}
+
+#[test]
+fn exact_scoring_schedules_also_run_on_threads() {
+    let machine = MachineSpec::new(1, 2, 2);
+    let profile = TopologyProfile::from_ground_truth(&machine, &RankMapping::Block);
+    let tuned = tune_hybrid(
+        &profile,
+        &TunerConfig {
+            score_exact: true,
+            ..TunerConfig::default()
+        },
+    );
+    let (ok, _) = harness::staggered_delay_check(&tuned.schedule, Duration::from_millis(10));
+    assert!(ok);
+}

@@ -1,0 +1,156 @@
+//! Text heat maps of cost matrices (Fig. 9 of the paper).
+//!
+//! Fig. 9 renders the `L` matrix of one dual quad-core node as a grey-coded
+//! heat map: two darker 4×4 blocks on the diagonal (on-chip pairs) against a
+//! lighter background (cross-socket pairs), with roughly a factor 4 between
+//! them. [`render`] produces the same picture with unicode shade characters,
+//! and [`block_means`] quantifies the block structure so tests and the
+//! experiment harness can assert the ratio.
+
+use hbar_matrix::DenseMatrix;
+
+/// Shade ramp from low (light) to high (dark) values.
+const SHADES: [char; 5] = ['·', '░', '▒', '▓', '█'];
+
+/// Renders a matrix as a grid of shade characters, scaling between the
+/// minimum and maximum off-diagonal entries. Diagonal cells print as space
+/// (they are not link costs).
+pub fn render(m: &DenseMatrix<f64>) -> String {
+    let lo = m.min_off_diagonal().unwrap_or(0.0);
+    let hi = m.max_off_diagonal().unwrap_or(1.0);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for i in 0..m.n() {
+        for j in 0..m.n() {
+            if i == j {
+                out.push(' ');
+            } else {
+                let t = ((m[(i, j)] - lo) / span).clamp(0.0, 1.0);
+                let idx = ((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+                out.push(SHADES[idx]);
+            }
+            out.push(' ');
+        }
+        out.pop();
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders with axis labels and a scale legend, for terminal output.
+pub fn render_labelled(m: &DenseMatrix<f64>, title: &str) -> String {
+    let lo = m.min_off_diagonal().unwrap_or(0.0);
+    let hi = m.max_off_diagonal().unwrap_or(0.0);
+    let body = render(m);
+    let mut out = format!("{title}\n");
+    out.push_str("    ");
+    for j in 0..m.n() {
+        out.push_str(&format!("{} ", j % 10));
+    }
+    out.pop();
+    out.push('\n');
+    for (i, line) in body.lines().enumerate() {
+        out.push_str(&format!("{i:>3} {line}\n"));
+    }
+    out.push_str(&format!(
+        "scale: {} = {:.3e} s … {} = {:.3e} s\n",
+        SHADES[0],
+        lo,
+        SHADES[SHADES.len() - 1],
+        hi
+    ));
+    out
+}
+
+/// Mean of the off-diagonal entries inside equally sized diagonal blocks
+/// (`on`), and of everything outside them (`off`). With `block = 4` on an
+/// 8-rank single-node profile this measures Fig. 9's on-chip vs off-chip
+/// `L` values.
+///
+/// # Panics
+/// Panics if `block` does not divide the matrix dimension.
+pub fn block_means(m: &DenseMatrix<f64>, block: usize) -> BlockMeans {
+    assert!(block > 0 && m.n().is_multiple_of(block), "block {block} must divide {}", m.n());
+    let on = m
+        .mean_where(|i, j| i != j && i / block == j / block)
+        .unwrap_or(0.0);
+    let off = m.mean_where(|i, j| i / block != j / block).unwrap_or(0.0);
+    BlockMeans { on, off }
+}
+
+/// Result of [`block_means`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockMeans {
+    /// Mean off-diagonal value inside diagonal blocks (on-chip pairs).
+    pub on: f64,
+    /// Mean value outside diagonal blocks (off-chip pairs).
+    pub off: f64,
+}
+
+impl BlockMeans {
+    /// `off / on`; infinite if `on` is zero.
+    pub fn ratio(&self) -> f64 {
+        if self.on == 0.0 {
+            f64::INFINITY
+        } else {
+            self.off / self.on
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+    use crate::mapping::RankMapping;
+    use crate::profile::TopologyProfile;
+
+    #[test]
+    fn render_shapes() {
+        let m = DenseMatrix::from_fn(3, |i, j| if i == j { 0.0 } else { (i + j) as f64 });
+        let s = render(&m);
+        assert_eq!(s.lines().count(), 3);
+        for line in s.lines() {
+            assert_eq!(line.chars().filter(|c| *c != ' ').count() + line.chars().filter(|c| *c == ' ').count(), 5);
+        }
+        // Diagonal is blank.
+        assert_eq!(s.lines().next().unwrap().chars().next(), Some(' '));
+    }
+
+    #[test]
+    fn render_extremes_use_ramp_ends() {
+        let mut m = DenseMatrix::new(2);
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 2.0;
+        let s = render(&m);
+        assert!(s.contains(SHADES[0]));
+        assert!(s.contains(SHADES[SHADES.len() - 1]));
+    }
+
+    #[test]
+    fn fig9_block_structure_on_single_node() {
+        // One dual quad-core node, block mapping: ranks 0–3 on socket 0,
+        // 4–7 on socket 1 — exactly the Fig. 9 situation.
+        let machine = MachineSpec::dual_quad_cluster(1);
+        let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::Block);
+        let bm = block_means(&prof.cost.l, 4);
+        assert!(bm.on < bm.off, "on-chip L must be cheaper");
+        let ratio = bm.ratio();
+        assert!((2.0..6.0).contains(&ratio), "Fig. 9 shows ~4x, got {ratio}");
+    }
+
+    #[test]
+    fn labelled_render_contains_scale() {
+        let machine = MachineSpec::dual_quad_cluster(1);
+        let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::Block);
+        let s = render_labelled(&prof.cost.l, "L matrix");
+        assert!(s.starts_with("L matrix\n"));
+        assert!(s.contains("scale:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn block_means_requires_divisibility() {
+        block_means(&DenseMatrix::new(5), 4);
+    }
+}

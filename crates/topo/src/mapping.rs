@@ -1,0 +1,177 @@
+//! Rank → core placements.
+//!
+//! The paper controls process locality with `sched_setaffinity` plus "a
+//! small initializer routine to provide a one-to-one mapping between MPI
+//! rank and processing core on a system-wide basis" (§III). Predictions are
+//! only valid when profiling and execution use the same placement, so the
+//! placement is a first-class input here.
+//!
+//! [`RankMapping::RoundRobin`] reproduces the placement of the paper's
+//! batch scheduler, which "maps processes to nodes in a round-robin
+//! fashion" — the source of the odd/even oscillation of the dissemination
+//! barrier in Fig. 5 (9–16 process cases).
+
+use crate::machine::{CoreId, MachineSpec};
+use serde::{Deserialize, Serialize};
+
+/// A placement policy assigning each of `P` ranks to a distinct core.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RankMapping {
+    /// Rank `r` goes to node `r mod nodes_used`, filling each node's cores
+    /// in order; `nodes_used = ceil(P / cores_per_node)` capped at the
+    /// machine's node count. This mirrors the paper's cluster scheduler.
+    RoundRobin,
+    /// Rank `r` goes to node `r / cores_per_node` (consecutive ranks share
+    /// a node, then a socket).
+    Block,
+    /// Explicit placement: `rank r` is pinned to flat core `cores[r]`.
+    Custom(Vec<usize>),
+}
+
+impl RankMapping {
+    /// Flat core indices of ranks `0..p`.
+    ///
+    /// # Panics
+    /// Panics if `p` exceeds the machine's capacity, or if a custom mapping
+    /// is shorter than `p` or contains duplicate/out-of-range cores.
+    pub fn place(&self, machine: &MachineSpec, p: usize) -> Vec<usize> {
+        assert!(
+            p <= machine.total_cores(),
+            "{p} ranks exceed machine capacity {}",
+            machine.total_cores()
+        );
+        let flat = match self {
+            RankMapping::RoundRobin => {
+                let per_node = machine.cores_per_node();
+                let nodes_used = p.div_ceil(per_node).min(machine.nodes).max(1);
+                (0..p)
+                    .map(|r| {
+                        let node = r % nodes_used;
+                        let slot = r / nodes_used;
+                        assert!(
+                            slot < per_node,
+                            "round-robin overflow: rank {r} needs slot {slot} on node {node}"
+                        );
+                        node * per_node + slot
+                    })
+                    .collect::<Vec<_>>()
+            }
+            RankMapping::Block => (0..p).collect(),
+            RankMapping::Custom(cores) => {
+                assert!(cores.len() >= p, "custom mapping covers {} ranks, need {p}", cores.len());
+                cores[..p].to_vec()
+            }
+        };
+        let mut seen = vec![false; machine.total_cores()];
+        for &c in &flat {
+            assert!(c < machine.total_cores(), "core {c} out of range");
+            assert!(!seen[c], "core {c} assigned to two ranks");
+            seen[c] = true;
+        }
+        flat
+    }
+
+    /// Physical [`CoreId`]s of ranks `0..p`.
+    pub fn cores(&self, machine: &MachineSpec, p: usize) -> Vec<CoreId> {
+        self.place(machine, p).iter().map(|&c| machine.core(c)).collect()
+    }
+
+    /// Number of distinct nodes occupied by ranks `0..p`.
+    pub fn nodes_used(&self, machine: &MachineSpec, p: usize) -> usize {
+        let mut nodes: Vec<usize> = self.cores(machine, p).iter().map(|c| c.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::LinkClass;
+
+    #[test]
+    fn block_fills_nodes_in_order() {
+        let m = MachineSpec::dual_quad_cluster(2);
+        let cores = RankMapping::Block.cores(&m, 10);
+        assert_eq!(cores[0].node, 0);
+        assert_eq!(cores[7].node, 0);
+        assert_eq!(cores[8].node, 1);
+        assert_eq!(cores[9].node, 1);
+    }
+
+    #[test]
+    fn round_robin_spreads_across_used_nodes() {
+        let m = MachineSpec::dual_quad_cluster(8);
+        // 16 ranks need 2 nodes; round-robin alternates between them.
+        let cores = RankMapping::RoundRobin.cores(&m, 16);
+        for (r, c) in cores.iter().enumerate() {
+            assert_eq!(c.node, r % 2, "rank {r}");
+        }
+        assert_eq!(RankMapping::RoundRobin.nodes_used(&m, 16), 2);
+    }
+
+    #[test]
+    fn round_robin_adjacent_ranks_are_remote() {
+        // The property behind the dissemination odd/even artifact: with RR
+        // over >1 node, offset-1 neighbours always live on different nodes.
+        let m = MachineSpec::dual_quad_cluster(8);
+        let cores = RankMapping::RoundRobin.cores(&m, 22);
+        assert_eq!(RankMapping::RoundRobin.nodes_used(&m, 22), 3);
+        for r in 0..21 {
+            assert_eq!(cores[r].link_class(&cores[r + 1]), LinkClass::InterNode);
+        }
+    }
+
+    #[test]
+    fn round_robin_multiple_of_node_size_is_balanced() {
+        let m = MachineSpec::dual_hex_cluster(10);
+        let cores = RankMapping::RoundRobin.cores(&m, 60); // 5 nodes × 12
+        let mut per_node = [0usize; 10];
+        for c in &cores {
+            per_node[c.node] += 1;
+        }
+        assert_eq!(&per_node[..5], &[12; 5]);
+        assert_eq!(&per_node[5..], &[0; 5]);
+    }
+
+    #[test]
+    fn round_robin_single_node_case() {
+        let m = MachineSpec::dual_quad_cluster(8);
+        let cores = RankMapping::RoundRobin.cores(&m, 8);
+        assert!(cores.iter().all(|c| c.node == 0));
+        // Slots fill socket 0 first, then socket 1.
+        assert_eq!(cores[3].socket, 0);
+        assert_eq!(cores[4].socket, 1);
+    }
+
+    #[test]
+    fn custom_mapping_is_honoured() {
+        let m = MachineSpec::new(2, 1, 2);
+        let mapping = RankMapping::Custom(vec![3, 0, 2]);
+        let flat = mapping.place(&m, 3);
+        assert_eq!(flat, vec![3, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed machine capacity")]
+    fn too_many_ranks_panics() {
+        let m = MachineSpec::new(1, 1, 2);
+        RankMapping::Block.place(&m, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to two ranks")]
+    fn duplicate_custom_core_panics() {
+        let m = MachineSpec::new(1, 1, 4);
+        RankMapping::Custom(vec![1, 1]).place(&m, 2);
+    }
+
+    #[test]
+    fn full_machine_round_robin_is_a_permutation() {
+        let m = MachineSpec::dual_quad_cluster(8);
+        let mut flat = RankMapping::RoundRobin.place(&m, 64);
+        flat.sort_unstable();
+        assert_eq!(flat, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,197 @@
+//! Symmetrized metric view of a topology profile.
+//!
+//! SSS clustering (paper §VII-A) "only requires that clustered points
+//! reside in a metric space, i.e. non-zero distances separate non-identical
+//! pairs symmetrically, and the triangle inequality holds. The use of this
+//! method is our reason for requiring symmetry of the topological profile."
+//!
+//! [`DistanceMetric`] wraps a profile's `O` matrix as that metric: distance
+//! between distinct ranks `i, j` is the symmetrized single-message cost
+//! `(O_ij + O_ji) / 2`, and `d(i, i) = 0`.
+
+use crate::cost::CostMatrices;
+use hbar_matrix::DenseMatrix;
+
+/// A finite metric space over ranks `0..p`, derived from measured costs.
+#[derive(Clone, Debug)]
+pub struct DistanceMetric {
+    d: DenseMatrix<f64>,
+}
+
+/// A violation found by [`DistanceMetric::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricViolation {
+    /// `d(i, j) ≤ 0` for distinct `i, j`.
+    NonPositive { i: usize, j: usize, d: f64 },
+    /// `d(i, k) > d(i, j) + d(j, k)` beyond tolerance.
+    TriangleInequality {
+        i: usize,
+        j: usize,
+        k: usize,
+        direct: f64,
+        via: f64,
+    },
+}
+
+impl DistanceMetric {
+    /// Builds the metric from cost matrices, symmetrizing `O` off-diagonals.
+    pub fn from_costs(cost: &CostMatrices) -> Self {
+        let p = cost.p();
+        let d = DenseMatrix::from_fn(p, |i, j| {
+            if i == j {
+                0.0
+            } else {
+                (cost.o[(i, j)] + cost.o[(j, i)]) / 2.0
+            }
+        });
+        DistanceMetric { d }
+    }
+
+    /// Builds directly from a symmetric distance matrix (diagonal forced
+    /// to zero).
+    pub fn from_matrix(mut d: DenseMatrix<f64>) -> Self {
+        d.symmetrize();
+        for i in 0..d.n() {
+            d[(i, i)] = 0.0;
+        }
+        DistanceMetric { d }
+    }
+
+    /// Number of points.
+    pub fn p(&self) -> usize {
+        self.d.n()
+    }
+
+    /// Distance between two ranks.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.d[(i, j)]
+    }
+
+    /// The diameter: maximum pairwise distance (0 for fewer than 2 points).
+    pub fn diameter(&self) -> f64 {
+        self.d.max_off_diagonal().unwrap_or(0.0)
+    }
+
+    /// Diameter restricted to a subset of ranks.
+    pub fn diameter_of(&self, members: &[usize]) -> f64 {
+        let mut max = 0.0f64;
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                max = max.max(self.dist(i, j));
+            }
+        }
+        max
+    }
+
+    /// Checks metric-space axioms up to a relative tolerance, returning
+    /// every violation found. Measured profiles carry sampling noise, so a
+    /// small tolerance (e.g. 0.05) is appropriate.
+    pub fn validate(&self, rel_tolerance: f64) -> Vec<MetricViolation> {
+        let p = self.p();
+        let mut violations = Vec::new();
+        for i in 0..p {
+            for j in (i + 1)..p {
+                if self.dist(i, j) <= 0.0 {
+                    violations.push(MetricViolation::NonPositive { i, j, d: self.dist(i, j) });
+                }
+            }
+        }
+        for i in 0..p {
+            for j in 0..p {
+                if j == i {
+                    continue;
+                }
+                for k in 0..p {
+                    if k == i || k == j {
+                        continue;
+                    }
+                    let direct = self.dist(i, k);
+                    let via = self.dist(i, j) + self.dist(j, k);
+                    if direct > via * (1.0 + rel_tolerance) {
+                        violations.push(MetricViolation::TriangleInequality { i, j, k, direct, via });
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+    use crate::mapping::RankMapping;
+    use crate::profile::TopologyProfile;
+
+    fn metric_for(machine: MachineSpec) -> DistanceMetric {
+        let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::Block);
+        DistanceMetric::from_costs(&prof.cost)
+    }
+
+    #[test]
+    fn ground_truth_metric_is_valid() {
+        let m = metric_for(MachineSpec::dual_quad_cluster(3));
+        assert!(m.validate(1e-9).is_empty());
+    }
+
+    #[test]
+    fn diameter_is_internode_cost() {
+        let machine = MachineSpec::dual_quad_cluster(2);
+        let gt = machine.ground_truth.clone();
+        let m = metric_for(machine);
+        assert_eq!(m.diameter(), gt.effective_o(crate::machine::LinkClass::InterNode));
+    }
+
+    #[test]
+    fn diameter_of_subset() {
+        let machine = MachineSpec::dual_quad_cluster(2);
+        let gt = machine.ground_truth.clone();
+        let m = metric_for(machine);
+        // Ranks 0..8 are one node under block mapping: diameter = cross-socket.
+        let node0: Vec<usize> = (0..8).collect();
+        assert_eq!(
+            m.diameter_of(&node0),
+            gt.effective_o(crate::machine::LinkClass::CrossSocket)
+        );
+        // A single rank has zero diameter.
+        assert_eq!(m.diameter_of(&[3]), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_costs_are_symmetrized() {
+        let mut cost = CostMatrices::zeros(2);
+        cost.o[(0, 1)] = 4.0;
+        cost.o[(1, 0)] = 6.0;
+        let m = DistanceMetric::from_costs(&cost);
+        assert_eq!(m.dist(0, 1), 5.0);
+        assert_eq!(m.dist(1, 0), 5.0);
+        assert_eq!(m.dist(0, 0), 0.0);
+    }
+
+    #[test]
+    fn validate_flags_nonpositive() {
+        let mut cost = CostMatrices::zeros(3);
+        // Leave (0,1) at zero: non-positive distance.
+        cost.o[(0, 2)] = 1.0;
+        cost.o[(2, 0)] = 1.0;
+        cost.o[(1, 2)] = 1.0;
+        cost.o[(2, 1)] = 1.0;
+        let m = DistanceMetric::from_costs(&cost);
+        let v = m.validate(0.0);
+        assert!(v.iter().any(|x| matches!(x, MetricViolation::NonPositive { i: 0, j: 1, .. })));
+    }
+
+    #[test]
+    fn validate_flags_triangle_violation() {
+        let d = DenseMatrix::from_vec(3, vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0]);
+        let m = DistanceMetric::from_matrix(d);
+        let v = m.validate(0.0);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, MetricViolation::TriangleInequality { i: 0, k: 2, .. } | MetricViolation::TriangleInequality { i: 2, k: 0, .. })));
+        // With a huge tolerance it passes.
+        assert!(m.validate(10.0).is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Profiling-cost reduction by component-submatrix replication (§IV-B).
+//!
+//! The paper notes that the `|P|²` pairwise tests "can absorb a significant
+//! amount of run time for large |P|", and that "a great deal of duplicate
+//! effort could be rationalized by constructing P × P matrices from
+//! replicating component submatrices, which capture local effects at each
+//! level of the interconnect" — their results "did show similar submatrices
+//! corresponding to similar subsystems".
+//!
+//! [`replicate_by_class`] implements that shortcut: measure one
+//! representative pair per link class (plus one diagonal entry), then fill
+//! the whole matrix from the placement's link classes.
+//! [`replication_error`] quantifies the information lost against a fully
+//! measured matrix, which is how we verify the paper's "without significant
+//! loss of information" claim in the test suite.
+
+use crate::cost::CostMatrices;
+use crate::machine::{LinkClass, MachineSpec};
+use hbar_matrix::DenseMatrix;
+
+/// Per-link-class representative values measured from a handful of pairs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassRepresentatives {
+    pub o_same_socket: f64,
+    pub o_cross_socket: f64,
+    pub o_inter_node: f64,
+    pub l_same_socket: f64,
+    pub l_cross_socket: f64,
+    pub l_inter_node: f64,
+    pub o_diag: f64,
+}
+
+impl ClassRepresentatives {
+    fn o(&self, class: LinkClass) -> f64 {
+        match class {
+            LinkClass::SameSocket => self.o_same_socket,
+            LinkClass::CrossSocket => self.o_cross_socket,
+            LinkClass::InterNode => self.o_inter_node,
+        }
+    }
+
+    fn l(&self, class: LinkClass) -> f64 {
+        match class {
+            LinkClass::SameSocket => self.l_same_socket,
+            LinkClass::CrossSocket => self.l_cross_socket,
+            LinkClass::InterNode => self.l_inter_node,
+        }
+    }
+}
+
+/// Extracts class representatives from a measured profile by averaging the
+/// entries of each link class present under `cores` (flat core indices of
+/// each rank). Classes with no pair present fall back to 0.
+pub fn representatives_from(
+    cost: &CostMatrices,
+    machine: &MachineSpec,
+    cores: &[usize],
+) -> ClassRepresentatives {
+    let p = cost.p();
+    assert_eq!(cores.len(), p, "placement covers {} ranks, profile has {p}", cores.len());
+    let class_mean = |matrix: &DenseMatrix<f64>, class: LinkClass| -> f64 {
+        matrix
+            .mean_where(|i, j| i != j && machine.link_class(cores[i], cores[j]) == class)
+            .unwrap_or(0.0)
+    };
+    let o_diag = cost
+        .o
+        .mean_where(|i, j| i == j)
+        .unwrap_or(0.0);
+    ClassRepresentatives {
+        o_same_socket: class_mean(&cost.o, LinkClass::SameSocket),
+        o_cross_socket: class_mean(&cost.o, LinkClass::CrossSocket),
+        o_inter_node: class_mean(&cost.o, LinkClass::InterNode),
+        l_same_socket: class_mean(&cost.l, LinkClass::SameSocket),
+        l_cross_socket: class_mean(&cost.l, LinkClass::CrossSocket),
+        l_inter_node: class_mean(&cost.l, LinkClass::InterNode),
+        o_diag,
+    }
+}
+
+/// Builds full `P × P` matrices by replicating class representatives over
+/// the placement `cores`.
+pub fn replicate_by_class(
+    reps: &ClassRepresentatives,
+    machine: &MachineSpec,
+    cores: &[usize],
+) -> CostMatrices {
+    let p = cores.len();
+    let o = DenseMatrix::from_fn(p, |i, j| {
+        if i == j {
+            reps.o_diag
+        } else {
+            reps.o(machine.link_class(cores[i], cores[j]))
+        }
+    });
+    let l = DenseMatrix::from_fn(p, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            reps.l(machine.link_class(cores[i], cores[j]))
+        }
+    });
+    CostMatrices { o, l }
+}
+
+/// Maximum relative deviation between a replicated matrix pair and a fully
+/// measured one, over off-diagonal `O` entries and all `L` entries.
+pub fn replication_error(full: &CostMatrices, replicated: &CostMatrices) -> f64 {
+    assert_eq!(full.p(), replicated.p(), "profile sizes differ");
+    let mut worst = 0.0f64;
+    for i in 0..full.p() {
+        for j in 0..full.p() {
+            if i != j {
+                let (a, b) = (full.o[(i, j)], replicated.o[(i, j)]);
+                worst = worst.max((a - b).abs() / a.abs().max(1e-300));
+                let (a, b) = (full.l[(i, j)], replicated.l[(i, j)]);
+                worst = worst.max((a - b).abs() / a.abs().max(1e-300));
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::RankMapping;
+    use crate::profile::TopologyProfile;
+
+    #[test]
+    fn replication_of_ground_truth_is_exact() {
+        // A noise-free profile is class-constant, so replication loses nothing.
+        let machine = MachineSpec::dual_quad_cluster(2);
+        let mapping = RankMapping::RoundRobin;
+        let prof = TopologyProfile::from_ground_truth(&machine, &mapping);
+        let cores = mapping.place(&machine, prof.p);
+        let reps = representatives_from(&prof.cost, &machine, &cores);
+        let rep = replicate_by_class(&reps, &machine, &cores);
+        assert!(replication_error(&prof.cost, &rep) < 1e-12);
+    }
+
+    #[test]
+    fn replication_error_measures_deviation() {
+        let machine = MachineSpec::new(1, 1, 2);
+        let mapping = RankMapping::Block;
+        let mut prof = TopologyProfile::from_ground_truth(&machine, &mapping);
+        let cores = mapping.place(&machine, prof.p);
+        let reps = representatives_from(&prof.cost, &machine, &cores);
+        // Perturb one entry by 10%.
+        prof.cost.o[(0, 1)] *= 1.1;
+        let rep = replicate_by_class(&reps, &machine, &cores);
+        let err = replication_error(&prof.cost, &rep);
+        assert!(err > 0.05 && err < 0.15, "{err}");
+    }
+
+    #[test]
+    fn representatives_average_within_class() {
+        let machine = MachineSpec::new(1, 2, 1); // 2 cores, cross-socket pair
+        let mut cost = CostMatrices::zeros(2);
+        cost.o[(0, 1)] = 2.0;
+        cost.o[(1, 0)] = 4.0;
+        cost.o[(0, 0)] = 0.5;
+        cost.o[(1, 1)] = 1.5;
+        let reps = representatives_from(&cost, &machine, &[0, 1]);
+        assert_eq!(reps.o_cross_socket, 3.0);
+        assert_eq!(reps.o_diag, 1.0);
+        assert_eq!(reps.o_same_socket, 0.0, "class absent falls back to 0");
+    }
+
+    #[test]
+    fn replicated_matrices_have_zero_l_diagonal() {
+        let machine = MachineSpec::new(2, 1, 2);
+        let mapping = RankMapping::Block;
+        let prof = TopologyProfile::from_ground_truth(&machine, &mapping);
+        let cores = mapping.place(&machine, prof.p);
+        let reps = representatives_from(&prof.cost, &machine, &cores);
+        let rep = replicate_by_class(&reps, &machine, &cores);
+        for i in 0..rep.p() {
+            assert_eq!(rep.l[(i, i)], 0.0);
+        }
+    }
+}

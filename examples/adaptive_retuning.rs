@@ -1,0 +1,127 @@
+//! Dynamic re-tuning under changing conditions (§VIII future work).
+//!
+//! A tuned barrier is deployed on a cluster; background load then
+//! congests the inter-node links. The [`AdaptiveBarrier`] controller
+//! notices the degradation from observed durations, prices a re-tune
+//! against the expected number of remaining synchronizations, and
+//! switches only when the saving amortizes the switching overhead.
+//!
+//! ```text
+//! cargo run --release --example adaptive_retuning
+//! ```
+
+use hbarrier::core::adaptive::{AdaptiveBarrier, AdaptiveConfig};
+use hbarrier::prelude::*;
+use hbarrier::simnet::barrier::measure_schedule;
+use hbarrier::simnet::NoiseModel;
+use hbarrier::topo::library::ProfileLibrary;
+
+/// Inter-node links slowed by a congestion factor (unrelated traffic).
+fn congested_machine(base: &MachineSpec, factor: f64) -> MachineSpec {
+    let mut m = base.clone();
+    let c = &mut m.ground_truth.inter_node;
+    c.wire_ns = (c.wire_ns as f64 * factor) as u64;
+    c.nic_tx_ns = (c.nic_tx_ns as f64 * factor) as u64;
+    c.nic_rx_ns = (c.nic_rx_ns as f64 * factor) as u64;
+    m
+}
+
+fn main() {
+    let machine = MachineSpec::dual_quad_cluster(4);
+    let mapping = RankMapping::RoundRobin;
+    let p = machine.total_cores();
+
+    // Profiles live in an indexed on-disk library (§VIII), so run-time
+    // code never re-measures what is already known.
+    let libdir = std::env::temp_dir().join("hbarrier_profile_library");
+    let mut library = ProfileLibrary::open(&libdir).expect("open profile library");
+    let profile = match library.lookup(&machine, &mapping, p).expect("library lookup") {
+        Some(prof) => {
+            println!("profile found in library ({} entries)", library.len());
+            prof
+        }
+        None => {
+            println!("profile not in library; deriving and storing it");
+            let prof = TopologyProfile::from_ground_truth(&machine, &mapping);
+            library.store(&prof).expect("store profile");
+            prof
+        }
+    };
+
+    // Deploy.
+    let mut controller = AdaptiveBarrier::new(
+        &profile.cost,
+        &(0..p).collect::<Vec<_>>(),
+        TunerConfig::default(),
+        AdaptiveConfig {
+            window: 8,
+            degradation_threshold: 1.5,
+            retune_overhead: 0.1,
+        },
+    );
+    println!(
+        "deployed hybrid: predicted {:.1} us, root {:?}",
+        controller.current().predicted_cost * 1e6,
+        controller.current().root_algorithm()
+    );
+
+    // Phase 1: normal conditions. Observations track the prediction.
+    let mut world = SimWorld::new(
+        SimConfig {
+            machine: machine.clone(),
+            mapping: mapping.clone(),
+            noise: NoiseModel::realistic(5),
+        },
+        p,
+    );
+    for _ in 0..8 {
+        let t = measure_schedule(&mut world, controller.schedule(), 5);
+        controller.observe(t);
+    }
+    println!(
+        "phase 1 (idle cluster): mean observed {:.1} us, degraded = {}",
+        controller.mean_observed().expect("observations") * 1e6,
+        controller.is_degraded()
+    );
+
+    // Phase 2: heavy background traffic multiplies inter-node costs 6x.
+    let busy = congested_machine(&machine, 6.0);
+    let mut busy_world = SimWorld::new(
+        SimConfig {
+            machine: busy.clone(),
+            mapping: mapping.clone(),
+            noise: NoiseModel::realistic(6),
+        },
+        p,
+    );
+    for _ in 0..8 {
+        let t = measure_schedule(&mut busy_world, controller.schedule(), 5);
+        controller.observe(t);
+    }
+    println!(
+        "phase 2 (congested): mean observed {:.1} us, degraded = {}",
+        controller.mean_observed().expect("observations") * 1e6,
+        controller.is_degraded()
+    );
+
+    // Degradation triggers re-profiling (here: the congested closed form)
+    // and a profitability decision.
+    let updated = TopologyProfile::from_ground_truth(&busy, &mapping);
+    for expected in [100.0, 1e7] {
+        let d = controller.evaluate_retune(&updated.cost, expected);
+        println!(
+            "expected {expected:>9.0} future barriers: candidate {:.1} us, net saving {:+.3} s -> {}",
+            d.candidate_cost * 1e6,
+            d.projected_net_saving,
+            if d.retune { "RETUNE" } else { "keep current" }
+        );
+    }
+    let decision = controller.retune_if_profitable(&updated.cost, 1e7);
+    assert!(decision.retune);
+    println!(
+        "switched (retune #{}) — new schedule: {} stages, predicted {:.1} us under congestion",
+        controller.retune_count,
+        controller.schedule().len(),
+        controller.current().predicted_cost * 1e6
+    );
+}

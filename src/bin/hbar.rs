@@ -1,0 +1,332 @@
+//! `hbar` — command-line front end to the barrier-synthesis pipeline.
+//!
+//! ```text
+//! hbar profile  --machine 8x2x4 --mapping rr --ranks 64 --out prof.json [--fast] [--seed N] [--exact-machine]
+//! hbar tune     --profile prof.json --out sched.json [--extended] [--exact-scoring] [--sparseness F]
+//! hbar predict  --profile prof.json --schedule sched.json
+//! hbar verify   --schedule sched.json
+//! hbar simulate --profile prof.json --schedule sched.json [--reps N] [--seed N]
+//! hbar codegen  --schedule sched.json --lang c|rust [--name NAME]
+//! hbar heatmap  --profile prof.json [--matrix l|o]
+//! hbar search   --profile prof.json --out sched.json [--max-stages N] [--max-expansions N]
+//! ```
+//!
+//! Machines are `NODESxSOCKETSxCORES` (e.g. `8x2x4`) or the presets
+//! `cluster-a` / `cluster-b`; mappings are `rr` (round-robin) or `block`.
+
+use hbarrier::core::codegen::{c_source, compile_schedule, rust_source};
+use hbarrier::core::compose::{tune_hybrid_for, TunerConfig};
+use hbarrier::core::cost::{predict_barrier_cost, CostParams};
+use hbarrier::core::schedule::BarrierSchedule;
+use hbarrier::core::verify;
+use hbarrier::prelude::*;
+use hbarrier::simnet::barrier::measure_schedule;
+use hbarrier::simnet::profiling::{measure_profile, ProfilingConfig};
+use hbarrier::simnet::NoiseModel;
+use hbarrier::topo::heatmap::render_labelled;
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "profile" => cmd_profile(&flags),
+        "tune" => cmd_tune(&flags),
+        "predict" => cmd_predict(&flags),
+        "verify" => cmd_verify(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "codegen" => cmd_codegen(&flags),
+        "heatmap" => cmd_heatmap(&flags),
+        "search" => cmd_search(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: hbar <profile|tune|predict|verify|simulate|codegen|heatmap|search> [--flag value]...\n\
+     run `hbar help` or see the crate docs for flags"
+        .to_string()
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{a}`"));
+        };
+        // Boolean flags take no value; value flags consume the next arg.
+        let boolean = matches!(
+            name,
+            "fast" | "extended" | "exact-scoring" | "exact-machine"
+        );
+        if boolean {
+            flags.insert(name.to_string(), "true".to_string());
+        } else {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_string(), v.clone());
+        }
+    }
+    Ok(flags)
+}
+
+fn req<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn parse_machine(spec: &str) -> Result<MachineSpec, String> {
+    match spec {
+        "cluster-a" => Ok(MachineSpec::dual_quad_cluster(8)),
+        "cluster-b" => Ok(MachineSpec::dual_hex_cluster(10)),
+        other => {
+            let parts: Vec<usize> = other
+                .split('x')
+                .map(|v| v.parse().map_err(|_| format!("bad machine spec `{other}`")))
+                .collect::<Result<_, _>>()?;
+            if parts.len() != 3 || parts.contains(&0) {
+                return Err(format!("machine spec must be NxSxC, got `{other}`"));
+            }
+            Ok(MachineSpec::new(parts[0], parts[1], parts[2]))
+        }
+    }
+}
+
+fn parse_mapping(spec: &str) -> Result<RankMapping, String> {
+    match spec {
+        "rr" | "round-robin" => Ok(RankMapping::RoundRobin),
+        "block" => Ok(RankMapping::Block),
+        other => Err(format!("mapping must be rr|block, got `{other}`")),
+    }
+}
+
+fn load_profile(flags: &Flags) -> Result<TopologyProfile, String> {
+    let path = req(flags, "profile")?;
+    TopologyProfile::load(Path::new(path)).map_err(|e| format!("cannot load profile {path}: {e}"))
+}
+
+fn load_schedule(flags: &Flags) -> Result<BarrierSchedule, String> {
+    let path = req(flags, "schedule")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse schedule {path}: {e}"))
+}
+
+fn cmd_profile(flags: &Flags) -> Result<(), String> {
+    let machine = parse_machine(req(flags, "machine")?)?;
+    let mapping = parse_mapping(flags.get("mapping").map(String::as_str).unwrap_or("rr"))?;
+    let p: usize = match flags.get("ranks") {
+        Some(v) => v.parse().map_err(|_| "bad --ranks".to_string())?,
+        None => machine.total_cores(),
+    };
+    let out = req(flags, "out")?;
+    let profile = if flags.contains_key("exact-machine") {
+        // Closed-form noise-free profile (no benchmarking).
+        TopologyProfile::from_ground_truth_for(&machine, &mapping, p)
+    } else {
+        let seed: u64 = flags
+            .get("seed")
+            .map(|v| v.parse().map_err(|_| "bad --seed".to_string()))
+            .transpose()?
+            .unwrap_or(1);
+        let cfg = if flags.contains_key("fast") {
+            ProfilingConfig::fast()
+        } else {
+            ProfilingConfig::default()
+        };
+        measure_profile(&machine, &mapping, p, NoiseModel::realistic(seed), &cfg)
+    };
+    profile
+        .save(Path::new(out))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "profiled {} ranks on {} ({} pairwise estimates) -> {out}",
+        p,
+        machine.name,
+        p * (p - 1) / 2
+    );
+    Ok(())
+}
+
+fn cmd_tune(flags: &Flags) -> Result<(), String> {
+    let profile = load_profile(flags)?;
+    let out = req(flags, "out")?;
+    let mut cfg = if flags.contains_key("extended") {
+        TunerConfig::extended()
+    } else {
+        TunerConfig::default()
+    };
+    if flags.contains_key("exact-scoring") {
+        cfg.score_exact = true;
+    }
+    if let Some(s) = flags.get("sparseness") {
+        cfg.sparseness = s.parse().map_err(|_| "bad --sparseness".to_string())?;
+    }
+    let members: Vec<usize> = (0..profile.p).collect();
+    let tuned = tune_hybrid_for(&profile, &members, &cfg);
+    let json = serde_json::to_string_pretty(&tuned.schedule).expect("schedule serializes");
+    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "tuned hybrid for {} ranks: {} stages, {} signals, root {:?}, predicted {:.1} us -> {out}",
+        profile.p,
+        tuned.schedule.len(),
+        tuned.schedule.total_signals(),
+        tuned.root_algorithm(),
+        tuned.predicted_cost * 1e6
+    );
+    for c in &tuned.choices {
+        println!(
+            "  depth {}: {} over {} participants (score {:.1} us)",
+            c.depth,
+            c.algorithm,
+            c.participants.len(),
+            c.score * 1e6
+        );
+    }
+    Ok(())
+}
+
+fn cmd_predict(flags: &Flags) -> Result<(), String> {
+    let profile = load_profile(flags)?;
+    let schedule = load_schedule(flags)?;
+    if schedule.n() != profile.p {
+        return Err(format!(
+            "schedule covers {} ranks but profile has {}",
+            schedule.n(),
+            profile.p
+        ));
+    }
+    let pred = predict_barrier_cost(&schedule, &profile.cost, &CostParams::default(), None);
+    println!("predicted barrier cost: {:.3} us", pred.barrier_cost * 1e6);
+    println!("per-stage frontier (us): {:?}",
+        pred.stage_frontier.iter().map(|v| (v * 1e7).round() / 10.0).collect::<Vec<_>>());
+    Ok(())
+}
+
+fn cmd_verify(flags: &Flags) -> Result<(), String> {
+    let schedule = load_schedule(flags)?;
+    if verify::is_barrier(&schedule) {
+        println!(
+            "valid barrier: {} ranks, {} stages, {} signals",
+            schedule.n(),
+            schedule.len(),
+            schedule.total_signals()
+        );
+        Ok(())
+    } else {
+        let missing = verify::missing_knowledge(&schedule);
+        Err(format!(
+            "NOT a barrier: {} rank pairs never learn of each other (first few: {:?})",
+            missing.len(),
+            &missing[..missing.len().min(5)]
+        ))
+    }
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let profile = load_profile(flags)?;
+    let schedule = load_schedule(flags)?;
+    let reps: usize = flags
+        .get("reps")
+        .map(|v| v.parse().map_err(|_| "bad --reps".to_string()))
+        .transpose()?
+        .unwrap_or(25);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|v| v.parse().map_err(|_| "bad --seed".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let cfg = SimConfig {
+        machine: profile.machine.clone(),
+        mapping: profile.mapping.clone(),
+        noise: NoiseModel::realistic(seed),
+    };
+    let mut world = SimWorld::new(cfg, profile.p);
+    let t = measure_schedule(&mut world, &schedule, reps);
+    println!("measured barrier cost: {:.3} us (mean of {reps} executions)", t * 1e6);
+    Ok(())
+}
+
+fn cmd_codegen(flags: &Flags) -> Result<(), String> {
+    let schedule = load_schedule(flags)?;
+    let name = flags.get("name").map(String::as_str).unwrap_or("generated_barrier");
+    let programs = compile_schedule(&schedule);
+    let lang = flags.get("lang").map(String::as_str).unwrap_or("c");
+    let src = match lang {
+        "c" => c_source(name, &programs),
+        "rust" => rust_source(name, &programs),
+        other => return Err(format!("lang must be c|rust, got `{other}`")),
+    };
+    print!("{src}");
+    Ok(())
+}
+
+fn cmd_search(flags: &Flags) -> Result<(), String> {
+    use hbarrier::core::compose::{search_optimal_barrier, SearchConfig};
+    let profile = load_profile(flags)?;
+    let out = req(flags, "out")?;
+    if profile.p > 6 {
+        eprintln!(
+            "warning: exhaustive search over {} ranks is exponential; expect long runtimes or truncation",
+            profile.p
+        );
+    }
+    let mut cfg = SearchConfig::default();
+    if let Some(v) = flags.get("max-stages") {
+        cfg.max_stages = v.parse().map_err(|_| "bad --max-stages".to_string())?;
+    }
+    if let Some(v) = flags.get("max-expansions") {
+        cfg.max_expansions = v.parse().map_err(|_| "bad --max-expansions".to_string())?;
+    }
+    // Seed with the greedy hybrid so the search can only improve on it.
+    let members: Vec<usize> = (0..profile.p).collect();
+    let greedy = tune_hybrid_for(&profile, &members, &TunerConfig::default());
+    let result = search_optimal_barrier(&profile.cost, &cfg, Some(&greedy.schedule));
+    let json = serde_json::to_string_pretty(&result.schedule).expect("schedule serializes");
+    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "search {} after {} states: best {:.2} us ({} stages) vs greedy {:.2} us -> {out}",
+        if result.complete { "complete" } else { "TRUNCATED" },
+        result.expansions,
+        result.cost * 1e6,
+        result.schedule.len(),
+        greedy.predicted_cost * 1e6
+    );
+    Ok(())
+}
+
+fn cmd_heatmap(flags: &Flags) -> Result<(), String> {
+    let profile = load_profile(flags)?;
+    let which = flags.get("matrix").map(String::as_str).unwrap_or("l");
+    let (matrix, label) = match which {
+        "l" => (&profile.cost.l, "L matrix (per-message latency)"),
+        "o" => (&profile.cost.o, "O matrix (startup cost)"),
+        other => return Err(format!("matrix must be l|o, got `{other}`")),
+    };
+    println!("{}", render_labelled(matrix, label));
+    Ok(())
+}

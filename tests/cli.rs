@@ -1,0 +1,188 @@
+//! Integration tests of the `hbar` command-line tool: the full
+//! profile → tune → verify → predict → simulate → codegen workflow, as a
+//! downstream user would drive it.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn hbar(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hbar"))
+        .args(args)
+        .output()
+        .expect("hbar binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hbar_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = workdir("workflow");
+    let profile = dir.join("prof.json");
+    let schedule = dir.join("sched.json");
+    let profile_s = profile.to_str().unwrap();
+    let schedule_s = schedule.to_str().unwrap();
+
+    // profile (exact machine: fast and deterministic for the test)
+    let o = hbar(&[
+        "profile", "--machine", "2x2x2", "--mapping", "rr", "--out", profile_s, "--exact-machine",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("profiled 8 ranks"));
+    assert!(profile.exists());
+
+    // tune
+    let o = hbar(&["tune", "--profile", profile_s, "--out", schedule_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("tuned hybrid for 8 ranks"));
+    assert!(schedule.exists());
+
+    // verify
+    let o = hbar(&["verify", "--schedule", schedule_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("valid barrier: 8 ranks"));
+
+    // predict
+    let o = hbar(&["predict", "--profile", profile_s, "--schedule", schedule_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("predicted barrier cost"));
+
+    // simulate
+    let o = hbar(&[
+        "simulate", "--profile", profile_s, "--schedule", schedule_s, "--reps", "3",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("measured barrier cost"));
+
+    // codegen (both languages)
+    let o = hbar(&["codegen", "--schedule", schedule_s, "--lang", "c", "--name", "b8"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("void b8(MPI_Comm comm)"));
+    assert!(stdout(&o).contains("MPI_Issend"));
+    let o = hbar(&["codegen", "--schedule", schedule_s, "--lang", "rust"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("pub fn generated_barrier"));
+
+    // heatmap
+    let o = hbar(&["heatmap", "--profile", profile_s, "--matrix", "l"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("L matrix"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn measured_profile_via_cli_fast_mode() {
+    let dir = workdir("measured");
+    let profile = dir.join("prof.json");
+    let o = hbar(&[
+        "profile",
+        "--machine",
+        "1x2x2",
+        "--mapping",
+        "block",
+        "--ranks",
+        "4",
+        "--out",
+        profile.to_str().unwrap(),
+        "--fast",
+        "--seed",
+        "7",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    // The stored profile parses and has the right size.
+    let prof = hbarrier::topo::profile::TopologyProfile::load(&profile).unwrap();
+    assert_eq!(prof.p, 4);
+    assert!(prof.cost.o[(0, 1)] > 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_rejects_broken_schedule() {
+    let dir = workdir("broken");
+    let schedule = dir.join("bad.json");
+    // An arrival-only linear pattern (not a barrier).
+    use hbarrier::core::schedule::{BarrierSchedule, Stage};
+    use hbarrier::matrix::BoolMatrix;
+    let mut sched = BarrierSchedule::new(3);
+    sched.push(Stage::arrival(BoolMatrix::from_edges(3, &[(1, 0), (2, 0)])));
+    std::fs::write(&schedule, serde_json::to_string(&sched).unwrap()).unwrap();
+    let o = hbar(&["verify", "--schedule", schedule.to_str().unwrap()]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("NOT a barrier"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let o = hbar(&[]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("usage"));
+
+    let o = hbar(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown command"));
+
+    let o = hbar(&["tune", "--profile"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("needs a value"));
+
+    let o = hbar(&["profile", "--machine", "0x1x1", "--out", "/tmp/x.json"]);
+    assert!(!o.status.success());
+
+    let o = hbar(&["predict", "--schedule", "/nonexistent.json"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("missing required flag --profile") || stderr(&o).contains("cannot"));
+}
+
+#[test]
+fn search_subcommand_finds_a_barrier() {
+    let dir = workdir("search");
+    let profile = dir.join("prof.json");
+    let schedule = dir.join("opt.json");
+    let o = hbar(&[
+        "profile", "--machine", "2x1x2", "--mapping", "block", "--out",
+        profile.to_str().unwrap(), "--exact-machine",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = hbar(&[
+        "search",
+        "--profile",
+        profile.to_str().unwrap(),
+        "--out",
+        schedule.to_str().unwrap(),
+        "--max-stages",
+        "5",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("search complete"));
+    let o = hbar(&["verify", "--schedule", schedule.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn preset_machines_parse() {
+    let dir = workdir("presets");
+    let profile = dir.join("a.json");
+    let o = hbar(&[
+        "profile", "--machine", "cluster-a", "--ranks", "16", "--out",
+        profile.to_str().unwrap(), "--exact-machine",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let prof = hbarrier::topo::profile::TopologyProfile::load(&profile).unwrap();
+    assert_eq!(prof.machine.nodes, 8);
+    assert_eq!(prof.machine.cores_per_node(), 8);
+    std::fs::remove_dir_all(&dir).ok();
+}

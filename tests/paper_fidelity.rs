@@ -1,0 +1,181 @@
+//! Fidelity tests: the exact artifacts printed in the paper.
+//!
+//! Figures 2–4 give the matrix encodings of the three component
+//! algorithms for |P| = 4; §V and §VII state structural facts (stage
+//! counts, Eq. 3, the root-dissemination rule, Fig. 10's cluster layout).
+//! These tests pin our implementation to those artifacts.
+
+use hbarrier::core::algorithms::Algorithm;
+use hbarrier::core::compose::{tune_hybrid, TunerConfig};
+use hbarrier::core::verify;
+use hbarrier::matrix::BoolMatrix;
+use hbarrier::prelude::*;
+
+fn rows(rows: &[[u8; 4]]) -> BoolMatrix {
+    BoolMatrix::from_rows(
+        &rows
+            .iter()
+            .map(|r| r.iter().map(|&v| v == 1).collect::<Vec<bool>>())
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Figure 2: the linear barrier for |P| = 4 is S0 (everyone signals the
+/// master) followed by S1 = S0ᵀ.
+#[test]
+fn figure2_linear_barrier_matrices() {
+    let members = [0, 1, 2, 3];
+    let sched = Algorithm::Linear.full_schedule(4, &members);
+    assert_eq!(sched.len(), 2);
+    let s0 = rows(&[[0, 0, 0, 0], [1, 0, 0, 0], [1, 0, 0, 0], [1, 0, 0, 0]]);
+    assert_eq!(sched.stages()[0].matrix, s0);
+    assert_eq!(sched.stages()[1].matrix, s0.transpose());
+}
+
+/// Figure 3: the dissemination barrier for |P| = 4.
+#[test]
+fn figure3_dissemination_barrier_matrices() {
+    let members = [0, 1, 2, 3];
+    let sched = Algorithm::Dissemination.full_schedule(4, &members);
+    assert_eq!(sched.len(), 2, "no departure phase");
+    let s0 = rows(&[[0, 1, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1], [1, 0, 0, 0]]);
+    let s1 = rows(&[[0, 0, 1, 0], [0, 0, 0, 1], [1, 0, 0, 0], [0, 1, 0, 0]]);
+    assert_eq!(sched.stages()[0].matrix, s0);
+    assert_eq!(sched.stages()[1].matrix, s1);
+}
+
+/// Figure 4: the tree barrier for |P| = 4: S0, S1, S2 = S1ᵀ, S3 = S0ᵀ.
+#[test]
+fn figure4_tree_barrier_matrices() {
+    let members = [0, 1, 2, 3];
+    let sched = Algorithm::Tree.full_schedule(4, &members);
+    assert_eq!(sched.len(), 4);
+    let s0 = rows(&[[0, 0, 0, 0], [1, 0, 0, 0], [0, 0, 0, 0], [0, 0, 1, 0]]);
+    let s1 = rows(&[[0, 0, 0, 0], [0, 0, 0, 0], [1, 0, 0, 0], [0, 0, 0, 0]]);
+    assert_eq!(sched.stages()[0].matrix, s0);
+    assert_eq!(sched.stages()[1].matrix, s1);
+    assert_eq!(sched.stages()[2].matrix, s1.transpose());
+    assert_eq!(sched.stages()[3].matrix, s0.transpose());
+}
+
+/// §V-B stage counts: linear 2 stages, tree 2·⌈log₂P⌉, dissemination
+/// ⌈log₂P⌉ — at the paper's largest sizes.
+#[test]
+fn section5_stage_counts_at_paper_sizes() {
+    for (p, log2) in [(64usize, 6usize), (120, 7)] {
+        let members: Vec<usize> = (0..p).collect();
+        assert_eq!(Algorithm::Linear.full_schedule(p, &members).len(), 2);
+        assert_eq!(Algorithm::Tree.full_schedule(p, &members).len(), 2 * log2);
+        assert_eq!(Algorithm::Dissemination.full_schedule(p, &members).len(), log2);
+    }
+}
+
+/// Eq. 3 acceptance on the paper's own examples: all three |P|=4
+/// encodings pass, and removing any stage breaks them.
+#[test]
+fn equation3_acceptance_and_necessity() {
+    let members = [0, 1, 2, 3];
+    for alg in Algorithm::PAPER_SET {
+        let sched = alg.full_schedule(4, &members);
+        assert!(verify::is_barrier(&sched), "{alg}");
+        // Dropping the final stage must break the barrier.
+        let mut truncated = hbarrier::core::schedule::BarrierSchedule::new(4);
+        for s in &sched.stages()[..sched.len() - 1] {
+            truncated.push(s.clone());
+        }
+        assert!(!verify::is_barrier(&truncated), "{alg} without last stage");
+    }
+}
+
+/// §VII-A: with the paper's 35 % sparseness, both test systems cluster at
+/// node granularity, "with rank 0 as a member of the first cluster".
+#[test]
+fn section7_clustering_matches_paper() {
+    use hbarrier::core::clustering::{sss_clusters, SSS_DEFAULT_SPARSENESS};
+    use hbarrier::topo::metric::DistanceMetric;
+    for (machine, p, nodes) in [
+        (MachineSpec::dual_quad_cluster(8), 64usize, 8usize),
+        (MachineSpec::dual_hex_cluster(10), 120, 10),
+    ] {
+        let prof = TopologyProfile::from_ground_truth_for(&machine, &RankMapping::RoundRobin, p);
+        let metric = DistanceMetric::from_costs(&prof.cost);
+        let members: Vec<usize> = (0..p).collect();
+        let clusters = sss_clusters(&metric, &members, SSS_DEFAULT_SPARSENESS, metric.diameter());
+        assert_eq!(clusters.len(), nodes);
+        assert_eq!(clusters[0][0], 0);
+    }
+}
+
+/// §VII-B: dissemination wins the root of a uniform high-latency top
+/// level (the ×1 multiplier rule). This holds on cluster A (8 node
+/// representatives). On cluster B's 10 representatives our calibration
+/// tips the greedy score to the linear barrier at the very top — the
+/// same kind of top-level algorithm change the paper itself observes in
+/// Fig. 11 ("a change of top-level algorithms was found profitable");
+/// EXPERIMENTS.md discusses the deviation. Here we assert cluster A plus
+/// the structural consequences of the rule.
+#[test]
+fn section7_root_dissemination_rule() {
+    let machine = MachineSpec::dual_quad_cluster(8);
+    let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::RoundRobin);
+    let tuned = tune_hybrid(&prof, &TunerConfig::default());
+    assert_eq!(tuned.root_algorithm(), Some(Algorithm::Dissemination));
+    // No departure stages transpose the root dissemination: the final
+    // schedule has fewer than 2x the arrival stage count.
+    let total = tuned.schedule.len();
+    let arrival = tuned
+        .schedule
+        .stages()
+        .iter()
+        .filter(|s| s.mode == hbarrier::topo::cost::SendMode::General)
+        .count();
+    assert!(total < 2 * arrival, "root stages must not be transposed");
+}
+
+/// On cluster B the greedy selection is still self-consistent: whatever
+/// it picks at the root has the lowest score among applicable
+/// candidates, and the ×1 rule makes dissemination beat the tree there.
+#[test]
+fn section7_root_choice_is_greedy_optimal_on_cluster_b() {
+    use hbarrier::core::cost::predict_arrival_cost;
+    let machine = MachineSpec::dual_hex_cluster(10);
+    let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::RoundRobin);
+    let tuned = tune_hybrid(&prof, &TunerConfig::default());
+    let root = tuned
+        .choices
+        .iter()
+        .find(|c| c.depth == 0)
+        .expect("root choice");
+    let params = hbarrier::core::cost::CostParams::default();
+    let score_of = |alg: Algorithm| {
+        let arrival = alg.arrival_embedded(prof.p, &root.participants);
+        let base = predict_arrival_cost(prof.p, &arrival, &prof.cost, &params);
+        if alg.needs_departure() {
+            base * 2.0
+        } else {
+            base
+        }
+    };
+    let best = Algorithm::PAPER_SET
+        .iter()
+        .map(|&a| (a, score_of(a)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("candidates");
+    assert_eq!(root.algorithm, best.0, "greedy picked a non-minimal root");
+    // The ×1 rule: dissemination at the root outranks the tree.
+    assert!(score_of(Algorithm::Dissemination) < score_of(Algorithm::Tree));
+}
+
+/// Fig. 10's case: 22 processes round-robin on 3 nodes produce exactly
+/// the member sets the paper lists (ranks ≡ node index mod 3; e.g.
+/// "ranks 5, 8, 11, 14, 17 and 20" share node 2 with representative 2).
+#[test]
+fn figure10_round_robin_member_sets() {
+    let machine = MachineSpec::dual_quad_cluster(3);
+    let prof = TopologyProfile::from_ground_truth_for(&machine, &RankMapping::RoundRobin, 22);
+    let tuned = tune_hybrid(&prof, &TunerConfig::default());
+    assert_eq!(tuned.tree.children.len(), 3);
+    let node2: Vec<usize> = tuned.tree.children[2].members.clone();
+    assert_eq!(node2, vec![2, 5, 8, 11, 14, 17, 20]);
+    assert_eq!(tuned.tree.children[2].representative(), 2);
+}

@@ -1,0 +1,211 @@
+//! Property-based tests over the core data structures and invariants.
+
+use hbarrier::core::algorithms::Algorithm;
+use hbarrier::core::codegen::compile_schedule;
+use hbarrier::core::cost::{predict_barrier_cost, CostParams};
+use hbarrier::core::schedule::{BarrierSchedule, Stage};
+use hbarrier::core::verify;
+use hbarrier::matrix::{knowledge_closure, BoolMatrix, DenseMatrix};
+use hbarrier::prelude::*;
+use hbarrier::topo::cost::CostMatrices;
+use hbarrier::topo::metric::DistanceMetric;
+use proptest::prelude::*;
+
+/// Random machine shapes within the paper's scale.
+fn arb_machine() -> impl Strategy<Value = MachineSpec> {
+    (1usize..=4, 1usize..=2, 1usize..=6)
+        .prop_map(|(nodes, sockets, cores)| MachineSpec::new(nodes, sockets, cores))
+}
+
+/// Random edge lists over n ranks without self-loops.
+fn arb_stage(n: usize) -> impl Strategy<Value = BoolMatrix> {
+    prop::collection::vec((0..n, 0..n), 0..n * 2).prop_map(move |edges| {
+        let filtered: Vec<(usize, usize)> =
+            edges.into_iter().filter(|(i, j)| i != j).collect();
+        BoolMatrix::from_edges(n, &filtered)
+    })
+}
+
+/// A random cost profile: positive, symmetric O/L with O_ii small.
+fn arb_costs(n: usize) -> impl Strategy<Value = CostMatrices> {
+    prop::collection::vec(1.0f64..100.0, n * n).prop_map(move |vals| {
+        let mut o = DenseMatrix::from_vec(n, vals.clone());
+        let mut l = DenseMatrix::from_fn(n, |i, j| vals[(i * 31 + j * 7) % vals.len()] / 10.0);
+        o.symmetrize();
+        l.symmetrize();
+        for i in 0..n {
+            o[(i, i)] = 0.1;
+            l[(i, i)] = 0.0;
+        }
+        CostMatrices { o, l }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transposition is an involution and preserves signal counts.
+    #[test]
+    fn transpose_involution(n in 1usize..40, edges in prop::collection::vec((0usize..40, 0usize..40), 0..80)) {
+        let edges: Vec<(usize, usize)> = edges.into_iter()
+            .filter(|(i, j)| *i < n && *j < n && i != j).collect();
+        let m = BoolMatrix::from_edges(n, &edges);
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        prop_assert_eq!(m.transpose().popcount(), m.popcount());
+    }
+
+    /// The boolean product never loses knowledge: K ⊆ K + K·S.
+    #[test]
+    fn knowledge_closure_is_monotone(n in 1usize..20, stages in prop::collection::vec(prop::collection::vec((0usize..20, 0usize..20), 0..30), 0..6)) {
+        let stages: Vec<BoolMatrix> = stages.into_iter().map(|edges| {
+            let edges: Vec<(usize, usize)> = edges.into_iter()
+                .filter(|(i, j)| *i < n && *j < n && i != j).collect();
+            BoolMatrix::from_edges(n, &edges)
+        }).collect();
+        let mut prev = BoolMatrix::identity(n);
+        for s in &stages {
+            let mut next = prev.clone();
+            next.or_assign(&prev.and_or_product(s));
+            // prev ⊆ next
+            prop_assert_eq!(prev.and(&next), prev.clone());
+            prev = next;
+        }
+        prop_assert_eq!(prev, knowledge_closure(n, &stages));
+    }
+
+    /// Every algorithm produces a valid barrier over any member subset.
+    #[test]
+    fn algorithms_always_synchronize_members(
+        n in 2usize..24,
+        selector in prop::collection::vec(any::<bool>(), 24),
+        alg_idx in 0usize..5,
+    ) {
+        let members: Vec<usize> = (0..n).filter(|&r| selector[r]).collect();
+        prop_assume!(members.len() >= 2);
+        let algs = [Algorithm::Linear, Algorithm::Tree, Algorithm::Dissemination,
+                    Algorithm::KAry(3), Algorithm::Butterfly];
+        let alg = algs[alg_idx];
+        prop_assume!(alg.applicable(members.len()));
+        let sched = alg.full_schedule(n, &members);
+        prop_assert!(verify::synchronizes_subset(&sched, &members));
+    }
+
+    /// Appending the reversed-transposed departure to any arrival
+    /// sequence whose root collects all knowledge yields a full barrier.
+    #[test]
+    fn arrival_plus_transposed_departure_is_barrier(p in 2usize..32) {
+        for alg in [Algorithm::Tree, Algorithm::Linear, Algorithm::KAry(4)] {
+            let members: Vec<usize> = (0..p).collect();
+            let mut sched = BarrierSchedule::new(p);
+            for m in alg.arrival_embedded(p, &members) {
+                sched.push(Stage::arrival(m));
+            }
+            let dep = sched.departure_reversed(0);
+            sched.append(&dep);
+            prop_assert!(verify::is_barrier(&sched), "{alg} p={p}");
+        }
+    }
+
+    /// The tuner always emits verified barriers over random machines and
+    /// random (valid) cost profiles, and its prediction is positive.
+    #[test]
+    fn tuner_output_is_always_valid(machine in arb_machine(), seed in 0u64..1000) {
+        let p = machine.total_cores();
+        prop_assume!(p >= 2);
+        let mut profile = TopologyProfile::from_ground_truth(&machine, &RankMapping::Block);
+        // Perturb the profile deterministically to exercise odd shapes.
+        for i in 0..p {
+            for j in 0..p {
+                if i != j {
+                    let f = 1.0 + 0.3 * (((seed + (i * p + j) as u64) % 7) as f64 / 7.0);
+                    profile.cost.o[(i, j)] *= f;
+                    profile.cost.l[(i, j)] *= f;
+                }
+            }
+        }
+        profile.cost.symmetrize();
+        let tuned = tune_hybrid(&profile, &TunerConfig::default());
+        prop_assert!(verify::is_barrier(&tuned.schedule));
+        prop_assert!(tuned.predicted_cost > 0.0);
+        // Compiled programs conserve signals.
+        let programs = compile_schedule(&tuned.schedule);
+        let sends: usize = programs.iter().map(|rp| rp.send_count()).sum();
+        prop_assert_eq!(sends, tuned.schedule.total_signals());
+    }
+
+    /// Cost prediction is monotone in arrival skews: delaying any rank
+    /// never finishes the barrier earlier.
+    #[test]
+    fn prediction_monotone_in_skews(
+        costs in arb_costs(6),
+        skew_rank in 0usize..6,
+        skew in 0.0f64..50.0,
+    ) {
+        let members: Vec<usize> = (0..6).collect();
+        let sched = Algorithm::Tree.full_schedule(6, &members);
+        let params = CostParams::default();
+        let base = predict_barrier_cost(&sched, &costs, &params, None);
+        let mut skews = vec![0.0; 6];
+        skews[skew_rank] = skew;
+        let delayed = predict_barrier_cost(&sched, &costs, &params, Some(&skews));
+        prop_assert!(delayed.barrier_cost >= base.barrier_cost - 1e-12);
+    }
+
+    /// Per-rank exit times are never before the critical stage frontier
+    /// start, and the barrier cost equals the max exit.
+    #[test]
+    fn prediction_internal_consistency(costs in arb_costs(8), stage in arb_stage(8)) {
+        prop_assume!(!stage.is_zero());
+        let mut sched = BarrierSchedule::new(8);
+        sched.push(Stage::arrival(stage));
+        let pred = predict_barrier_cost(&sched, &costs, &CostParams::default(), None);
+        let max_exit = pred.rank_exit.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((pred.barrier_cost - max_exit).abs() < 1e-12);
+        prop_assert!(pred.barrier_cost >= 0.0);
+    }
+
+    /// The symmetrized metric derived from any symmetric positive cost
+    /// matrix has zero diagonal and symmetric distances.
+    #[test]
+    fn metric_axioms_hold_structurally(costs in arb_costs(7)) {
+        let metric = DistanceMetric::from_costs(&costs);
+        for i in 0..7 {
+            prop_assert_eq!(metric.dist(i, i), 0.0);
+            for j in 0..7 {
+                prop_assert_eq!(metric.dist(i, j), metric.dist(j, i));
+                if i != j {
+                    prop_assert!(metric.dist(i, j) > 0.0);
+                }
+            }
+        }
+        prop_assert!(metric.diameter() > 0.0);
+    }
+
+    /// Embedding a local matrix into a global space and extracting the
+    /// submatrix is the identity.
+    #[test]
+    fn embed_submatrix_roundtrip(
+        local_n in 1usize..8,
+        global_n in 8usize..20,
+        seed in any::<u64>(),
+    ) {
+        // Deterministic pseudo-random injective map and edges from seed.
+        let mut map: Vec<usize> = (0..global_n).collect();
+        let mut s = seed;
+        for i in (1..map.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            map.swap(i, (s as usize) % (i + 1));
+        }
+        map.truncate(local_n);
+        let mut local = BoolMatrix::zeros(local_n);
+        for i in 0..local_n {
+            for j in 0..local_n {
+                if i != j && (seed >> ((i * local_n + j) % 60)) & 1 == 1 {
+                    local.set(i, j, true);
+                }
+            }
+        }
+        let global = local.embed(global_n, &map);
+        prop_assert_eq!(global.submatrix(&map), local);
+    }
+}

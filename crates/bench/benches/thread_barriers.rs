@@ -28,10 +28,14 @@ fn bench_thread_barriers(c: &mut Criterion) {
 
     for alg in Algorithm::PAPER_SET {
         let sched = alg.full_schedule(p, &members);
-        group.bench_with_input(BenchmarkId::new("schedule", alg.tag()), &sched, |b, sched| {
-            let mut ex = ThreadExecutor::new(compile_schedule(sched));
-            b.iter(|| black_box(ex.time_barrier(ITERS_PER_SAMPLE)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("schedule", alg.tag()),
+            &sched,
+            |b, sched| {
+                let mut ex = ThreadExecutor::new(compile_schedule(sched));
+                b.iter(|| black_box(ex.time_barrier(ITERS_PER_SAMPLE)));
+            },
+        );
     }
 
     // A tuned hybrid for a small machine whose shape matches p.

@@ -6,7 +6,9 @@
 //! bench reports our equivalent number.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hbar_core::compose::{tune_hybrid, TunerConfig};
+use hbar_bench::baseline::tune_hybrid_costs_baseline;
+use hbar_core::compose::{tune_hybrid, tune_hybrid_costs_with, TunerConfig};
+use hbar_core::cost::CostEvaluator;
 use hbar_topo::machine::MachineSpec;
 use hbar_topo::mapping::RankMapping;
 use hbar_topo::profile::TopologyProfile;
@@ -35,6 +37,45 @@ fn bench_tune(c: &mut Criterion) {
     group.finish();
 }
 
+/// Rank scaling of the tuner, optimized vs the frozen pre-optimization
+/// baseline (`hbar_bench::baseline`). The `tuner-perf` binary runs the
+/// same comparison standalone and records it in `BENCH_tuner.json`.
+fn bench_tune_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tune_scaling");
+    group.sample_size(10);
+    for p in [16usize, 32, 64, 128] {
+        // Dual quad-core nodes like cluster A, but without its 8-node
+        // cap so the sweep can reach 128 ranks.
+        let machine = MachineSpec::new(p.div_ceil(8), 2, 4);
+        let profile = TopologyProfile::from_ground_truth_for(&machine, &RankMapping::RoundRobin, p);
+        let members: Vec<usize> = (0..p).collect();
+        let cfg = TunerConfig::default();
+        group.bench_with_input(BenchmarkId::new("baseline", p), &profile, |b, profile| {
+            b.iter(|| {
+                black_box(tune_hybrid_costs_baseline(
+                    black_box(&profile.cost),
+                    &members,
+                    &cfg,
+                ))
+            })
+        });
+        // A long-lived evaluator, as the adaptive re-tuning loop holds
+        // one: scratch arenas and the score memo stay warm across calls.
+        let mut eval = CostEvaluator::new(cfg.cost_params);
+        group.bench_with_input(BenchmarkId::new("optimized", p), &profile, |b, profile| {
+            b.iter(|| {
+                black_box(tune_hybrid_costs_with(
+                    black_box(&profile.cost),
+                    &members,
+                    &cfg,
+                    &mut eval,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_exhaustive(c: &mut Criterion) {
     use hbar_core::compose::{search_optimal_barrier, SearchConfig};
     let mut group = c.benchmark_group("exhaustive_search");
@@ -58,5 +99,5 @@ fn bench_exhaustive(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tune, bench_exhaustive);
+criterion_group!(benches, bench_tune, bench_tune_scaling, bench_exhaustive);
 criterion_main!(benches);

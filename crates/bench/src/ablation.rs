@@ -136,7 +136,10 @@ mod tests {
         // algorithm, in predicted cost.
         let mut ctx = ExperimentContext::exact(MachineSpec::dual_quad_cluster(2));
         let rows = run_ablation(&mut ctx, 16);
-        let greedy = rows.iter().find(|r| r.label == "greedy (paper set)").unwrap();
+        let greedy = rows
+            .iter()
+            .find(|r| r.label == "greedy (paper set)")
+            .unwrap();
         for r in rows.iter().filter(|r| r.label.starts_with("forced")) {
             assert!(
                 greedy.predicted <= r.predicted * 1.0001,

@@ -1,0 +1,201 @@
+//! Frozen pre-optimization tuner, kept verbatim for regression
+//! measurement.
+//!
+//! This is the greedy hybrid tuner exactly as it stood before the
+//! zero-allocation/memoized/parallel rework of `hbar_core::compose`:
+//! sequential depth-first composition, a fresh schedule allocated per
+//! candidate score, and every prediction going through the reference
+//! `predict_barrier_cost` path (per-call `row_iter().collect()` inside
+//! the stages). The `tuner-perf` binary and the `tune` bench time it
+//! against `tune_hybrid_costs` to quantify — and guard — the speedup.
+//! It must NOT be optimized; the determinism tests in `hbar-core`
+//! separately guarantee the optimized tuner still emits byte-identical
+//! schedules.
+
+use hbar_core::algorithms::Algorithm;
+use hbar_core::clustering::{build_cluster_tree, ClusterNode};
+use hbar_core::compose::{LevelChoice, TunedBarrier, TunerConfig};
+use hbar_core::cost::{predict_arrival_cost, predict_barrier_cost};
+use hbar_core::schedule::{BarrierSchedule, Stage};
+use hbar_topo::cost::CostMatrices;
+use hbar_topo::metric::DistanceMetric;
+
+/// Pre-optimization `tune_hybrid_costs`: identical output, original
+/// allocation and scoring behavior.
+pub fn tune_hybrid_costs_baseline(
+    cost: &CostMatrices,
+    members: &[usize],
+    cfg: &TunerConfig,
+) -> TunedBarrier {
+    assert!(!members.is_empty(), "cannot tune a barrier for zero ranks");
+    assert!(
+        !cfg.candidates.is_empty(),
+        "need at least one candidate algorithm"
+    );
+    let metric = DistanceMetric::from_costs(cost);
+    let tree = build_cluster_tree(&metric, members, cfg.sparseness, cfg.max_depth);
+    let n = cost.p();
+    let mut choices = Vec::new();
+    let (arrival, root_level) = compose(&tree, 0, n, cost, cfg, &mut choices);
+
+    let mut schedule = arrival.clone();
+    let skip = match &root_level {
+        Some(level) if !level.algorithm.needs_departure() => level.stage_count,
+        _ => 0,
+    };
+    let departure = arrival.departure_reversed(skip);
+    schedule.append(&departure);
+    schedule.strip_noop_stages();
+
+    let predicted_cost = predict_barrier_cost(&schedule, cost, &cfg.cost_params, None).barrier_cost;
+    TunedBarrier {
+        schedule,
+        tree,
+        choices,
+        predicted_cost,
+    }
+}
+
+struct RootLevel {
+    algorithm: Algorithm,
+    stage_count: usize,
+}
+
+fn compose(
+    node: &ClusterNode,
+    depth: usize,
+    n: usize,
+    cost: &CostMatrices,
+    cfg: &TunerConfig,
+    choices: &mut Vec<LevelChoice>,
+) -> (BarrierSchedule, Option<RootLevel>) {
+    let mut merged = BarrierSchedule::new(n);
+    let participants: Vec<usize> = if node.is_leaf() {
+        node.members.clone()
+    } else {
+        let child_schedules: Vec<BarrierSchedule> = node
+            .children
+            .iter()
+            .map(|c| compose(c, depth + 1, n, cost, cfg, choices).0)
+            .collect();
+        let longest = child_schedules
+            .iter()
+            .map(BarrierSchedule::len)
+            .max()
+            .unwrap_or(0);
+        for cs in &child_schedules {
+            let offset = if cfg.merge_late {
+                longest - cs.len()
+            } else {
+                0
+            };
+            merged.merge_overlay(cs, offset);
+        }
+        node.children
+            .iter()
+            .map(ClusterNode::representative)
+            .collect()
+    };
+
+    if participants.len() < 2 {
+        return (merged, None);
+    }
+
+    let (algorithm, score) = select_algorithm(&participants, depth == 0, cost, cfg);
+    choices.push(LevelChoice {
+        participants: participants.clone(),
+        depth,
+        algorithm,
+        score,
+    });
+
+    let level_stages = algorithm.arrival_embedded(n, &participants);
+    let stage_count = level_stages.len();
+    for m in level_stages {
+        merged.push(Stage::arrival(m));
+    }
+    let root_level = (depth == 0).then_some(RootLevel {
+        algorithm,
+        stage_count,
+    });
+    (merged, root_level)
+}
+
+fn select_algorithm(
+    participants: &[usize],
+    is_root: bool,
+    cost: &CostMatrices,
+    cfg: &TunerConfig,
+) -> (Algorithm, f64) {
+    let n = cost.p();
+    let mut best: Option<(Algorithm, f64)> = None;
+    for &alg in &cfg.candidates {
+        if !alg.applicable(participants.len()) {
+            continue;
+        }
+        let score = if cfg.score_exact {
+            let mut local = BarrierSchedule::new(n);
+            for m in alg.arrival_embedded(n, participants) {
+                local.push(Stage::arrival(m.clone()));
+            }
+            let skip_departure = is_root && !alg.needs_departure();
+            if !skip_departure {
+                let dep = local.departure_reversed(0);
+                local.append(&dep);
+            }
+            predict_barrier_cost(&local, cost, &cfg.cost_params, None).barrier_cost
+        } else {
+            let arrival = alg.arrival_embedded(n, participants);
+            let base = predict_arrival_cost(n, &arrival, cost, &cfg.cost_params);
+            let multiplier = if is_root && !alg.needs_departure() {
+                1.0
+            } else {
+                2.0
+            };
+            base * multiplier
+        };
+        if best.is_none_or(|(_, b)| score < b) {
+            best = Some((alg, score));
+        }
+    }
+    best.unwrap_or_else(|| {
+        panic!(
+            "no applicable candidate for a cluster of {} participants",
+            participants.len()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbar_core::compose::tune_hybrid_costs;
+    use hbar_topo::machine::MachineSpec;
+    use hbar_topo::mapping::RankMapping;
+    use hbar_topo::profile::TopologyProfile;
+
+    /// The optimized tuner must reproduce the frozen baseline's output
+    /// exactly — schedule, choices and predicted cost.
+    #[test]
+    fn optimized_tuner_matches_frozen_baseline() {
+        for (machine, p) in [
+            (MachineSpec::dual_quad_cluster(2), 16usize),
+            (MachineSpec::dual_quad_cluster(8), 64),
+        ] {
+            let prof =
+                TopologyProfile::from_ground_truth_for(&machine, &RankMapping::RoundRobin, p);
+            let members: Vec<usize> = (0..p).collect();
+            for cfg in [TunerConfig::default(), TunerConfig::extended()] {
+                let base = tune_hybrid_costs_baseline(&prof.cost, &members, &cfg);
+                let opt = tune_hybrid_costs(&prof.cost, &members, &cfg);
+                assert_eq!(base.schedule, opt.schedule, "p={p}");
+                assert_eq!(base.choices, opt.choices, "p={p}");
+                assert_eq!(
+                    base.predicted_cost.to_bits(),
+                    opt.predicted_cost.to_bits(),
+                    "p={p}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Tuner performance regression harness.
+//!
+//! Times the full tuning pipeline (`tune_hybrid_costs_with`, the
+//! zero-allocation/memoized/parallel path) against the frozen
+//! pre-optimization baseline (`hbar_bench::baseline`) across rank
+//! counts, checks both emit bit-identical results, and writes the
+//! numbers to `BENCH_tuner.json`.
+//!
+//! ```text
+//! tuner-perf [--out FILE] [--reps N]
+//! ```
+
+use hbar_bench::baseline::tune_hybrid_costs_baseline;
+use hbar_core::compose::{tune_hybrid_costs_with, TunerConfig};
+use hbar_core::cost::CostEvaluator;
+use hbar_topo::machine::MachineSpec;
+use hbar_topo::mapping::RankMapping;
+use hbar_topo::profile::TopologyProfile;
+use serde::Value;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const RANKS: [usize; 4] = [16, 32, 64, 128];
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Per-call seconds: median over `reps` samples, each sample averaging
+/// `BATCH` consecutive calls (the tuner runs in tens of microseconds, so
+/// single calls are too jittery to time directly).
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    const BATCH: usize = 20;
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..BATCH {
+                f();
+            }
+            t.elapsed().as_secs_f64() / BATCH as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_tuner.json");
+    let mut reps = 15usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a positive integer");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let cfg = TunerConfig::default();
+    let mut rows = Vec::new();
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "P", "before", "after", "speedup"
+    );
+    for p in RANKS {
+        // Dual quad-core nodes like cluster A, but without its 8-node
+        // cap so the sweep can reach 128 ranks.
+        let machine = MachineSpec::new(p.div_ceil(8), 2, 4);
+        let profile = TopologyProfile::from_ground_truth_for(&machine, &RankMapping::RoundRobin, p);
+        let members: Vec<usize> = (0..p).collect();
+
+        // Both paths must agree before their timings mean anything.
+        let mut eval = CostEvaluator::new(cfg.cost_params);
+        let base = tune_hybrid_costs_baseline(&profile.cost, &members, &cfg);
+        let opt = tune_hybrid_costs_with(&profile.cost, &members, &cfg, &mut eval);
+        assert_eq!(base.schedule, opt.schedule, "schedule diverged at p={p}");
+        assert_eq!(
+            base.predicted_cost.to_bits(),
+            opt.predicted_cost.to_bits(),
+            "prediction diverged at p={p}"
+        );
+
+        let before = time_median(reps, || {
+            black_box(tune_hybrid_costs_baseline(
+                black_box(&profile.cost),
+                &members,
+                &cfg,
+            ));
+        });
+        let after = time_median(reps, || {
+            black_box(tune_hybrid_costs_with(
+                black_box(&profile.cost),
+                &members,
+                &cfg,
+                &mut eval,
+            ));
+        });
+        let speedup = before / after;
+        println!(
+            "{:>6} {:>12.3}ms {:>12.3}ms {:>7.2}x",
+            p,
+            before * 1e3,
+            after * 1e3,
+            speedup
+        );
+        rows.push(obj(vec![
+            ("ranks", Value::UInt(p as u64)),
+            ("before_s", Value::Float(before)),
+            ("after_s", Value::Float(after)),
+            ("speedup", Value::Float(speedup)),
+        ]));
+    }
+
+    let doc = obj(vec![
+        ("benchmark", Value::Str("tune_hybrid_costs".to_string())),
+        (
+            "before",
+            Value::Str("frozen pre-optimization tuner (hbar_bench::baseline)".to_string()),
+        ),
+        (
+            "after",
+            Value::Str(
+                "tune_hybrid_costs_with: scratch-arena evaluator, score memo, \
+                 compiled-stage cache, rayon root-sibling parallelism"
+                    .to_string(),
+            ),
+        ),
+        (
+            "machine",
+            Value::Str("dual_quad_cluster ground truth".to_string()),
+        ),
+        ("reps_per_sample", Value::UInt(reps as u64)),
+        (
+            "statistic",
+            Value::Str("median wall-clock seconds".to_string()),
+        ),
+        ("results", Value::Array(rows)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&out, json + "\n").expect("write BENCH_tuner.json");
+    println!("wrote {}", out.display());
+}

@@ -86,7 +86,12 @@ mod tests {
     #[test]
     fn walkthrough_mentions_all_parts() {
         let fig = run_construction(true);
-        for needle in ["Cluster tree:", "Greedy choices", "Composed schedule", "arrival"] {
+        for needle in [
+            "Cluster tree:",
+            "Greedy choices",
+            "Composed schedule",
+            "arrival",
+        ] {
             assert!(fig.walkthrough.contains(needle), "missing {needle}");
         }
     }

@@ -77,7 +77,9 @@ impl ExperimentContext {
 
     /// Number of nodes the round-robin placement uses for `p` ranks.
     fn bucket(&self, p: usize) -> usize {
-        p.div_ceil(self.cores_per_node()).min(self.machine.nodes).max(1)
+        p.div_ceil(self.cores_per_node())
+            .min(self.machine.nodes)
+            .max(1)
     }
 
     /// The measured topology profile for `p` ranks under the context's
@@ -108,7 +110,12 @@ impl ExperimentContext {
     /// Measures the mean execution time (seconds) of a schedule for `p`
     /// ranks on the simulated platform.
     pub fn measure_barrier(&self, schedule: &BarrierSchedule, p: usize) -> f64 {
-        assert_eq!(schedule.n(), p, "schedule covers {} ranks, expected {p}", schedule.n());
+        assert_eq!(
+            schedule.n(),
+            p,
+            "schedule covers {} ranks, expected {p}",
+            schedule.n()
+        );
         let cfg = SimConfig {
             machine: self.machine.clone(),
             mapping: self.mapping.clone(),

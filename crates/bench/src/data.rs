@@ -65,7 +65,11 @@ impl SeriesGroup {
 
     /// All distinct x values, ascending.
     pub fn xs(&self) -> Vec<f64> {
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
         xs.dedup();
         xs

@@ -20,7 +20,11 @@ pub struct DelayVerdict {
 
 /// Runs the staggered-delay check for the three paper algorithms plus the
 /// tuned hybrid, at each process count, on the given machine.
-pub fn run_delay_checks(machine: &MachineSpec, sizes: &[usize], delay_ns: u64) -> Vec<DelayVerdict> {
+pub fn run_delay_checks(
+    machine: &MachineSpec,
+    sizes: &[usize],
+    delay_ns: u64,
+) -> Vec<DelayVerdict> {
     let mut verdicts = Vec::new();
     for &p in sizes {
         let members: Vec<usize> = (0..p).collect();

@@ -45,7 +45,11 @@ mod tests {
         let ratio = fig.l_blocks.ratio();
         assert!((2.5..6.0).contains(&ratio), "ratio {ratio}");
         // Values land in the paper's colour-scale range (0–7e-7 s).
-        assert!(fig.l_blocks.on > 5e-8 && fig.l_blocks.off < 7e-7, "{:?}", fig.l_blocks);
+        assert!(
+            fig.l_blocks.on > 5e-8 && fig.l_blocks.off < 7e-7,
+            "{:?}",
+            fig.l_blocks
+        );
         assert!(fig.rendering.contains("L Matrix Heat Map"));
     }
 

@@ -19,6 +19,7 @@
 //! simulated fabric.
 
 pub mod ablation;
+pub mod baseline;
 pub mod construction;
 pub mod context;
 pub mod data;

@@ -31,7 +31,9 @@ impl Default for PlotStyle {
             margin_bottom: 48.0,
             margin_top: 28.0,
             margin_right: 16.0,
-            palette: vec!["#c0392b", "#27ae60", "#2980b9", "#8e44ad", "#d35400", "#16a085"],
+            palette: vec![
+                "#c0392b", "#27ae60", "#2980b9", "#8e44ad", "#d35400", "#16a085",
+            ],
         }
     }
 }
@@ -44,7 +46,9 @@ pub fn render_svg(group: &SeriesGroup, style: &PlotStyle) -> String {
         .series
         .iter()
         .flat_map(|s| s.points.iter().map(|p| p.0))
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(v), hi.max(v))
+        });
     let y_max = group
         .series
         .iter()
@@ -178,7 +182,9 @@ pub fn write_svg(group: &SeriesGroup, path: &std::path::Path) -> std::io::Result
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -222,7 +228,13 @@ mod tests {
         let svg = render_svg(&group(), &style);
         // Every polyline coordinate must be inside the canvas.
         for line in svg.lines().filter(|l| l.contains("<polyline")) {
-            let pts = line.split("points=\"").nth(1).unwrap().split('"').next().unwrap();
+            let pts = line
+                .split("points=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap();
             for pair in pts.split_whitespace() {
                 let (x, y) = pair.split_once(',').unwrap();
                 let (x, y): (f64, f64) = (x.parse().unwrap(), y.parse().unwrap());

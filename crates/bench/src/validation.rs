@@ -38,7 +38,11 @@ impl ValidationFigure {
 
 /// Runs the validation experiment on a platform: for every process count
 /// in the sweep, predict and measure all three paper algorithms.
-pub fn run_validation(ctx: &mut ExperimentContext, sweep: &[usize], title: &str) -> ValidationFigure {
+pub fn run_validation(
+    ctx: &mut ExperimentContext,
+    sweep: &[usize],
+    title: &str,
+) -> ValidationFigure {
     let params = CostParams::default();
     let mut predicted = SeriesGroup::new(format!("{title} — predicted"));
     let mut measured = SeriesGroup::new(format!("{title} — measured"));
@@ -161,7 +165,11 @@ mod tests {
         assert!(checks.dissemination_power_of_two_dip.is_some());
         // Exact context: model error stays well under a barrier time.
         let scale = fig.measured.get("L").unwrap().y_max();
-        assert!(checks.worst_abs_error < scale, "error {} vs scale {scale}", checks.worst_abs_error);
+        assert!(
+            checks.worst_abs_error < scale,
+            "error {} vs scale {scale}",
+            checks.worst_abs_error
+        );
     }
 
     #[test]

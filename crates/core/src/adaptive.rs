@@ -23,10 +23,11 @@
 //!    per-invocation saving amortizes over the expected remaining
 //!    invocations.
 
-use crate::compose::{tune_hybrid_costs, TunedBarrier, TunerConfig};
-use crate::cost::predict_barrier_cost;
+use crate::compose::{tune_hybrid_costs_with, TunedBarrier, TunerConfig};
+use crate::cost::CostEvaluator;
 use crate::schedule::BarrierSchedule;
 use hbar_topo::cost::CostMatrices;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 /// Knobs of the adaptation policy.
@@ -74,6 +75,12 @@ pub struct AdaptiveBarrier {
     tuner: TunerConfig,
     policy: AdaptiveConfig,
     observations: VecDeque<f64>,
+    /// Reused across every tune and re-pricing: keeps the scratch arenas
+    /// and the per-cluster score memo warm, so periodic re-evaluation
+    /// (the paper's ~0.1 s budget) does not re-allocate or re-score
+    /// clusters whose cost matrices have not changed. `RefCell` because
+    /// [`Self::evaluate_retune`] is logically read-only.
+    evaluator: RefCell<CostEvaluator>,
     /// Count of schedule switches performed (for tests/telemetry).
     pub retune_count: usize,
 }
@@ -87,13 +94,15 @@ impl AdaptiveBarrier {
         policy: AdaptiveConfig,
     ) -> Self {
         assert!(policy.window > 0, "observation window must be non-empty");
-        let current = tune_hybrid_costs(cost, members, &tuner);
+        let mut evaluator = CostEvaluator::new(tuner.cost_params);
+        let current = tune_hybrid_costs_with(cost, members, &tuner, &mut evaluator);
         AdaptiveBarrier {
             current,
             members: members.to_vec(),
             tuner,
             policy,
             observations: VecDeque::new(),
+            evaluator: RefCell::new(evaluator),
             retune_count: 0,
         }
     }
@@ -110,7 +119,10 @@ impl AdaptiveBarrier {
 
     /// Records one observed barrier duration (seconds).
     pub fn observe(&mut self, duration: f64) {
-        assert!(duration.is_finite() && duration >= 0.0, "invalid duration {duration}");
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "invalid duration {duration}"
+        );
         if self.observations.len() == self.policy.window {
             self.observations.pop_front();
         }
@@ -139,35 +151,51 @@ impl AdaptiveBarrier {
     /// Prices a switch to a schedule tuned from `updated` cost matrices,
     /// amortized over `expected_invocations` future barrier calls.
     /// Does not switch; see [`Self::retune_if_profitable`].
-    pub fn evaluate_retune(&self, updated: &CostMatrices, expected_invocations: f64) -> RetuneDecision {
-        let candidate = tune_hybrid_costs(updated, &self.members, &self.tuner);
+    pub fn evaluate_retune(
+        &self,
+        updated: &CostMatrices,
+        expected_invocations: f64,
+    ) -> RetuneDecision {
+        self.tune_candidate(updated, expected_invocations).0
+    }
+
+    /// Tunes a candidate on the shared evaluator and prices the switch.
+    fn tune_candidate(
+        &self,
+        updated: &CostMatrices,
+        expected_invocations: f64,
+    ) -> (RetuneDecision, TunedBarrier) {
+        let mut eval = self.evaluator.borrow_mut();
+        let candidate = tune_hybrid_costs_with(updated, &self.members, &self.tuner, &mut eval);
         // The current schedule's cost under *present* conditions: prefer
         // live observations; fall back to re-pricing it on the updated
         // matrices.
-        let current_cost = self.mean_observed().unwrap_or_else(|| {
-            predict_barrier_cost(&self.current.schedule, updated, &self.tuner.cost_params, None)
-                .barrier_cost
-        });
+        let current_cost = self
+            .mean_observed()
+            .unwrap_or_else(|| eval.barrier_cost(&self.current.schedule, updated, None));
         let per_call = current_cost - candidate.predicted_cost;
         let projected = per_call * expected_invocations.max(0.0) - self.policy.retune_overhead;
-        RetuneDecision {
+        let decision = RetuneDecision {
             current_cost,
             candidate_cost: candidate.predicted_cost,
             projected_net_saving: projected,
             retune: projected > 0.0,
-        }
+        };
+        (decision, candidate)
     }
 
     /// Evaluates and, if profitable, deploys the candidate (clearing the
-    /// observation window). Returns the decision taken.
+    /// observation window). Returns the decision taken. The candidate
+    /// tuned during evaluation is deployed directly — conditions are not
+    /// re-tuned a second time.
     pub fn retune_if_profitable(
         &mut self,
         updated: &CostMatrices,
         expected_invocations: f64,
     ) -> RetuneDecision {
-        let decision = self.evaluate_retune(updated, expected_invocations);
+        let (decision, candidate) = self.tune_candidate(updated, expected_invocations);
         if decision.retune {
-            self.current = tune_hybrid_costs(updated, &self.members, &self.tuner);
+            self.current = candidate;
             self.observations.clear();
             self.retune_count += 1;
         }
@@ -206,7 +234,12 @@ mod tests {
     #[test]
     fn initial_schedule_is_valid() {
         let (cost, members) = base_costs();
-        let ab = AdaptiveBarrier::new(&cost, &members, TunerConfig::default(), AdaptiveConfig::default());
+        let ab = AdaptiveBarrier::new(
+            &cost,
+            &members,
+            TunerConfig::default(),
+            AdaptiveConfig::default(),
+        );
         assert!(crate::verify::is_barrier(ab.schedule()));
         assert_eq!(ab.retune_count, 0);
     }
@@ -267,7 +300,12 @@ mod tests {
     #[test]
     fn no_observations_falls_back_to_reprediction() {
         let (cost, members) = base_costs();
-        let ab = AdaptiveBarrier::new(&cost, &members, TunerConfig::default(), AdaptiveConfig::default());
+        let ab = AdaptiveBarrier::new(
+            &cost,
+            &members,
+            TunerConfig::default(),
+            AdaptiveConfig::default(),
+        );
         // Same conditions: the candidate equals the deployed schedule, so
         // saving is ~zero and the overhead makes re-tuning unprofitable.
         let d = ab.evaluate_retune(&cost, 1e9);

@@ -19,7 +19,10 @@ pub fn butterfly_full(p: usize) -> Vec<BoolMatrix> {
     if p < 2 {
         return Vec::new();
     }
-    assert!(p.is_power_of_two(), "butterfly requires a power-of-two participant count, got {p}");
+    assert!(
+        p.is_power_of_two(),
+        "butterfly requires a power-of-two participant count, got {p}"
+    );
     let mut stages = Vec::new();
     let mut bit = 1usize;
     while bit < p {

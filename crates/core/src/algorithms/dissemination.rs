@@ -92,7 +92,16 @@ mod tests {
 
     #[test]
     fn stage_count_is_ceil_log2() {
-        for (p, expect) in [(2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (64, 6), (120, 7)] {
+        for (p, expect) in [
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (64, 6),
+            (120, 7),
+        ] {
             assert_eq!(dissemination_full(p).len(), expect, "p={p}");
         }
     }
@@ -123,13 +132,23 @@ mod tests {
     #[test]
     fn nway_with_w2_equals_dissemination() {
         for p in [2usize, 5, 8, 13] {
-            assert_eq!(nway_dissemination_full(p, 2), dissemination_full(p), "p={p}");
+            assert_eq!(
+                nway_dissemination_full(p, 2),
+                dissemination_full(p),
+                "p={p}"
+            );
         }
     }
 
     #[test]
     fn nway_synchronizes_fully_in_logw_stages() {
-        for (p, w, expect_stages) in [(9usize, 3usize, 2usize), (27, 3, 3), (16, 4, 2), (10, 3, 3), (64, 4, 3)] {
+        for (p, w, expect_stages) in [
+            (9usize, 3usize, 2usize),
+            (27, 3, 3),
+            (16, 4, 2),
+            (10, 3, 3),
+            (64, 4, 3),
+        ] {
             let stages = nway_dissemination_full(p, w);
             assert_eq!(stages.len(), expect_stages, "p={p} w={w}");
             let k = knowledge_closure(p, &stages);

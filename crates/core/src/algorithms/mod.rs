@@ -191,11 +191,18 @@ mod tests {
     #[test]
     fn subset_barriers_synchronize_members_only() {
         let members = vec![3, 1, 6, 9];
-        for alg in [Algorithm::Linear, Algorithm::Tree, Algorithm::Dissemination, Algorithm::Butterfly]
-        {
+        for alg in [
+            Algorithm::Linear,
+            Algorithm::Tree,
+            Algorithm::Dissemination,
+            Algorithm::Butterfly,
+        ] {
             let sched = alg.full_schedule(12, &members);
             assert!(verify::synchronizes_subset(&sched, &members), "{alg}");
-            assert!(!verify::is_barrier(&sched), "{alg} must not touch outsiders");
+            assert!(
+                !verify::is_barrier(&sched),
+                "{alg} must not touch outsiders"
+            );
         }
     }
 
@@ -205,7 +212,10 @@ mod tests {
         let members: Vec<usize> = (0..22).collect();
         assert_eq!(Algorithm::Linear.full_schedule(22, &members).len(), 2);
         assert_eq!(Algorithm::Tree.full_schedule(22, &members).len(), 10);
-        assert_eq!(Algorithm::Dissemination.full_schedule(22, &members).len(), 5);
+        assert_eq!(
+            Algorithm::Dissemination.full_schedule(22, &members).len(),
+            5
+        );
         let m64: Vec<usize> = (0..64).collect();
         assert_eq!(Algorithm::Dissemination.full_schedule(64, &m64).len(), 6);
         assert_eq!(Algorithm::Butterfly.full_schedule(64, &m64).len(), 6);
@@ -228,11 +238,21 @@ mod tests {
         // Linear sends 2(p−1) signals; tree also sends 2(p−1): every
         // non-root has exactly one parent edge, transposed once.
         let members: Vec<usize> = (0..16).collect();
-        assert_eq!(Algorithm::Linear.full_schedule(16, &members).total_signals(), 30);
-        assert_eq!(Algorithm::Tree.full_schedule(16, &members).total_signals(), 30);
+        assert_eq!(
+            Algorithm::Linear
+                .full_schedule(16, &members)
+                .total_signals(),
+            30
+        );
+        assert_eq!(
+            Algorithm::Tree.full_schedule(16, &members).total_signals(),
+            30
+        );
         // Dissemination sends p·⌈log₂p⌉.
         assert_eq!(
-            Algorithm::Dissemination.full_schedule(16, &members).total_signals(),
+            Algorithm::Dissemination
+                .full_schedule(16, &members)
+                .total_signals(),
             16 * 4
         );
     }

@@ -69,7 +69,12 @@ mod tests {
     fn cluster_machine(machine: &MachineSpec, mapping: &RankMapping, p: usize) -> Vec<Vec<usize>> {
         let prof = TopologyProfile::from_ground_truth_for(machine, mapping, p);
         let metric = DistanceMetric::from_costs(&prof.cost);
-        sss_clusters(&metric, &(0..p).collect::<Vec<_>>(), SSS_DEFAULT_SPARSENESS, metric.diameter())
+        sss_clusters(
+            &metric,
+            &(0..p).collect::<Vec<_>>(),
+            SSS_DEFAULT_SPARSENESS,
+            metric.diameter(),
+        )
     }
 
     #[test]

@@ -42,12 +42,20 @@ impl ClusterNode {
 
     /// Height of the tree (a leaf has height 0).
     pub fn height(&self) -> usize {
-        self.children.iter().map(|c| c.height() + 1).max().unwrap_or(0)
+        self.children
+            .iter()
+            .map(|c| c.height() + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of clusters in the tree (including this one).
     pub fn cluster_count(&self) -> usize {
-        1 + self.children.iter().map(ClusterNode::cluster_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(ClusterNode::cluster_count)
+            .sum::<usize>()
     }
 
     /// Depth-first traversal, parents before children.
@@ -140,7 +148,12 @@ mod tests {
         // sockets inside each node; socket members are then uniform.
         let machine = MachineSpec::dual_quad_cluster(4);
         let metric = metric_for(&machine, &RankMapping::Block, 32);
-        let tree = build_cluster_tree(&metric, &(0..32).collect::<Vec<_>>(), SSS_DEFAULT_SPARSENESS, 8);
+        let tree = build_cluster_tree(
+            &metric,
+            &(0..32).collect::<Vec<_>>(),
+            SSS_DEFAULT_SPARSENESS,
+            8,
+        );
         assert_eq!(tree.children.len(), 4, "one child per node");
         for node_cluster in &tree.children {
             assert_eq!(node_cluster.members.len(), 8);
@@ -159,7 +172,12 @@ mod tests {
     fn representative_is_first_member_everywhere() {
         let machine = MachineSpec::dual_quad_cluster(3);
         let metric = metric_for(&machine, &RankMapping::RoundRobin, 22);
-        let tree = build_cluster_tree(&metric, &(0..22).collect::<Vec<_>>(), SSS_DEFAULT_SPARSENESS, 8);
+        let tree = build_cluster_tree(
+            &metric,
+            &(0..22).collect::<Vec<_>>(),
+            SSS_DEFAULT_SPARSENESS,
+            8,
+        );
         assert_eq!(tree.representative(), 0);
         tree.walk(&mut |node, _| {
             assert_eq!(node.representative(), node.members[0]);
@@ -173,11 +191,19 @@ mod tests {
     fn children_partition_parent_members() {
         let machine = MachineSpec::dual_hex_cluster(5);
         let metric = metric_for(&machine, &RankMapping::RoundRobin, 60);
-        let tree = build_cluster_tree(&metric, &(0..60).collect::<Vec<_>>(), SSS_DEFAULT_SPARSENESS, 8);
+        let tree = build_cluster_tree(
+            &metric,
+            &(0..60).collect::<Vec<_>>(),
+            SSS_DEFAULT_SPARSENESS,
+            8,
+        );
         tree.walk(&mut |node, _| {
             if !node.is_leaf() {
-                let mut union: Vec<usize> =
-                    node.children.iter().flat_map(|c| c.members.iter().copied()).collect();
+                let mut union: Vec<usize> = node
+                    .children
+                    .iter()
+                    .flat_map(|c| c.members.iter().copied())
+                    .collect();
                 union.sort_unstable();
                 let mut expect = node.members.clone();
                 expect.sort_unstable();

@@ -20,7 +20,11 @@ pub fn c_source(name: &str, programs: &[RankProgram]) -> String {
         .unwrap_or(0)
         .max(1);
     let mut out = String::new();
-    let _ = writeln!(out, "/* Generated barrier: hard-coded signal pattern for {} ranks. */", programs.len());
+    let _ = writeln!(
+        out,
+        "/* Generated barrier: hard-coded signal pattern for {} ranks. */",
+        programs.len()
+    );
     let _ = writeln!(out, "#include <mpi.h>");
     let _ = writeln!(out);
     let _ = writeln!(out, "void {name}(MPI_Comm comm)");
@@ -85,7 +89,13 @@ mod tests {
     #[test]
     fn master_receives_then_sends() {
         let src = c_source("b", &linear4());
-        let case0 = src.split("case 0:").nth(1).unwrap().split("break;").next().unwrap();
+        let case0 = src
+            .split("case 0:")
+            .nth(1)
+            .unwrap()
+            .split("break;")
+            .next()
+            .unwrap();
         let recv_pos = case0.find("MPI_Irecv").unwrap();
         let send_pos = case0.find("MPI_Issend").unwrap();
         assert!(recv_pos < send_pos, "receives posted before sends");
@@ -103,7 +113,10 @@ mod tests {
 
     #[test]
     fn empty_program_emits_default_only() {
-        let progs = vec![RankProgram { rank: 0, steps: vec![] }];
+        let progs = vec![RankProgram {
+            rank: 0,
+            steps: vec![],
+        }];
         let src = c_source("noop", &progs);
         assert!(!src.contains("case 0:"));
         assert!(src.contains("default:"));
@@ -116,6 +129,9 @@ mod tests {
         let progs = compile_schedule(&Algorithm::Dissemination.full_schedule(8, &members));
         let src = c_source("d8", &progs);
         assert!(src.contains("MPI_Issend"));
-        assert!(!src.contains("MPI_Isend("), "only synchronous sends are emitted");
+        assert!(
+            !src.contains("MPI_Isend("),
+            "only synchronous sends are emitted"
+        );
     }
 }

@@ -16,7 +16,11 @@ use std::fmt::Write;
 /// matching the paper's execution model.
 pub fn rust_source(name: &str, programs: &[RankProgram]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "/// Generated barrier: hard-coded signal pattern for {} ranks.", programs.len());
+    let _ = writeln!(
+        out,
+        "/// Generated barrier: hard-coded signal pattern for {} ranks.",
+        programs.len()
+    );
     let _ = writeln!(out, "pub fn {name}<T: Transport>(rank: usize, t: &T) {{");
     let _ = writeln!(out, "    match rank {{");
     for prog in programs {
@@ -73,6 +77,9 @@ mod tests {
         let members: Vec<usize> = (0..6).collect();
         let progs = compile_schedule(&Algorithm::Linear.full_schedule(6, &members));
         let src = rust_source("l6", &progs);
-        assert_eq!(src.matches("t.issend(").count(), src.matches("t.irecv(").count());
+        assert_eq!(
+            src.matches("t.issend(").count(),
+            src.matches("t.irecv(").count()
+        );
     }
 }

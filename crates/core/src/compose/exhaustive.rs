@@ -38,6 +38,7 @@ use crate::cost::CostParams;
 use crate::schedule::{BarrierSchedule, Stage};
 use hbar_matrix::BoolMatrix;
 use hbar_topo::cost::{CostMatrices, SendMode};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Limits for the exhaustive search.
@@ -48,8 +49,20 @@ pub struct SearchConfig {
     pub max_stages: usize,
     /// Cost-model options (must match the greedy's for fair comparison).
     pub cost_params: CostParams,
-    /// Upper bound on states expanded, to keep worst cases bounded.
+    /// Upper bound on total states expanded. The budget is checkpointed
+    /// at wave boundaries (see `parallel`): every branch in a wave may
+    /// spend up to the budget remaining when its wave began, so the
+    /// total can overshoot by at most a factor of the fixed wave width —
+    /// but the accounting is deterministic and thread-independent.
     pub max_expansions: usize,
+    /// Search the first-stage branches on worker threads. Branches are
+    /// processed in fixed-width waves; each branch starts from the
+    /// incumbent bound and budget recorded at its wave boundary and owns
+    /// its dominance table, so outcomes are pure functions of the wave
+    /// inputs. Waves are reduced in branch order with strict-`<`
+    /// improvement, so the winning schedule is bit-identical to a
+    /// sequential run.
+    pub parallel: bool,
 }
 
 impl Default for SearchConfig {
@@ -58,6 +71,7 @@ impl Default for SearchConfig {
             max_stages: 6,
             cost_params: CostParams::default(),
             max_expansions: 2_000_000,
+            parallel: true,
         }
     }
 }
@@ -100,38 +114,167 @@ pub fn search_optimal_barrier(
         best_cost = pred.barrier_cost;
         best_schedule = Some(s.clone());
     }
-
-    let mut searcher = Searcher {
+    // Internal incumbent: the dissemination pattern lies inside the
+    // restricted space (arrival stages, one signal per rank per stage),
+    // so its cost is a sound upper bound that gives every branch strong
+    // pruning even without a caller seed. Skipped when it would break
+    // the stage cap.
+    let members: Vec<usize> = (0..p).collect();
+    let diss = BarrierSchedule::from_arrival_matrices(
         p,
-        cost,
-        cfg,
-        best_cost,
-        best_stages: Vec::new(),
-        best_from_search: false,
-        expansions: 0,
-        dominance: HashMap::new(),
-        truncated: false,
-    };
+        crate::algorithms::Algorithm::Dissemination.arrival_embedded(p, &members),
+    );
+    if diss.len() <= cfg.max_stages {
+        let diss_cost =
+            crate::cost::predict_barrier_cost(&diss, cost, &cfg.cost_params, None).barrier_cost;
+        if diss_cost < best_cost {
+            best_cost = diss_cost;
+            best_schedule = Some(diss);
+        }
+    }
+
     let k0 = BoolMatrix::identity(p);
     let ready0 = vec![0.0; p];
-    searcher.expand(&k0, &ready0, &mut Vec::new());
+    let mut expansions = 0usize;
+    let mut truncated = false;
+    let mut found: Option<(f64, Vec<BoolMatrix>)> = None;
 
-    let (schedule, cost_value) = if searcher.best_from_search {
+    if cfg.max_stages > 0 {
+        // Partition the space by first stage and process the branches in
+        // fixed-width waves. Every branch in a wave starts from the
+        // incumbent bound and the expansion budget recorded at the wave
+        // boundary and owns its dominance table, so each outcome is a
+        // pure function of (cost, cfg, bound, budget, first stage) —
+        // identical whether the wave runs sequentially or on worker
+        // threads. Folding the incumbent between waves (in branch order,
+        // strict-`<` improvement: the first branch attaining the global
+        // minimum wins) recovers most of the pruning a single shared
+        // incumbent would give, without any cross-thread state.
+        const WAVE: usize = 16;
+        let first_stages = stage_candidates(&k0, p);
+        let mut start = 0;
+        while start < first_stages.len() {
+            if expansions >= cfg.max_expansions {
+                truncated = true;
+                break;
+            }
+            let wave = &first_stages[start..(start + WAVE).min(first_stages.len())];
+            start += wave.len();
+            let bound = best_cost;
+            let budget = cfg.max_expansions - expansions;
+            let run_branch = |stage: &BoolMatrix| {
+                let mut searcher = Searcher {
+                    p,
+                    cost,
+                    cfg,
+                    budget,
+                    best_cost: bound,
+                    best_stages: Vec::new(),
+                    best_from_search: false,
+                    expansions: 0,
+                    dominance: HashMap::new(),
+                    truncated: false,
+                };
+                searcher.try_stage(&k0, &ready0, &mut Vec::new(), stage.clone());
+                BranchOutcome {
+                    cost: searcher.best_cost,
+                    stages: searcher.best_stages,
+                    found: searcher.best_from_search,
+                    expansions: searcher.expansions,
+                    truncated: searcher.truncated,
+                }
+            };
+            let outcomes: Vec<BranchOutcome> = if cfg.parallel && wave.len() > 1 {
+                wave.par_iter().map(run_branch).collect()
+            } else {
+                wave.iter().map(run_branch).collect()
+            };
+            for o in outcomes {
+                expansions = expansions.saturating_add(o.expansions);
+                truncated |= o.truncated;
+                if o.found && o.cost < best_cost {
+                    best_cost = o.cost;
+                    found = Some((o.cost, o.stages));
+                }
+            }
+        }
+    }
+
+    let (schedule, cost_value) = if let Some((found_cost, stages)) = found {
         let mut sched = BarrierSchedule::new(p);
-        for m in &searcher.best_stages {
+        for m in &stages {
             sched.push(Stage::arrival(m.clone()));
         }
-        (sched, searcher.best_cost)
+        (sched, found_cost)
     } else {
         let sched = best_schedule.expect("either a seed or a found solution must exist");
-        (sched, searcher.best_cost)
+        (sched, best_cost)
     };
     debug_assert!(schedule.is_barrier(), "search produced a non-barrier");
     SearchResult {
         schedule,
         cost: cost_value,
-        expansions: searcher.expansions,
-        complete: !searcher.truncated,
+        expansions,
+        complete: !truncated,
+    }
+}
+
+/// Outcome of searching one first-stage branch.
+struct BranchOutcome {
+    cost: f64,
+    stages: Vec<BoolMatrix>,
+    found: bool,
+    expansions: usize,
+    truncated: bool,
+}
+
+/// All admissible one-signal-per-rank stages under knowledge `k`, in
+/// mixed-radix enumeration order (rank 0's choice varies fastest). Ranks
+/// only send to targets that would gain knowledge from them.
+fn stage_candidates(k: &BoolMatrix, p: usize) -> Vec<BoolMatrix> {
+    let mut choices: Vec<Vec<Option<usize>>> = Vec::with_capacity(p);
+    for i in 0..p {
+        let mut c: Vec<Option<usize>> = vec![None];
+        for j in 0..p {
+            if i == j {
+                continue;
+            }
+            // Sending i→j is useful iff i knows something j lacks.
+            let useful = (0..p).any(|a| k.get(a, i) && !k.get(a, j));
+            if useful {
+                c.push(Some(j));
+            }
+        }
+        choices.push(c);
+    }
+
+    let mut out = Vec::new();
+    let mut pick = vec![0usize; p];
+    loop {
+        let mut stage = BoolMatrix::zeros(p);
+        let mut any = false;
+        for (i, &ci) in pick.iter().enumerate() {
+            if let Some(j) = choices[i][ci] {
+                stage.set(i, j, true);
+                any = true;
+            }
+        }
+        if any {
+            out.push(stage);
+        }
+        // Advance the mixed-radix counter.
+        let mut idx = 0;
+        loop {
+            if idx == p {
+                return out;
+            }
+            pick[idx] += 1;
+            if pick[idx] < choices[idx].len() {
+                break;
+            }
+            pick[idx] = 0;
+            idx += 1;
+        }
     }
 }
 
@@ -139,6 +282,9 @@ struct Searcher<'a> {
     p: usize,
     cost: &'a CostMatrices,
     cfg: &'a SearchConfig,
+    /// Expansion budget for this branch: the global budget remaining at
+    /// the wave boundary this branch was launched from.
+    budget: usize,
     best_cost: f64,
     best_stages: Vec<BoolMatrix>,
     best_from_search: bool,
@@ -164,13 +310,18 @@ impl Searcher<'_> {
             }
         }
         // Drop vectors the new one dominates, then record it.
-        entry.retain(|seen| !ready.iter().zip(seen.iter()).all(|(a, b)| a <= &(b + 1e-15)));
+        entry.retain(|seen| {
+            !ready
+                .iter()
+                .zip(seen.iter())
+                .all(|(a, b)| a <= &(b + 1e-15))
+        });
         entry.push(ready.to_vec());
         false
     }
 
     fn expand(&mut self, k: &BoolMatrix, ready: &[f64], stages: &mut Vec<BoolMatrix>) {
-        if self.expansions >= self.cfg.max_expansions {
+        if self.expansions >= self.budget {
             self.truncated = true;
             return;
         }
@@ -195,53 +346,10 @@ impl Searcher<'_> {
             return;
         }
 
-        // Enumerate one-signal-per-rank stages: each rank picks a target
-        // or idles. To curb the branching factor, ranks only send to
-        // targets that would *gain* knowledge from them.
-        let mut choices: Vec<Vec<Option<usize>>> = Vec::with_capacity(self.p);
-        for i in 0..self.p {
-            let mut c: Vec<Option<usize>> = vec![None];
-            for j in 0..self.p {
-                if i == j {
-                    continue;
-                }
-                // Sending i→j is useful iff i knows something j lacks.
-                let useful = (0..self.p).any(|a| k.get(a, i) && !k.get(a, j));
-                if useful {
-                    c.push(Some(j));
-                }
-            }
-            choices.push(c);
-        }
-
-        // Depth-first over the product of per-rank choices.
-        let mut pick = vec![0usize; self.p];
-        loop {
-            // Build the stage for the current pick.
-            let mut stage = BoolMatrix::zeros(self.p);
-            let mut any = false;
-            for (i, &ci) in pick.iter().enumerate() {
-                if let Some(j) = choices[i][ci] {
-                    stage.set(i, j, true);
-                    any = true;
-                }
-            }
-            if any {
-                self.try_stage(k, ready, stages, stage);
-            }
-            // Advance the mixed-radix counter.
-            let mut idx = 0;
-            loop {
-                if idx == self.p {
-                    return;
-                }
-                pick[idx] += 1;
-                if pick[idx] < choices[idx].len() {
-                    break;
-                }
-                pick[idx] = 0;
-                idx += 1;
-            }
+        // Depth-first over one-signal-per-rank stages, in the shared
+        // enumeration order.
+        for stage in stage_candidates(k, self.p) {
+            self.try_stage(k, ready, stages, stage);
         }
     }
 
@@ -307,8 +415,8 @@ mod tests {
     use super::*;
     use crate::algorithms::Algorithm;
     use crate::compose::{tune_hybrid_costs, TunerConfig};
-    use crate::verify;
     use crate::cost::predict_barrier_cost;
+    use crate::verify;
     use hbar_matrix::DenseMatrix;
     use hbar_topo::machine::MachineSpec;
     use hbar_topo::mapping::RankMapping;

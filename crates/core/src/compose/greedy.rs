@@ -2,11 +2,12 @@
 
 use crate::algorithms::Algorithm;
 use crate::clustering::{build_cluster_tree, ClusterNode, SSS_DEFAULT_SPARSENESS};
-use crate::cost::{predict_arrival_cost, predict_barrier_cost, CostParams};
+use crate::cost::{member_set_hash, CostEvaluator, CostParams, ScoreKey};
 use crate::schedule::{BarrierSchedule, Stage};
 use hbar_topo::cost::CostMatrices;
 use hbar_topo::metric::DistanceMetric;
 use hbar_topo::profile::TopologyProfile;
+use rayon::prelude::*;
 
 /// Configuration of the adaptive tuner.
 #[derive(Clone, Debug)]
@@ -32,6 +33,13 @@ pub struct TunerConfig {
     /// cost overestimates the cheaper Eq. 2 departure); this is one of
     /// the paper's future-work generalizations.
     pub score_exact: bool,
+    /// Compose the root's child clusters on worker threads (only kicks
+    /// in past an internal cluster-size threshold, where the work
+    /// amortizes thread startup). The parallel reduction preserves child
+    /// index order and candidate order, so the tuned schedule, choices
+    /// and prediction are bit-identical to a sequential run (see
+    /// `tests/determinism.rs`).
+    pub parallel: bool,
 }
 
 impl Default for TunerConfig {
@@ -43,6 +51,7 @@ impl Default for TunerConfig {
             max_depth: 8,
             merge_late: false,
             score_exact: false,
+            parallel: true,
         }
     }
 }
@@ -111,7 +120,11 @@ pub fn tune_hybrid(profile: &TopologyProfile, cfg: &TunerConfig) -> TunedBarrier
 }
 
 /// Tunes a hybrid barrier for a subset of a profile's ranks.
-pub fn tune_hybrid_for(profile: &TopologyProfile, members: &[usize], cfg: &TunerConfig) -> TunedBarrier {
+pub fn tune_hybrid_for(
+    profile: &TopologyProfile,
+    members: &[usize],
+    cfg: &TunerConfig,
+) -> TunedBarrier {
     tune_hybrid_costs(&profile.cost, members, cfg)
 }
 
@@ -125,21 +138,53 @@ pub fn tune_hybrid_for(profile: &TopologyProfile, members: &[usize], cfg: &Tuner
 /// Panics if `members` is empty, if no candidate algorithm is applicable
 /// to some cluster size, or if composition produces an invalid barrier
 /// (which would be a bug — the construction is verified with Eq. 3).
-pub fn tune_hybrid_costs(cost: &CostMatrices, members: &[usize], cfg: &TunerConfig) -> TunedBarrier {
+pub fn tune_hybrid_costs(
+    cost: &CostMatrices,
+    members: &[usize],
+    cfg: &TunerConfig,
+) -> TunedBarrier {
+    let mut eval = CostEvaluator::new(cfg.cost_params);
+    tune_hybrid_costs_with(cost, members, cfg, &mut eval)
+}
+
+/// [`tune_hybrid_costs`] with a caller-owned [`CostEvaluator`], so
+/// repeated tunes (e.g. the adaptive re-tuning loop) reuse its scratch
+/// buffers and — when the cost matrices are unchanged — its memoized
+/// per-cluster scores. The evaluator's [`CostParams`] must match
+/// `cfg.cost_params`; the memo would otherwise mix models.
+///
+/// # Panics
+/// As [`tune_hybrid_costs`], plus if the evaluator's params differ from
+/// the configuration's.
+pub fn tune_hybrid_costs_with(
+    cost: &CostMatrices,
+    members: &[usize],
+    cfg: &TunerConfig,
+    eval: &mut CostEvaluator,
+) -> TunedBarrier {
     assert!(!members.is_empty(), "cannot tune a barrier for zero ranks");
-    assert!(!cfg.candidates.is_empty(), "need at least one candidate algorithm");
+    assert!(
+        !cfg.candidates.is_empty(),
+        "need at least one candidate algorithm"
+    );
+    assert_eq!(
+        *eval.params(),
+        cfg.cost_params,
+        "evaluator and tuner disagree on cost-model params"
+    );
+    eval.rebind(cost);
     let metric = DistanceMetric::from_costs(cost);
     let tree = build_cluster_tree(&metric, members, cfg.sparseness, cfg.max_depth);
     let n = cost.p();
     let mut choices = Vec::new();
-    let (arrival, root_level) = compose(&tree, 0, n, cost, cfg, &mut choices);
+    let (arrival, root_level) = compose(&tree, 0, n, cost, cfg, &mut choices, eval);
 
-    let mut schedule = arrival.clone();
     let skip = match &root_level {
         Some(level) if !level.algorithm.needs_departure() => level.stage_count,
         _ => 0,
     };
     let departure = arrival.departure_reversed(skip);
+    let mut schedule = arrival;
     schedule.append(&departure);
     schedule.strip_noop_stages();
 
@@ -148,8 +193,7 @@ pub fn tune_hybrid_costs(cost: &CostMatrices, members: &[usize], cfg: &TunerConf
         "composed schedule fails verification:\n{schedule}"
     );
 
-    let predicted_cost =
-        predict_barrier_cost(&schedule, cost, &cfg.cost_params, None).barrier_cost;
+    let predicted_cost = eval.barrier_cost(&schedule, cost, None);
     TunedBarrier {
         schedule,
         tree,
@@ -165,6 +209,11 @@ struct RootLevel {
 }
 
 /// Recursively composes the arrival sequence for `node`'s members.
+/// Minimum cluster size before root-sibling composition forks to worker
+/// threads. Below this the whole tune runs in well under a millisecond
+/// and thread startup costs more than it saves.
+const PARALLEL_MEMBER_THRESHOLD: usize = 256;
+
 /// Returns the arrival schedule (embedded in the `n`-rank space) and, for
 /// the root invocation, the level description needed for the departure
 /// rule.
@@ -175,24 +224,82 @@ fn compose(
     cost: &CostMatrices,
     cfg: &TunerConfig,
     choices: &mut Vec<LevelChoice>,
+    eval: &mut CostEvaluator,
 ) -> (BarrierSchedule, Option<RootLevel>) {
     let mut merged = BarrierSchedule::new(n);
-    let participants: Vec<usize> = if node.is_leaf() {
-        node.members.clone()
+    // Representatives storage for non-leaf nodes; leaves borrow their
+    // member list instead of cloning it.
+    let representatives: Vec<usize>;
+    let participants: &[usize] = if node.is_leaf() {
+        &node.members
     } else {
         // Compose children first; merge their arrival sequences, aligned
         // at their first stage (or last, for the merge-late ablation).
-        let child_schedules: Vec<BarrierSchedule> = node
-            .children
+        // Forking only pays once the subtree carries enough scoring work
+        // to amortize thread startup; below the threshold the sequential
+        // path is faster outright. The outputs are bit-identical either
+        // way, so the cutoff is purely a latency heuristic.
+        let fork = cfg.parallel
+            && depth == 0
+            && node.children.len() > 1
+            && node.members.len() >= PARALLEL_MEMBER_THRESHOLD;
+        let child_schedules: Vec<BarrierSchedule> = if fork {
+            // Root siblings compose on worker threads, each with a
+            // private evaluator (scores are pure functions of
+            // (cost, members, algorithm), so private memos change
+            // nothing). Results come back in child index order, and
+            // each child's choice list is appended in that same
+            // order — exactly the sequential traversal order.
+            let results: Vec<(BarrierSchedule, Vec<LevelChoice>)> = node
+                .children
+                .par_iter()
+                .map(|c| {
+                    let mut child_eval = CostEvaluator::new(cfg.cost_params);
+                    let mut child_choices = Vec::new();
+                    let (sched, _) = compose(
+                        c,
+                        depth + 1,
+                        n,
+                        cost,
+                        cfg,
+                        &mut child_choices,
+                        &mut child_eval,
+                    );
+                    (sched, child_choices)
+                })
+                .collect();
+            results
+                .into_iter()
+                .map(|(sched, child_choices)| {
+                    choices.extend(child_choices);
+                    sched
+                })
+                .collect()
+        } else {
+            node.children
+                .iter()
+                .map(|c| compose(c, depth + 1, n, cost, cfg, choices, eval).0)
+                .collect()
+        };
+        let longest = child_schedules
             .iter()
-            .map(|c| compose(c, depth + 1, n, cost, cfg, choices).0)
-            .collect();
-        let longest = child_schedules.iter().map(BarrierSchedule::len).max().unwrap_or(0);
+            .map(BarrierSchedule::len)
+            .max()
+            .unwrap_or(0);
         for cs in &child_schedules {
-            let offset = if cfg.merge_late { longest - cs.len() } else { 0 };
+            let offset = if cfg.merge_late {
+                longest - cs.len()
+            } else {
+                0
+            };
             merged.merge_overlay(cs, offset);
         }
-        node.children.iter().map(ClusterNode::representative).collect()
+        representatives = node
+            .children
+            .iter()
+            .map(ClusterNode::representative)
+            .collect();
+        &representatives
     };
 
     if participants.len() < 2 {
@@ -200,15 +307,15 @@ fn compose(
         return (merged, None);
     }
 
-    let (algorithm, score) = select_algorithm(&participants, depth == 0, cost, cfg);
+    let (algorithm, score) = select_algorithm(participants, depth == 0, cost, cfg, eval);
     choices.push(LevelChoice {
-        participants: participants.clone(),
+        participants: participants.to_vec(),
         depth,
         algorithm,
         score,
     });
 
-    let level_stages = algorithm.arrival_embedded(n, &participants);
+    let level_stages = algorithm.arrival_embedded(n, participants);
     let stage_count = level_stages.len();
     for m in level_stages {
         merged.push(Stage::arrival(m));
@@ -228,36 +335,28 @@ fn select_algorithm(
     is_root: bool,
     cost: &CostMatrices,
     cfg: &TunerConfig,
+    eval: &mut CostEvaluator,
 ) -> (Algorithm, f64) {
-    let n = cost.p();
+    let members_hash = member_set_hash(participants);
     let mut best: Option<(Algorithm, f64)> = None;
     for &alg in &cfg.candidates {
         if !alg.applicable(participants.len()) {
             continue;
         }
-        let score = if cfg.score_exact {
-            // Extension: predict the full local schedule, with the real
-            // Eq. 2 departure (omitted entirely for fully synchronizing
-            // algorithms at the root).
-            let mut local = BarrierSchedule::new(n);
-            for m in alg.arrival_embedded(n, participants) {
-                local.push(Stage::arrival(m.clone()));
+        let key = ScoreKey {
+            members_hash,
+            members_len: participants.len(),
+            algorithm: alg,
+            is_root,
+            exact: cfg.score_exact,
+        };
+        let score = match eval.cached_score(&key) {
+            Some(hit) => hit,
+            None => {
+                let fresh = score_candidate(alg, participants, is_root, cost, cfg, eval);
+                eval.store_score(key, fresh);
+                fresh
             }
-            // Non-root levels always pay the transposed departure in the
-            // composed hierarchy — even dissemination (paper §VII-B).
-            let skip_departure = is_root && !alg.needs_departure();
-            if !skip_departure {
-                let dep = local.departure_reversed(0);
-                local.append(&dep);
-            }
-            predict_barrier_cost(&local, cost, &cfg.cost_params, None).barrier_cost
-        } else {
-            // The paper's rule: arrival critical path × 2, except ×1 for
-            // dissemination-class algorithms at the root.
-            let arrival = alg.arrival_embedded(n, participants);
-            let base = predict_arrival_cost(n, &arrival, cost, &cfg.cost_params);
-            let multiplier = if is_root && !alg.needs_departure() { 1.0 } else { 2.0 };
-            base * multiplier
         };
         if best.is_none_or(|(_, b)| score < b) {
             best = Some((alg, score));
@@ -271,9 +370,49 @@ fn select_algorithm(
     })
 }
 
+/// Prices one candidate algorithm for one cluster level.
+fn score_candidate(
+    alg: Algorithm,
+    participants: &[usize],
+    is_root: bool,
+    cost: &CostMatrices,
+    cfg: &TunerConfig,
+    eval: &mut CostEvaluator,
+) -> f64 {
+    let n = cost.p();
+    if cfg.score_exact {
+        // Extension: predict the full local schedule, with the real
+        // Eq. 2 departure (omitted entirely for fully synchronizing
+        // algorithms at the root).
+        let mut local =
+            BarrierSchedule::from_arrival_matrices(n, alg.arrival_embedded(n, participants));
+        // Non-root levels always pay the transposed departure in the
+        // composed hierarchy — even dissemination (paper §VII-B).
+        let skip_departure = is_root && !alg.needs_departure();
+        if !skip_departure {
+            let dep = local.departure_reversed(0);
+            local.append(&dep);
+        }
+        eval.barrier_cost(&local, cost, None)
+    } else {
+        // The paper's rule: arrival critical path × 2, except ×1 for
+        // dissemination-class algorithms at the root.
+        let arrival =
+            BarrierSchedule::from_arrival_matrices(n, alg.arrival_embedded(n, participants));
+        let base = eval.barrier_cost(&arrival, cost, None);
+        let multiplier = if is_root && !alg.needs_departure() {
+            1.0
+        } else {
+            2.0
+        };
+        base * multiplier
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::predict_barrier_cost;
     use crate::verify;
     use hbar_topo::machine::MachineSpec;
     use hbar_topo::mapping::RankMapping;
@@ -488,7 +627,10 @@ mod tests {
         // The exact score evaluates the real composed cost of each local
         // choice, so the final full-schedule prediction can only improve
         // (or tie) relative to the ×2 approximation.
-        for machine in [MachineSpec::dual_quad_cluster(8), MachineSpec::dual_hex_cluster(10)] {
+        for machine in [
+            MachineSpec::dual_quad_cluster(8),
+            MachineSpec::dual_hex_cluster(10),
+        ] {
             let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::RoundRobin);
             let paper = tune_hybrid(&prof, &TunerConfig::default());
             let exact = tune_hybrid(

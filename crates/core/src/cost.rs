@@ -26,8 +26,10 @@
 //!   `r`'s receive completion; the barrier cost is the largest final
 //!   `ready` value.
 
+use crate::algorithms::Algorithm;
 use crate::schedule::BarrierSchedule;
-use hbar_topo::cost::CostMatrices;
+use hbar_topo::cost::{CostMatrices, SendMode};
+use std::collections::HashMap;
 
 /// Options for the prediction model.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -71,7 +73,12 @@ pub fn predict_barrier_cost(
     skews: Option<&[f64]>,
 ) -> Prediction {
     let n = schedule.n();
-    assert_eq!(cost.p(), n, "cost matrices cover {} ranks, schedule has {n}", cost.p());
+    assert_eq!(
+        cost.p(),
+        n,
+        "cost matrices cover {} ranks, schedule has {n}",
+        cost.p()
+    );
     let mut ready: Vec<f64> = match skews {
         Some(s) => {
             assert_eq!(s.len(), n, "skew vector length mismatch");
@@ -118,9 +125,7 @@ pub fn predict_barrier_cost(
             next[r] = next[r].max(ready[r]);
         }
         ready = next;
-        stage_frontier.push(
-            ready.iter().copied().fold(f64::NEG_INFINITY, f64::max) - origin,
-        );
+        stage_frontier.push(ready.iter().copied().fold(f64::NEG_INFINITY, f64::max) - origin);
     }
 
     let latest = ready.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -145,6 +150,279 @@ pub fn predict_arrival_cost(
         sched.push(crate::schedule::Stage::arrival(m.clone()));
     }
     predict_barrier_cost(&sched, cost, params, None).barrier_cost
+}
+
+/// FNV-1a hash of a member set (order-sensitive; the composer always
+/// passes members in ascending rank order, so equal sets hash equally).
+pub fn member_set_hash(members: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h ^= members.len() as u64;
+    h = h.wrapping_mul(0x0100_0000_01b3);
+    for &m in members {
+        h ^= m as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Key of one memoized per-cluster algorithm score: the member set
+/// (hashed — see [`member_set_hash`]), the candidate algorithm, and the
+/// two scoring-rule switches that change the number. Valid only for the
+/// cost matrices the owning [`CostEvaluator`] is bound to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ScoreKey {
+    pub members_hash: u64,
+    pub members_len: usize,
+    pub algorithm: Algorithm,
+    pub is_root: bool,
+    pub exact: bool,
+}
+
+/// Reusable prediction engine: the same recurrence as
+/// [`predict_barrier_cost`], bit-for-bit, but with all per-call scratch
+/// (ready/next vectors, the per-receiver inbound arena and its
+/// counting-sort staging) owned by the evaluator, so repeated
+/// predictions over the same rank count perform zero heap allocation.
+///
+/// It additionally memoizes per-cluster algorithm scores for the greedy
+/// composer ([`Self::cached_score`]/[`Self::store_score`]); the cache is
+/// keyed by [`ScoreKey`] and guarded by a fingerprint of the bound cost
+/// matrices — [`Self::rebind`] clears it whenever the matrices change.
+///
+/// Numeric contract: every floating-point operation is performed with
+/// the same values in the same association order as the reference free
+/// function, so `barrier_cost`/`predict` are exactly equal (not merely
+/// close) to `predict_barrier_cost`. Receiver inbound messages are
+/// staged per receiver in ascending sender order and sorted by
+/// `(arrival, sender)` with an unstable sort; since each sender signals
+/// a receiver at most once per stage this reproduces the reference's
+/// stable sort by arrival time alone.
+#[derive(Clone, Debug)]
+pub struct CostEvaluator {
+    params: CostParams,
+    // Scratch, sized to the rank count on first use.
+    ready: Vec<f64>,
+    next: Vec<f64>,
+    counts: Vec<usize>,
+    starts: Vec<usize>,
+    cursor: Vec<usize>,
+    entries: Vec<(f64, usize)>,
+    // Memoized greedy scores, valid for `bound_fingerprint`.
+    memo: HashMap<ScoreKey, f64>,
+    bound_fingerprint: Option<u64>,
+}
+
+impl CostEvaluator {
+    /// A fresh evaluator; scratch grows on first prediction.
+    pub fn new(params: CostParams) -> Self {
+        CostEvaluator {
+            params,
+            ready: Vec::new(),
+            next: Vec::new(),
+            counts: Vec::new(),
+            starts: Vec::new(),
+            cursor: Vec::new(),
+            entries: Vec::new(),
+            memo: HashMap::new(),
+            bound_fingerprint: None,
+        }
+    }
+
+    /// The model options this evaluator applies.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Binds the score memo to `cost`: a no-op when the matrices are
+    /// unchanged (so successive tunes on the same profile share hits),
+    /// a cache clear when they differ.
+    pub fn rebind(&mut self, cost: &CostMatrices) {
+        let fp = cost_fingerprint(cost);
+        if self.bound_fingerprint != Some(fp) {
+            self.memo.clear();
+            self.bound_fingerprint = Some(fp);
+        }
+    }
+
+    /// Number of memoized scores (for tests/telemetry).
+    pub fn cached_scores(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Looks up a memoized score. Callers must have [`Self::rebind`]-ed
+    /// to the cost matrices the key was scored under.
+    pub fn cached_score(&self, key: &ScoreKey) -> Option<f64> {
+        self.memo.get(key).copied()
+    }
+
+    /// Records a score for later [`Self::cached_score`] hits.
+    pub fn store_score(&mut self, key: ScoreKey, score: f64) {
+        self.memo.insert(key, score);
+    }
+
+    /// Critical-path cost only — the fully allocation-free entry point.
+    pub fn barrier_cost(
+        &mut self,
+        schedule: &BarrierSchedule,
+        cost: &CostMatrices,
+        skews: Option<&[f64]>,
+    ) -> f64 {
+        let origin = self.advance(schedule, cost, skews, None);
+        self.ready.iter().copied().fold(f64::NEG_INFINITY, f64::max) - origin
+    }
+
+    /// Full prediction; only the returned vectors are allocated.
+    pub fn predict(
+        &mut self,
+        schedule: &BarrierSchedule,
+        cost: &CostMatrices,
+        skews: Option<&[f64]>,
+    ) -> Prediction {
+        let mut stage_frontier = Vec::with_capacity(schedule.len());
+        let origin = self.advance(schedule, cost, skews, Some(&mut stage_frontier));
+        let latest = self.ready.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Prediction {
+            rank_exit: self.ready.clone(),
+            barrier_cost: latest - origin,
+            stage_frontier,
+        }
+    }
+
+    /// Runs the stage recurrence, leaving final per-rank exit times in
+    /// `self.ready`, and returns the time origin.
+    fn advance(
+        &mut self,
+        schedule: &BarrierSchedule,
+        cost: &CostMatrices,
+        skews: Option<&[f64]>,
+        mut frontier: Option<&mut Vec<f64>>,
+    ) -> f64 {
+        let n = schedule.n();
+        assert_eq!(
+            cost.p(),
+            n,
+            "cost matrices cover {} ranks, schedule has {n}",
+            cost.p()
+        );
+        self.ready.clear();
+        match skews {
+            Some(s) => {
+                assert_eq!(s.len(), n, "skew vector length mismatch");
+                self.ready.extend_from_slice(s);
+            }
+            None => self.ready.resize(n, 0.0),
+        }
+        let origin = self
+            .ready
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(0.0);
+
+        for stage in schedule.compiled() {
+            // next starts as "no progress", i.e. a copy of ready.
+            self.next.clear();
+            self.next.extend_from_slice(&self.ready);
+            // Counting-sort staging: bucket inbound signals by receiver,
+            // preserving ascending sender order within each bucket.
+            self.counts.clear();
+            self.counts.resize(n, 0);
+            for (_, targets) in stage.sends() {
+                for &j in targets {
+                    self.counts[j] += 1;
+                }
+            }
+            self.starts.clear();
+            let mut acc = 0usize;
+            for &c in &self.counts {
+                self.starts.push(acc);
+                acc += c;
+            }
+            self.cursor.clear();
+            self.cursor.extend_from_slice(&self.starts);
+            self.entries.clear();
+            self.entries.resize(acc, (0.0, 0));
+
+            for (i, targets) in stage.sends() {
+                let base = self.ready[i];
+                let oii = cost.o[(i, i)];
+                // Running prefix latency / startup max reproduce the
+                // reference's per-target `arrival_offset` exactly: both
+                // accumulate left to right over the same target order.
+                let mut lat = 0.0f64;
+                let mut run_max = f64::NEG_INFINITY;
+                for &j in targets {
+                    debug_assert_ne!(j, i, "rank {i} cannot signal itself");
+                    lat += cost.l[(i, j)];
+                    run_max = run_max.max(cost.o[(i, j)]);
+                    let startup = match stage.mode {
+                        SendMode::General => run_max,
+                        SendMode::ReceiversAwaiting => oii,
+                    };
+                    let slot = self.cursor[j];
+                    self.entries[slot] = (base + (startup + lat), i);
+                    self.cursor[j] = slot + 1;
+                }
+                let startup = match stage.mode {
+                    SendMode::General => run_max,
+                    SendMode::ReceiversAwaiting => oii,
+                };
+                self.next[i] = base + (startup + lat);
+            }
+
+            for j in 0..n {
+                let cnt = self.counts[j];
+                if cnt == 0 {
+                    continue;
+                }
+                let seg = &mut self.entries[self.starts[j]..self.starts[j] + cnt];
+                // Senders are unique per (receiver, stage), so ordering by
+                // (arrival, sender) equals the reference's stable sort by
+                // arrival over ascending-sender insertion order.
+                seg.sort_unstable_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("finite times")
+                        .then_with(|| a.1.cmp(&b.1))
+                });
+                let mut t = f64::NEG_INFINITY;
+                for &(at, src) in seg.iter() {
+                    t = if self.params.receiver_processing {
+                        t.max(at) + cost.l[(src, j)]
+                    } else {
+                        t.max(at)
+                    };
+                }
+                self.next[j] = self.next[j].max(t);
+            }
+            for r in 0..n {
+                self.next[r] = self.next[r].max(self.ready[r]);
+            }
+            std::mem::swap(&mut self.ready, &mut self.next);
+            if let Some(fr) = frontier.as_deref_mut() {
+                fr.push(self.ready.iter().copied().fold(f64::NEG_INFINITY, f64::max) - origin);
+            }
+        }
+        origin
+    }
+}
+
+/// FNV-1a over the raw bits of both cost matrices: the memo guard used
+/// by [`CostEvaluator::rebind`].
+fn cost_fingerprint(cost: &CostMatrices) -> u64 {
+    let p = cost.p();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mix = |h: &mut u64, x: u64| {
+        *h ^= x;
+        *h = h.wrapping_mul(0x0100_0000_01b3);
+    };
+    mix(&mut h, p as u64);
+    for i in 0..p {
+        for j in 0..p {
+            mix(&mut h, cost.o[(i, j)].to_bits());
+            mix(&mut h, cost.l[(i, j)].to_bits());
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -182,7 +460,9 @@ mod tests {
         let c = uniform(2);
         let mut sched = BarrierSchedule::new(2);
         sched.push(Stage::arrival(BoolMatrix::from_edges(2, &[(1, 0)])));
-        let params = CostParams { receiver_processing: false };
+        let params = CostParams {
+            receiver_processing: false,
+        };
         let p = predict_barrier_cost(&sched, &c, &params, None);
         assert_eq!(p.barrier_cost, 12.0);
     }
@@ -191,8 +471,13 @@ mod tests {
     fn departure_mode_uses_oii() {
         let c = uniform(3);
         let mut sched = BarrierSchedule::new(3);
-        sched.push(Stage::departure(BoolMatrix::from_edges(3, &[(0, 1), (0, 2)])));
-        let params = CostParams { receiver_processing: false };
+        sched.push(Stage::departure(BoolMatrix::from_edges(
+            3,
+            &[(0, 1), (0, 2)],
+        )));
+        let params = CostParams {
+            receiver_processing: false,
+        };
         let p = predict_barrier_cost(&sched, &c, &params, None);
         // Eq. 2: O_00 + L + L = 1 + 4 = 5 at the last receiver.
         assert_eq!(p.barrier_cost, 5.0);
@@ -215,7 +500,10 @@ mod tests {
         // Near-linear growth: doubling P roughly doubles the increment.
         let d1 = c16 - c8;
         let d2 = c32 - c16;
-        assert!(d2 > 1.5 * d1, "expected superlinear deltas, got {d1} then {d2}");
+        assert!(
+            d2 > 1.5 * d1,
+            "expected superlinear deltas, got {d1} then {d2}"
+        );
     }
 
     #[test]
@@ -224,8 +512,18 @@ mod tests {
         let p = 64;
         let c = uniform(p);
         let members: Vec<usize> = (0..p).collect();
-        let lin = predict_barrier_cost(&Algorithm::Linear.full_schedule(p, &members), &c, &params, None);
-        let tree = predict_barrier_cost(&Algorithm::Tree.full_schedule(p, &members), &c, &params, None);
+        let lin = predict_barrier_cost(
+            &Algorithm::Linear.full_schedule(p, &members),
+            &c,
+            &params,
+            None,
+        );
+        let tree = predict_barrier_cost(
+            &Algorithm::Tree.full_schedule(p, &members),
+            &c,
+            &params,
+            None,
+        );
         assert!(tree.barrier_cost < lin.barrier_cost);
     }
 
@@ -268,13 +566,36 @@ mod tests {
         let p = prof.p;
         let members: Vec<usize> = (0..p).collect();
         let params = CostParams::default();
-        let lin = predict_barrier_cost(&Algorithm::Linear.full_schedule(p, &members), &prof.cost, &params, None);
-        let tree = predict_barrier_cost(&Algorithm::Tree.full_schedule(p, &members), &prof.cost, &params, None);
-        let diss = predict_barrier_cost(&Algorithm::Dissemination.full_schedule(p, &members), &prof.cost, &params, None);
-        assert!(tree.barrier_cost < lin.barrier_cost, "tree {} < linear {}", tree.barrier_cost, lin.barrier_cost);
+        let lin = predict_barrier_cost(
+            &Algorithm::Linear.full_schedule(p, &members),
+            &prof.cost,
+            &params,
+            None,
+        );
+        let tree = predict_barrier_cost(
+            &Algorithm::Tree.full_schedule(p, &members),
+            &prof.cost,
+            &params,
+            None,
+        );
+        let diss = predict_barrier_cost(
+            &Algorithm::Dissemination.full_schedule(p, &members),
+            &prof.cost,
+            &params,
+            None,
+        );
+        assert!(
+            tree.barrier_cost < lin.barrier_cost,
+            "tree {} < linear {}",
+            tree.barrier_cost,
+            lin.barrier_cost
+        );
         assert!(diss.barrier_cost < lin.barrier_cost);
         for v in [lin.barrier_cost, tree.barrier_cost, diss.barrier_cost] {
-            assert!((1e-5..5e-3).contains(&v), "barrier cost {v} outside plausible range");
+            assert!(
+                (1e-5..5e-3).contains(&v),
+                "barrier cost {v} outside plausible range"
+            );
         }
     }
 
@@ -293,6 +614,107 @@ mod tests {
         }
         let direct = predict_barrier_cost(&sched, &prof.cost, &params, None).barrier_cost;
         assert_eq!(via_helper, direct);
+    }
+
+    #[test]
+    fn evaluator_is_bit_identical_to_reference() {
+        // Every field of the prediction must match exactly (==, not
+        // approximately) across algorithms, modes, profiles and skews.
+        let machine = MachineSpec::dual_quad_cluster(4);
+        let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::RoundRobin);
+        let p = prof.p;
+        let members: Vec<usize> = (0..p).collect();
+        let skews: Vec<f64> = (0..p).map(|r| (r % 5) as f64 * 1e-6).collect();
+        for params in [
+            CostParams::default(),
+            CostParams {
+                receiver_processing: false,
+            },
+        ] {
+            let mut eval = CostEvaluator::new(params);
+            for alg in [Algorithm::Linear, Algorithm::Tree, Algorithm::Dissemination] {
+                let sched = alg.full_schedule(p, &members);
+                for skew in [None, Some(skews.as_slice())] {
+                    let reference = predict_barrier_cost(&sched, &prof.cost, &params, skew);
+                    let fast = eval.predict(&sched, &prof.cost, skew);
+                    assert_eq!(fast, reference, "{alg:?} params {params:?}");
+                    assert_eq!(
+                        eval.barrier_cost(&sched, &prof.cost, skew),
+                        reference.barrier_cost
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_handles_tie_arrivals_like_reference() {
+        // Uniform costs produce many identical arrival times; the
+        // (arrival, sender) sort must replicate the stable reference.
+        let p = 16;
+        let c = uniform(p);
+        let members: Vec<usize> = (0..p).collect();
+        let params = CostParams::default();
+        let mut eval = CostEvaluator::new(params);
+        for alg in [Algorithm::Linear, Algorithm::Tree, Algorithm::Dissemination] {
+            let sched = alg.full_schedule(p, &members);
+            let reference = predict_barrier_cost(&sched, &c, &params, None);
+            assert_eq!(eval.predict(&sched, &c, None), reference);
+        }
+    }
+
+    #[test]
+    fn evaluator_scratch_survives_rank_count_changes() {
+        let params = CostParams::default();
+        let mut eval = CostEvaluator::new(params);
+        for p in [8, 32, 4, 16] {
+            let c = uniform(p);
+            let members: Vec<usize> = (0..p).collect();
+            let sched = Algorithm::Dissemination.full_schedule(p, &members);
+            let reference = predict_barrier_cost(&sched, &c, &params, None);
+            assert_eq!(eval.barrier_cost(&sched, &c, None), reference.barrier_cost);
+        }
+    }
+
+    #[test]
+    fn score_memo_survives_rebind_to_same_cost_only() {
+        let c = uniform(8);
+        let mut eval = CostEvaluator::new(CostParams::default());
+        eval.rebind(&c);
+        let key = ScoreKey {
+            members_hash: member_set_hash(&[0, 1, 2]),
+            members_len: 3,
+            algorithm: Algorithm::Tree,
+            is_root: false,
+            exact: true,
+        };
+        assert_eq!(eval.cached_score(&key), None);
+        eval.store_score(key, 42.0);
+        assert_eq!(eval.cached_score(&key), Some(42.0));
+        // Same matrices: the memo persists.
+        eval.rebind(&c.clone());
+        assert_eq!(eval.cached_score(&key), Some(42.0));
+        // Different matrices: the memo is invalidated.
+        let mut other = c.clone();
+        other.o[(0, 1)] += 1.0;
+        eval.rebind(&other);
+        assert_eq!(eval.cached_score(&key), None);
+        assert_eq!(eval.cached_scores(), 0);
+    }
+
+    #[test]
+    fn member_set_hash_separates_sets() {
+        assert_ne!(member_set_hash(&[0, 1]), member_set_hash(&[0, 2]));
+        assert_ne!(member_set_hash(&[0, 1]), member_set_hash(&[0, 1, 2]));
+        assert_eq!(member_set_hash(&[3, 7]), member_set_hash(&[3, 7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cost matrices cover")]
+    fn evaluator_size_mismatch_panics() {
+        let c = uniform(3);
+        let sched = BarrierSchedule::new(4);
+        CostEvaluator::new(CostParams::default()).barrier_cost(&sched, &c, None);
     }
 
     #[test]

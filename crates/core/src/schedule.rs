@@ -14,6 +14,7 @@ use hbar_matrix::BoolMatrix;
 use hbar_topo::cost::SendMode;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// One step of a barrier: who signals whom, and under which cost equation.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,17 +41,126 @@ impl Stage {
     }
 }
 
+/// A [`Stage`] lowered to compressed sparse row form: the active senders
+/// and their ascending target lists, materialized once per stage so hot
+/// prediction loops never re-collect `row_iter` per call.
+#[derive(Clone, Debug)]
+pub struct CompiledStage {
+    /// Cost equation of the source stage.
+    pub mode: SendMode,
+    senders: Vec<usize>,
+    target_offsets: Vec<usize>,
+    targets: Vec<usize>,
+}
+
+impl CompiledStage {
+    fn compile(stage: &Stage) -> Self {
+        let n = stage.matrix.n();
+        let mut senders = Vec::new();
+        let mut target_offsets = vec![0];
+        let mut targets = Vec::new();
+        let mut row = Vec::new();
+        for i in 0..n {
+            stage.matrix.row_targets_into(i, &mut row);
+            if row.is_empty() {
+                continue;
+            }
+            senders.push(i);
+            targets.extend_from_slice(&row);
+            target_offsets.push(targets.len());
+        }
+        CompiledStage {
+            mode: stage.mode,
+            senders,
+            target_offsets,
+            targets,
+        }
+    }
+
+    /// Ranks with at least one outgoing signal, ascending.
+    pub fn senders(&self) -> &[usize] {
+        &self.senders
+    }
+
+    /// Ascending targets of the `k`-th active sender.
+    pub fn targets_of(&self, k: usize) -> &[usize] {
+        &self.targets[self.target_offsets[k]..self.target_offsets[k + 1]]
+    }
+
+    /// Iterates `(sender, targets)` pairs in ascending sender order.
+    pub fn sends(&self) -> impl Iterator<Item = (usize, &[usize])> + '_ {
+        self.senders
+            .iter()
+            .enumerate()
+            .map(move |(k, &i)| (i, self.targets_of(k)))
+    }
+}
+
 /// A complete signal pattern for `n` processes.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Carries a lazily compiled CSR view of its stages (see
+/// [`Self::compiled`]); the cache never participates in equality,
+/// cloning, or serialization, and every mutation resets it.
 pub struct BarrierSchedule {
     n: usize,
     stages: Vec<Stage>,
+    compiled: OnceLock<Vec<CompiledStage>>,
+}
+
+impl Clone for BarrierSchedule {
+    fn clone(&self) -> Self {
+        BarrierSchedule {
+            n: self.n,
+            stages: self.stages.clone(),
+            compiled: OnceLock::new(),
+        }
+    }
+}
+
+impl fmt::Debug for BarrierSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BarrierSchedule")
+            .field("n", &self.n)
+            .field("stages", &self.stages)
+            .finish()
+    }
+}
+
+impl PartialEq for BarrierSchedule {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.stages == other.stages
+    }
+}
+
+impl Eq for BarrierSchedule {}
+
+impl Serialize for BarrierSchedule {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("n".to_string(), self.n.to_value()),
+            ("stages".to_string(), self.stages.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BarrierSchedule {
+    fn from_value(value: &serde::Value) -> Result<Self, String> {
+        Ok(BarrierSchedule {
+            n: Deserialize::from_value(serde::__field(value, "n", "BarrierSchedule")?)?,
+            stages: Deserialize::from_value(serde::__field(value, "stages", "BarrierSchedule")?)?,
+            compiled: OnceLock::new(),
+        })
+    }
 }
 
 impl BarrierSchedule {
     /// An empty schedule over `n` processes.
     pub fn new(n: usize) -> Self {
-        BarrierSchedule { n, stages: Vec::new() }
+        BarrierSchedule {
+            n,
+            stages: Vec::new(),
+            compiled: OnceLock::new(),
+        }
     }
 
     /// Builds from arrival-phase matrices (all stages get Eq. 1 mode).
@@ -82,6 +192,16 @@ impl BarrierSchedule {
         &self.stages
     }
 
+    /// The CSR-compiled stages, materialized on first use and cached
+    /// until the next mutation. Compilation walks matrix rows a whole
+    /// word at a time ([`BoolMatrix::row_targets_into`]), so repeated
+    /// cost predictions over an unchanged schedule allocate nothing and
+    /// never re-scan the bitsets.
+    pub fn compiled(&self) -> &[CompiledStage] {
+        self.compiled
+            .get_or_init(|| self.stages.iter().map(CompiledStage::compile).collect())
+    }
+
     /// Just the incidence matrices, in execution order.
     pub fn matrices(&self) -> Vec<&BoolMatrix> {
         self.stages.iter().map(|s| &s.matrix).collect()
@@ -96,12 +216,14 @@ impl BarrierSchedule {
         for i in 0..self.n {
             assert!(!stage.matrix.get(i, i), "rank {i} signals itself");
         }
+        self.compiled.take();
         self.stages.push(stage);
     }
 
     /// Appends all stages of `other`.
     pub fn append(&mut self, other: &BarrierSchedule) {
         assert_eq!(other.n, self.n, "schedule dimension mismatch");
+        self.compiled.take();
         for s in &other.stages {
             self.stages.push(s.clone());
         }
@@ -118,7 +240,11 @@ impl BarrierSchedule {
     /// from the transposition — used when the root level is a dissemination
     /// barrier, whose stages require no departure (§VII-B).
     pub fn departure_reversed(&self, skip_last: usize) -> BarrierSchedule {
-        assert!(skip_last <= self.stages.len(), "cannot skip {skip_last} of {} stages", self.stages.len());
+        assert!(
+            skip_last <= self.stages.len(),
+            "cannot skip {skip_last} of {} stages",
+            self.stages.len()
+        );
         let mut out = BarrierSchedule::new(self.n);
         let take = self.stages.len() - skip_last;
         for s in self.stages[..take].iter().rev() {
@@ -130,6 +256,7 @@ impl BarrierSchedule {
     /// Removes stages whose matrices are entirely zero ("eliminate no-op
     /// transmission steps", §VII-C), returning how many were removed.
     pub fn strip_noop_stages(&mut self) -> usize {
+        self.compiled.take();
         let before = self.stages.len();
         self.stages.retain(|s| !s.matrix.is_zero());
         before - self.stages.len()
@@ -147,6 +274,7 @@ impl BarrierSchedule {
     /// matrices would have a rank signalling itself.
     pub fn merge_overlay(&mut self, other: &BarrierSchedule, offset: usize) {
         assert_eq!(other.n, self.n, "schedule dimension mismatch");
+        self.compiled.take();
         for (k, s) in other.stages.iter().enumerate() {
             let idx = offset + k;
             if idx < self.stages.len() {
@@ -188,7 +316,12 @@ impl BarrierSchedule {
 
 impl fmt::Display for BarrierSchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "BarrierSchedule over {} ranks, {} stages:", self.n, self.stages.len())?;
+        writeln!(
+            f,
+            "BarrierSchedule over {} ranks, {} stages:",
+            self.n,
+            self.stages.len()
+        )?;
         for (k, s) in self.stages.iter().enumerate() {
             let mode = match s.mode {
                 SendMode::General => "arrival",
@@ -247,7 +380,10 @@ mod tests {
         assert_eq!(dep.len(), 2);
         assert_eq!(dep.stages()[0].matrix, b.transpose());
         assert_eq!(dep.stages()[1].matrix, a.transpose());
-        assert!(dep.stages().iter().all(|s| s.mode == SendMode::ReceiversAwaiting));
+        assert!(dep
+            .stages()
+            .iter()
+            .all(|s| s.mode == SendMode::ReceiversAwaiting));
     }
 
     #[test]
@@ -284,7 +420,10 @@ mod tests {
         short.push(Stage::arrival(BoolMatrix::from_edges(6, &[(5, 4)])));
         long.merge_overlay(&short, 0);
         assert_eq!(long.len(), 3);
-        assert!(long.stages()[0].matrix.get(5, 4), "short stage embedded early");
+        assert!(
+            long.stages()[0].matrix.get(5, 4),
+            "short stage embedded early"
+        );
         assert!(long.stages()[0].matrix.get(1, 0));
         assert!(!long.stages()[1].matrix.get(5, 4));
     }
@@ -341,6 +480,57 @@ mod tests {
         }
         arrival_only.push(Stage::arrival(s0));
         assert!(!arrival_only.is_barrier());
+    }
+
+    #[test]
+    fn compiled_matches_row_iter() {
+        let sched = linear(5);
+        let c = sched.compiled();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].senders(), &[1, 2, 3, 4]);
+        assert_eq!(c[0].mode, SendMode::General);
+        for (k, &i) in c[0].senders().iter().enumerate() {
+            let expect: Vec<usize> = sched.stages()[0].matrix.row_iter(i).collect();
+            assert_eq!(c[0].targets_of(k), expect.as_slice());
+        }
+        assert_eq!(c[1].senders(), &[0]);
+        assert_eq!(c[1].targets_of(0), &[1, 2, 3, 4]);
+        assert_eq!(c[1].mode, SendMode::ReceiversAwaiting);
+        let sends: Vec<(usize, Vec<usize>)> =
+            c[0].sends().map(|(i, ts)| (i, ts.to_vec())).collect();
+        assert_eq!(sends.len(), 4);
+        assert!(sends.iter().all(|(_, ts)| ts == &[0]));
+    }
+
+    #[test]
+    fn mutation_invalidates_compiled_cache() {
+        let mut sched = linear(5);
+        assert_eq!(sched.compiled().len(), 2);
+        sched.push(Stage::arrival(BoolMatrix::from_edges(5, &[(2, 3)])));
+        assert_eq!(sched.compiled().len(), 3);
+        let mut overlay = BarrierSchedule::new(5);
+        overlay.push(Stage::arrival(BoolMatrix::from_edges(5, &[(4, 2)])));
+        sched.merge_overlay(&overlay, 2);
+        assert!(sched.compiled()[2]
+            .sends()
+            .any(|(i, ts)| i == 4 && ts == [2]));
+        let mut tail = BarrierSchedule::new(5);
+        tail.push(Stage::arrival(BoolMatrix::zeros(5)));
+        sched.append(&tail);
+        assert_eq!(sched.compiled().len(), 4);
+        sched.strip_noop_stages();
+        assert_eq!(sched.compiled().len(), 3);
+    }
+
+    #[test]
+    fn clone_equality_and_serde_ignore_cache() {
+        let sched = linear(4);
+        let _ = sched.compiled(); // populate the cache
+        let copy = sched.clone();
+        assert_eq!(copy, sched);
+        let back = BarrierSchedule::from_value(&sched.to_value()).expect("round trip");
+        assert_eq!(back, sched);
+        assert!(back.is_barrier());
     }
 
     #[test]

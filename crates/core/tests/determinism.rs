@@ -1,0 +1,138 @@
+//! Parallel/sequential bit-parity of the tuning pipeline.
+//!
+//! The rayon-parallel paths (root-sibling composition in the greedy
+//! tuner, first-stage waves in the exhaustive search) promise output
+//! bit-identical to a forced single-thread run. These tests hold them to
+//! it across seeded random hierarchical profiles: identical schedules,
+//! identical choice lists, and bit-identical (`to_bits`) predictions.
+
+use hbar_core::compose::{search_optimal_barrier, tune_hybrid_costs, SearchConfig, TunerConfig};
+use hbar_matrix::DenseMatrix;
+use hbar_topo::cost::CostMatrices;
+use proptest::prelude::*;
+
+/// A synthetic hierarchical machine: `nodes × per_node` ranks, cheap
+/// intra-node links, expensive inter-node links, and per-pair jitter so
+/// no two profiles are alike. Values stay positive and symmetric enough
+/// for the SSS metric.
+fn hierarchical_costs(nodes: usize, per_node: usize, jitter: &[f64]) -> CostMatrices {
+    let p = nodes * per_node;
+    let jit = |i: usize, j: usize| jitter[(i * p + j) % jitter.len()];
+    let o = DenseMatrix::from_fn(p, |i, j| {
+        if i == j {
+            0.4e-6
+        } else if i / per_node == j / per_node {
+            1.0e-6 * (1.0 + jit(i, j))
+        } else {
+            3.0e-6 * (1.0 + jit(i, j))
+        }
+    });
+    let l = DenseMatrix::from_fn(p, |i, j| {
+        if i == j {
+            0.0
+        } else if i / per_node == j / per_node {
+            0.5e-6 * (1.0 + jit(j, i))
+        } else {
+            50.0e-6 * (1.0 + jit(j, i))
+        }
+    });
+    CostMatrices { o, l }
+}
+
+/// Asserts the full tuner output matches bit-for-bit across modes.
+fn assert_tuner_parity(cost: &CostMatrices, base: &TunerConfig) {
+    let members: Vec<usize> = (0..cost.p()).collect();
+    let par = TunerConfig {
+        parallel: true,
+        ..base.clone()
+    };
+    let seq = TunerConfig {
+        parallel: false,
+        ..base.clone()
+    };
+    let a = tune_hybrid_costs(cost, &members, &par);
+    let b = tune_hybrid_costs(cost, &members, &seq);
+    assert_eq!(a.schedule, b.schedule, "schedules diverged");
+    assert_eq!(a.choices.len(), b.choices.len(), "choice counts diverged");
+    for (ca, cb) in a.choices.iter().zip(&b.choices) {
+        assert_eq!(ca.participants, cb.participants);
+        assert_eq!(ca.depth, cb.depth);
+        assert_eq!(ca.algorithm, cb.algorithm);
+        assert_eq!(ca.score.to_bits(), cb.score.to_bits(), "scores diverged");
+    }
+    assert_eq!(
+        a.predicted_cost.to_bits(),
+        b.predicted_cost.to_bits(),
+        "predictions diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Greedy tuner: parallel == sequential on random small hierarchies,
+    /// under both the paper scoring rule and the exact-scoring extension.
+    #[test]
+    fn tuner_parity_on_random_hierarchies(
+        nodes in 2usize..7,
+        per_node in 2usize..7,
+        jitter in prop::collection::vec(0.0f64..0.5, 16),
+        score_exact in any::<bool>(),
+    ) {
+        let cost = hierarchical_costs(nodes, per_node, &jitter);
+        let cfg = TunerConfig { score_exact, ..TunerConfig::default() };
+        assert_tuner_parity(&cost, &cfg);
+    }
+
+    /// Exhaustive search: parallel == sequential on random profiles —
+    /// same winning schedule, bit-identical cost, same expansion count
+    /// and completeness flag. Kept to 4 ranks and modest budgets: the
+    /// parity argument is structural, the random jitter only has to vary
+    /// which branch wins and where truncation lands.
+    #[test]
+    fn search_parity_on_random_profiles(
+        jitter in prop::collection::vec(0.0f64..0.5, 16),
+        tight_budget in any::<bool>(),
+    ) {
+        let cost = hierarchical_costs(2, 2, &jitter);
+        let par = SearchConfig {
+            max_expansions: if tight_budget { 200 } else { 5_000 },
+            max_stages: 4,
+            parallel: true,
+            ..SearchConfig::default()
+        };
+        let seq = SearchConfig {
+            parallel: false,
+            ..par.clone()
+        };
+        let a = search_optimal_barrier(&cost, &par, None);
+        let b = search_optimal_barrier(&cost, &seq, None);
+        prop_assert_eq!(a.schedule, b.schedule);
+        prop_assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        prop_assert_eq!(a.expansions, b.expansions);
+        prop_assert_eq!(a.complete, b.complete);
+    }
+}
+
+/// Above the fork threshold the parallel tuner really does run the root
+/// siblings on worker threads — parity there is the load-bearing case
+/// (the proptest sizes stay below the threshold and share one code
+/// path).
+#[test]
+fn tuner_parity_when_fork_engages() {
+    for (nodes, per_node, seed) in [(36usize, 8usize, 3u64), (48, 6, 17)] {
+        // Cheap deterministic jitter stream (splitmix-style).
+        let mut state = seed;
+        let jitter: Vec<f64> = (0..32)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64) / (u32::MAX as f64) * 0.5
+            })
+            .collect();
+        let cost = hierarchical_costs(nodes, per_node, &jitter);
+        assert!(cost.p() >= 256, "case must cross the fork threshold");
+        assert_tuner_parity(&cost, &TunerConfig::default());
+    }
+}

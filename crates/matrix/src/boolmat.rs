@@ -91,14 +91,22 @@ impl BoolMatrix {
     /// Reads entry `(i, j)`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> bool {
-        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of range {}",
+            self.n
+        );
         self.bits[i * self.words_per_row + j / 64] >> (j % 64) & 1 == 1
     }
 
     /// Writes entry `(i, j)`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: bool) {
-        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of range {}",
+            self.n
+        );
         let w = &mut self.bits[i * self.words_per_row + j / 64];
         if v {
             *w |= 1 << (j % 64);
@@ -139,6 +147,28 @@ impl BoolMatrix {
         }
     }
 
+    /// Materializes the set columns of row `i`, ascending, into `out`
+    /// (clearing it first).
+    ///
+    /// This is the allocation-free analogue of `row_iter(i).collect()`:
+    /// hot prediction paths call it with a reused buffer, and the scan
+    /// works a whole `u64` word at a time.
+    pub fn row_targets_into(&self, i: usize, out: &mut Vec<usize>) {
+        out.clear();
+        for (w_idx, &word) in self.row(i).iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let idx = w_idx * 64 + bit;
+                // Bits beyond n should never be set, but guard anyway.
+                if idx < self.n {
+                    out.push(idx);
+                }
+            }
+        }
+    }
+
     /// Iterator over set rows of column `j` (in-neighbours of `j`), ascending.
     pub fn col_iter(&self, j: usize) -> impl Iterator<Item = usize> + '_ {
         (0..self.n).filter(move |&i| self.get(i, j))
@@ -164,7 +194,11 @@ impl BoolMatrix {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn or(&self, other: &Self) -> Self {
-        assert_eq!(self.n, other.n, "dimension mismatch {} vs {}", self.n, other.n);
+        assert_eq!(
+            self.n, other.n,
+            "dimension mismatch {} vs {}",
+            self.n, other.n
+        );
         let mut out = self.clone();
         out.or_assign(other);
         out
@@ -172,7 +206,11 @@ impl BoolMatrix {
 
     /// In-place boolean OR.
     pub fn or_assign(&mut self, other: &Self) {
-        assert_eq!(self.n, other.n, "dimension mismatch {} vs {}", self.n, other.n);
+        assert_eq!(
+            self.n, other.n,
+            "dimension mismatch {} vs {}",
+            self.n, other.n
+        );
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
         }
@@ -180,7 +218,11 @@ impl BoolMatrix {
 
     /// Boolean AND.
     pub fn and(&self, other: &Self) -> Self {
-        assert_eq!(self.n, other.n, "dimension mismatch {} vs {}", self.n, other.n);
+        assert_eq!(
+            self.n, other.n,
+            "dimension mismatch {} vs {}",
+            self.n, other.n
+        );
         let mut out = self.clone();
         for (a, b) in out.bits.iter_mut().zip(&other.bits) {
             *a &= b;
@@ -194,7 +236,11 @@ impl BoolMatrix {
     /// `self[i][k] ∧ other[k][j]` — i.e. knowledge held at `i` flows to `j`
     /// through a stage-`other` signal from `k`.
     pub fn and_or_product(&self, other: &Self) -> Self {
-        assert_eq!(self.n, other.n, "dimension mismatch {} vs {}", self.n, other.n);
+        assert_eq!(
+            self.n, other.n,
+            "dimension mismatch {} vs {}",
+            self.n, other.n
+        );
         let mut out = Self::zeros(self.n);
         for i in 0..self.n {
             // OR together the rows of `other` selected by row i of `self`.
@@ -364,6 +410,19 @@ mod tests {
         }
         let cols: Vec<usize> = m.row_iter(1).collect();
         assert_eq!(cols, vec![0, 63, 64, 127, 128, 129]);
+    }
+
+    #[test]
+    fn row_targets_into_matches_row_iter() {
+        let mut m = BoolMatrix::zeros(130);
+        for j in [0, 63, 64, 127, 128, 129] {
+            m.set(1, j, true);
+        }
+        let mut buf = vec![99, 98]; // stale contents must be discarded
+        m.row_targets_into(1, &mut buf);
+        assert_eq!(buf, m.row_iter(1).collect::<Vec<_>>());
+        m.row_targets_into(0, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

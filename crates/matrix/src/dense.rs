@@ -36,7 +36,13 @@ impl<T> DenseMatrix<T> {
     /// # Panics
     /// Panics if `data.len() != n * n`.
     pub fn from_vec(n: usize, data: Vec<T>) -> Self {
-        assert_eq!(data.len(), n * n, "expected {} entries, got {}", n * n, data.len());
+        assert_eq!(
+            data.len(),
+            n * n,
+            "expected {} entries, got {}",
+            n * n,
+            data.len()
+        );
         DenseMatrix { n, data }
     }
 
@@ -203,7 +209,11 @@ impl<T> Index<(usize, usize)> for DenseMatrix<T> {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of range {}",
+            self.n
+        );
         &self.data[i * self.n + j]
     }
 }
@@ -211,7 +221,11 @@ impl<T> Index<(usize, usize)> for DenseMatrix<T> {
 impl<T> IndexMut<(usize, usize)> for DenseMatrix<T> {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of range {}",
+            self.n
+        );
         &mut self.data[i * self.n + j]
     }
 }

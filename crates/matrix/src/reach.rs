@@ -25,7 +25,9 @@ pub struct KnowledgeTrace {
 impl KnowledgeTrace {
     /// Final knowledge matrix after all stages.
     pub fn last(&self) -> &BoolMatrix {
-        self.states.last().expect("trace always has the identity state")
+        self.states
+            .last()
+            .expect("trace always has the identity state")
     }
 
     /// True if the traced sequence synchronizes all processes.
@@ -36,10 +38,7 @@ impl KnowledgeTrace {
     /// The first stage index after which knowledge is complete, if any.
     /// (`Some(0)` would mean complete after stage 0, i.e. `states[1]` full.)
     pub fn first_complete_stage(&self) -> Option<usize> {
-        self.states
-            .iter()
-            .skip(1)
-            .position(|k| k.is_all_true())
+        self.states.iter().skip(1).position(|k| k.is_all_true())
     }
 }
 

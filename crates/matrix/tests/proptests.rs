@@ -5,12 +5,7 @@ use proptest::prelude::*;
 
 fn arb_bool_matrix(max_n: usize) -> impl Strategy<Value = BoolMatrix> {
     (1..=max_n)
-        .prop_flat_map(move |n| {
-            (
-                Just(n),
-                prop::collection::vec((0..n, 0..n), 0..n * 3),
-            )
-        })
+        .prop_flat_map(move |n| (Just(n), prop::collection::vec((0..n, 0..n), 0..n * 3)))
         .prop_map(|(n, edges)| BoolMatrix::from_edges(n, &edges))
 }
 

@@ -51,10 +51,16 @@ pub fn schedule_programs(schedule: &BarrierSchedule, reps: usize) -> Vec<Program
 /// Panics if the schedule's rank count differs from the world's, or if
 /// execution deadlocks (impossible for verified barrier schedules).
 pub fn measure_schedule(world: &mut SimWorld, schedule: &BarrierSchedule, reps: usize) -> f64 {
-    assert_eq!(schedule.n(), world.p(), "schedule/world rank count mismatch");
+    assert_eq!(
+        schedule.n(),
+        world.p(),
+        "schedule/world rank count mismatch"
+    );
     assert!(reps > 0, "need at least one repetition");
     let programs = schedule_programs(schedule, reps);
-    let result = world.run(programs).expect("verified barrier cannot deadlock");
+    let result = world
+        .run(programs)
+        .expect("verified barrier cannot deadlock");
     ns_to_sec(result.makespan()) / reps as f64
 }
 
@@ -81,7 +87,11 @@ pub fn staggered_delay_check(
     schedule: &BarrierSchedule,
     delay_ns: Time,
 ) -> (bool, Vec<DelayCheckRun>) {
-    assert_eq!(schedule.n(), world.p(), "schedule/world rank count mismatch");
+    assert_eq!(
+        schedule.n(),
+        world.p(),
+        "schedule/world rank count mismatch"
+    );
     let base = schedule_programs(schedule, 1);
     let mut runs = Vec::with_capacity(world.p());
     let mut all_ok = true;
@@ -99,7 +109,9 @@ pub fn staggered_delay_check(
                 }
             })
             .collect();
-        let result = world.run(programs).expect("verified barrier cannot deadlock");
+        let result = world
+            .run(programs)
+            .expect("verified barrier cannot deadlock");
         all_ok &= result.finish.iter().all(|&f| f >= delay_ns);
         runs.push(DelayCheckRun {
             delayed_rank: delayed,
@@ -148,7 +160,10 @@ mod tests {
             let mut w = world(machine.clone(), p);
             let delay = 50_000_000; // 50 ms virtual
             let (ok, runs) = staggered_delay_check(&mut w, &sched, delay);
-            assert!(ok, "{alg}: some rank exited before the delayed rank entered");
+            assert!(
+                ok,
+                "{alg}: some rank exited before the delayed rank entered"
+            );
             assert_eq!(runs.len(), p);
         }
     }

@@ -38,7 +38,10 @@ pub fn ping_pong_one_way(result: &SimResult, reps: usize) -> f64 {
 /// Builds the multi-message burst pair: `reps` rounds, each posting `k`
 /// zero-byte synchronous sends before a single completion wait.
 pub fn multi_message(k: usize, reps: usize) -> (Program, Program) {
-    assert!(k > 0 && reps > 0, "need at least one message and repetition");
+    assert!(
+        k > 0 && reps > 0,
+        "need at least one message and repetition"
+    );
     let mut a = Program::new();
     let mut b = Program::new();
     for _ in 0..reps {
@@ -153,7 +156,12 @@ mod tests {
         // The marginal cost of messages 8→16 approximates L (pipelined
         // spacing), for both a local and a remote pair.
         for (machine, a, b, class) in [
-            (MachineSpec::new(1, 1, 2), 0usize, 1usize, LinkClass::SameSocket),
+            (
+                MachineSpec::new(1, 1, 2),
+                0usize,
+                1usize,
+                LinkClass::SameSocket,
+            ),
             (MachineSpec::new(1, 2, 1), 0, 1, LinkClass::CrossSocket),
             (MachineSpec::new(2, 1, 1), 0, 1, LinkClass::InterNode),
         ] {

@@ -57,7 +57,11 @@ enum EventKind {
     /// Resume a process's program interpretation.
     Resume { proc: usize },
     /// A message has finished its wire (and pre-RX) journey.
-    Arrive { dst: usize, src: usize, class: LinkClass },
+    Arrive {
+        dst: usize,
+        src: usize,
+        class: LinkClass,
+    },
     /// A receive request completed at `proc`.
     RecvComplete { proc: usize },
     /// A synchronous send request completed at `proc`.
@@ -109,7 +113,11 @@ pub struct SimDeadlock {
 
 impl std::fmt::Display for SimDeadlock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "simulation deadlock; stuck (proc, pc, outstanding): {:?}", self.stuck)
+        write!(
+            f,
+            "simulation deadlock; stuck (proc, pc, outstanding): {:?}",
+            self.stuck
+        )
     }
 }
 
@@ -245,7 +253,11 @@ impl Engine {
                     } else {
                         ev.time
                     };
-                    self.record(TraceEvent::Delivered { time: available, src, dst });
+                    self.record(TraceEvent::Delivered {
+                        time: available,
+                        src,
+                        dst,
+                    });
                     if let Some(post_time) = self.procs[dst].posted[src].pop_front() {
                         self.complete_match(src, dst, class, available.max(post_time));
                     } else {
@@ -274,8 +286,16 @@ impl Engine {
             return Err(SimDeadlock { stuck });
         }
         Ok(EngineResult {
-            finish: self.procs.iter().map(|pr| pr.finish.expect("done implies finish")).collect(),
-            marks: self.procs.iter_mut().map(|pr| std::mem::take(&mut pr.marks)).collect(),
+            finish: self
+                .procs
+                .iter()
+                .map(|pr| pr.finish.expect("done implies finish"))
+                .collect(),
+            marks: self
+                .procs
+                .iter_mut()
+                .map(|pr| std::mem::take(&mut pr.marks))
+                .collect(),
             events: self.events,
             trace: self.trace.take(),
         })
@@ -287,11 +307,19 @@ impl Engine {
         let dur = self.noise.sample(self.gt.link(class).cpu_recv_ns);
         let done = self.cpu[dst].acquire(at, dur);
         self.schedule(done, EventKind::RecvComplete { proc: dst });
-        self.record(TraceEvent::RecvCompleted { time: done, src, dst });
+        self.record(TraceEvent::RecvCompleted {
+            time: done,
+            src,
+            dst,
+        });
         // Acknowledgement back to the synchronous sender: one wire delay.
         let ack = self.noise.sample(self.gt.link(class).wire_ns);
         self.schedule(done + ack, EventKind::SendComplete { proc: src });
-        self.record(TraceEvent::SendCompleted { time: done + ack, src, dst });
+        self.record(TraceEvent::SendCompleted {
+            time: done + ack,
+            src,
+            dst,
+        });
     }
 
     /// Interprets `proc`'s program starting at time `now` until it blocks
@@ -353,11 +381,13 @@ impl Engine {
                 Instr::Issend { dst, bytes } => {
                     let class = self.link_class(proc, dst);
                     let lc = *self.gt.link(class);
-                    let inject = self
-                        .noise
-                        .sample(self.gt.call_overhead_ns + lc.cpu_send_ns);
+                    let inject = self.noise.sample(self.gt.call_overhead_ns + lc.cpu_send_ns);
                     now = self.cpu[proc].acquire(now, inject);
-                    self.record(TraceEvent::SendInjected { time: now, src: proc, dst });
+                    self.record(TraceEvent::SendInjected {
+                        time: now,
+                        src: proc,
+                        dst,
+                    });
                     self.procs[proc].pc += 1;
                     self.procs[proc].outstanding += 1;
                     let after_tx = if class == LinkClass::InterNode {
@@ -369,7 +399,14 @@ impl Engine {
                     let wire = self
                         .noise
                         .sample(lc.wire_ns + (bytes as f64 * lc.ns_per_byte).round() as Time);
-                    self.schedule(after_tx + wire, EventKind::Arrive { dst, src: proc, class });
+                    self.schedule(
+                        after_tx + wire,
+                        EventKind::Arrive {
+                            dst,
+                            src: proc,
+                            class,
+                        },
+                    );
                 }
             }
         }
@@ -426,8 +463,12 @@ mod tests {
         let p1 = Program::new().irecv(0).wait_all();
         let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
         let c = gt.link(LinkClass::InterNode);
-        let recv_done =
-            gt.call_overhead_ns + c.cpu_send_ns + c.nic_tx_ns + c.wire_ns + c.nic_rx_ns + c.cpu_recv_ns;
+        let recv_done = gt.call_overhead_ns
+            + c.cpu_send_ns
+            + c.nic_tx_ns
+            + c.wire_ns
+            + c.nic_rx_ns
+            + c.cpu_recv_ns;
         assert_eq!(res.finish[1], recv_done);
         assert_eq!(res.finish[0], recv_done + c.wire_ns);
     }
@@ -511,7 +552,12 @@ mod tests {
             Program::new().irecv(1).wait_all(),
         ];
         let res = engine_for(&m, &[0, 1, 2, 3], progs).run().unwrap();
-        let first = gt.call_overhead_ns + c.cpu_send_ns + c.nic_tx_ns + c.wire_ns + c.nic_rx_ns + c.cpu_recv_ns;
+        let first = gt.call_overhead_ns
+            + c.cpu_send_ns
+            + c.nic_tx_ns
+            + c.wire_ns
+            + c.nic_rx_ns
+            + c.cpu_recv_ns;
         let finishes = [res.finish[2], res.finish[3]];
         let early = *finishes.iter().min().unwrap();
         let late = *finishes.iter().max().unwrap();
@@ -547,7 +593,9 @@ mod tests {
     fn marks_record_virtual_times() {
         let m = MachineSpec::new(1, 1, 2);
         let p0 = Program::new().mark("start").delay(500).mark("end");
-        let res = engine_for(&m, &[0, 1], vec![p0, Program::new()]).run().unwrap();
+        let res = engine_for(&m, &[0, 1], vec![p0, Program::new()])
+            .run()
+            .unwrap();
         assert_eq!(res.marks[0][0], ("start".into(), 0));
         assert_eq!(res.marks[0][1], ("end".into(), 500));
     }
@@ -567,8 +615,18 @@ mod tests {
             vec![
                 Program::new().issend(2).irecv(3).wait_all(),
                 Program::new().issend(3).irecv(2).wait_all(),
-                Program::new().issend(3).irecv(0).wait_all().issend(1).wait_all(),
-                Program::new().irecv(1).irecv(2).wait_all().issend(0).wait_all(),
+                Program::new()
+                    .issend(3)
+                    .irecv(0)
+                    .wait_all()
+                    .issend(1)
+                    .wait_all(),
+                Program::new()
+                    .irecv(1)
+                    .irecv(2)
+                    .wait_all()
+                    .issend(0)
+                    .wait_all(),
             ]
         };
         let r1 = engine_for(&m, &[0, 1, 2, 3], mk()).run().unwrap();

@@ -71,7 +71,12 @@ impl NoiseState {
     pub fn new(model: NoiseModel, run_salt: u64) -> Self {
         NoiseState {
             model,
-            rng: SmallRng::seed_from_u64(model.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(run_salt)),
+            rng: SmallRng::seed_from_u64(
+                model
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(run_salt),
+            ),
         }
     }
 
@@ -136,7 +141,11 @@ mod tests {
         }
         let mean = sum as f64 / n as f64;
         // E[1 + σ|z|] = 1 + σ·sqrt(2/π) ≈ 1.04 at σ=0.05.
-        assert!((mean / base as f64) < 1.08, "mean factor {}", mean / base as f64);
+        assert!(
+            (mean / base as f64) < 1.08,
+            "mean factor {}",
+            mean / base as f64
+        );
         assert!((mean / base as f64) > 1.01);
     }
 
@@ -166,10 +175,12 @@ mod tests {
         }
         // Different salt decorrelates.
         let mut c = NoiseState::new(model, 4);
-        let same = (0..100).filter(|_| {
-            let x = NoiseState::new(model, 3).sample(5000);
-            x == c.sample(5000)
-        }).count();
+        let same = (0..100)
+            .filter(|_| {
+                let x = NoiseState::new(model, 3).sample(5000);
+                x == c.sample(5000)
+            })
+            .count();
         assert!(same < 100);
     }
 

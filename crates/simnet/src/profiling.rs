@@ -106,7 +106,12 @@ pub fn measure_profile(
             let l_points: Vec<(f64, f64)> = (1..=cfg.max_messages)
                 .map(|k| (k as f64, measure_burst(&mut world, k, cfg.burst_reps)))
                 .collect();
-            (i, j, hockney_intercept(&o_points), latency_gradient(&l_points))
+            (
+                i,
+                j,
+                hockney_intercept(&o_points),
+                latency_gradient(&l_points),
+            )
         })
         .collect();
 
@@ -240,7 +245,9 @@ fn pair_world(
     salt: u64,
 ) -> SimWorld {
     let per_pair_noise = NoiseModel {
-        seed: noise.seed.wrapping_add(salt.wrapping_mul(0x00C6_A4A7_935B_D1E9)),
+        seed: noise
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x00C6_A4A7_935B_D1E9)),
         ..noise
     };
     let cfg = SimConfig {
@@ -278,7 +285,13 @@ mod tests {
     fn noise_free_profile_matches_ground_truth_closely() {
         let machine = MachineSpec::new(2, 2, 2);
         let mapping = RankMapping::Block;
-        let measured = measure_profile(&machine, &mapping, 8, NoiseModel::none(), &ProfilingConfig::fast());
+        let measured = measure_profile(
+            &machine,
+            &mapping,
+            8,
+            NoiseModel::none(),
+            &ProfilingConfig::fast(),
+        );
         let ideal = TopologyProfile::from_ground_truth(&machine, &mapping);
         let err = worst_error(&measured, &ideal);
         assert!(err < 0.12, "worst relative error {err}");
@@ -302,7 +315,10 @@ mod tests {
         // Inter-node pairs clearly dominate.
         let inter = o[(0, 4)];
         let local_max = o[(0, 1)].max(o[(0, 2)]).max(o[(0, 3)]);
-        assert!(inter > 5.0 * local_max, "inter {inter} vs local {local_max}");
+        assert!(
+            inter > 5.0 * local_max,
+            "inter {inter} vs local {local_max}"
+        );
     }
 
     #[test]
@@ -346,7 +362,13 @@ mod tests {
             symmetric: false,
             ..ProfilingConfig::fast()
         };
-        let measured = measure_profile(&machine, &RankMapping::Block, 4, NoiseModel::realistic(3), &cfg);
+        let measured = measure_profile(
+            &machine,
+            &RankMapping::Block,
+            4,
+            NoiseModel::realistic(3),
+            &cfg,
+        );
         // With independent noisy measurements per direction, exact
         // symmetry is (almost surely) broken but values stay close.
         assert!(!measured.cost.o.is_symmetric());
@@ -361,7 +383,13 @@ mod tests {
         use hbar_topo::replicate::replication_error;
         let machine = MachineSpec::new(2, 2, 2);
         let mapping = RankMapping::RoundRobin;
-        let full = measure_profile(&machine, &mapping, 8, NoiseModel::none(), &ProfilingConfig::fast());
+        let full = measure_profile(
+            &machine,
+            &mapping,
+            8,
+            NoiseModel::none(),
+            &ProfilingConfig::fast(),
+        );
         let replicated = super::measure_profile_replicated(
             &machine,
             &mapping,
@@ -413,6 +441,9 @@ mod tests {
         // The noise-free L for a same-socket pair matches Fig. 9 scale.
         let l01 = measured.cost.l[(0, 1)];
         let expect_l = machine.ground_truth.effective_l(LinkClass::SameSocket);
-        assert!((l01 - expect_l).abs() / expect_l < 0.15, "{l01} vs {expect_l}");
+        assert!(
+            (l01 - expect_l).abs() / expect_l < 0.15,
+            "{l01} vs {expect_l}"
+        );
     }
 }

@@ -80,7 +80,9 @@ impl Program {
 
     /// Appends a timestamp mark.
     pub fn mark(mut self, label: &str) -> Self {
-        self.instrs.push(Instr::Mark { label: label.into() });
+        self.instrs.push(Instr::Mark {
+            label: label.into(),
+        });
         self
     }
 
@@ -128,13 +130,24 @@ mod tests {
         assert_eq!(p.send_count(), 1);
         assert_eq!(p.recv_count(), 1);
         assert_eq!(p.instrs[0], Instr::Delay { ns: 100 });
-        assert_eq!(p.instrs[4], Instr::Mark { label: "done".into() });
+        assert_eq!(
+            p.instrs[4],
+            Instr::Mark {
+                label: "done".into()
+            }
+        );
     }
 
     #[test]
     fn payload_send_records_bytes() {
         let p = Program::new().issend_bytes(3, 4096);
-        assert_eq!(p.instrs[0], Instr::Issend { dst: 3, bytes: 4096 });
+        assert_eq!(
+            p.instrs[0],
+            Instr::Issend {
+                dst: 3,
+                bytes: 4096
+            }
+        );
     }
 
     #[test]

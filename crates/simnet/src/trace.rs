@@ -113,7 +113,11 @@ impl Trace {
                 .zip(&comp)
                 .map(|(&a, &b)| b.saturating_sub(a))
                 .collect();
-            out.push(PairLatency { src, dst, latencies });
+            out.push(PairLatency {
+                src,
+                dst,
+                latencies,
+            });
         }
         out.sort_by_key(|pl| (pl.src, pl.dst));
         out
@@ -138,8 +142,15 @@ impl Trace {
     /// # Panics
     /// Panics if `blend` is outside `[0, 1]` or a traced rank exceeds the
     /// prior's dimensions.
-    pub fn refresh_costs(&self, prior: &hbar_topo::cost::CostMatrices, blend: f64) -> hbar_topo::cost::CostMatrices {
-        assert!((0.0..=1.0).contains(&blend), "blend must be in [0,1], got {blend}");
+    pub fn refresh_costs(
+        &self,
+        prior: &hbar_topo::cost::CostMatrices,
+        blend: f64,
+    ) -> hbar_topo::cost::CostMatrices {
+        assert!(
+            (0.0..=1.0).contains(&blend),
+            "blend must be in [0,1], got {blend}"
+        );
         let mut updated = prior.clone();
         for pl in self.pair_latencies() {
             if pl.latencies.is_empty() {
@@ -167,12 +178,36 @@ mod tests {
     fn sample() -> Trace {
         Trace {
             events: vec![
-                TraceEvent::SendInjected { time: 10, src: 0, dst: 1 },
-                TraceEvent::Delivered { time: 50, src: 0, dst: 1 },
-                TraceEvent::RecvCompleted { time: 60, src: 0, dst: 1 },
-                TraceEvent::SendCompleted { time: 90, src: 0, dst: 1 },
-                TraceEvent::SendInjected { time: 100, src: 0, dst: 1 },
-                TraceEvent::RecvCompleted { time: 180, src: 0, dst: 1 },
+                TraceEvent::SendInjected {
+                    time: 10,
+                    src: 0,
+                    dst: 1,
+                },
+                TraceEvent::Delivered {
+                    time: 50,
+                    src: 0,
+                    dst: 1,
+                },
+                TraceEvent::RecvCompleted {
+                    time: 60,
+                    src: 0,
+                    dst: 1,
+                },
+                TraceEvent::SendCompleted {
+                    time: 90,
+                    src: 0,
+                    dst: 1,
+                },
+                TraceEvent::SendInjected {
+                    time: 100,
+                    src: 0,
+                    dst: 1,
+                },
+                TraceEvent::RecvCompleted {
+                    time: 180,
+                    src: 0,
+                    dst: 1,
+                },
             ],
         }
     }

@@ -120,16 +120,23 @@ impl SimWorld {
         if traced {
             engine.enable_trace();
         }
-        engine.run().map(|EngineResult { finish, marks, events, trace }| {
-            (
-                SimResult {
-                    finish,
-                    marks,
-                    events,
-                },
-                trace,
-            )
-        })
+        engine.run().map(
+            |EngineResult {
+                 finish,
+                 marks,
+                 events,
+                 trace,
+             }| {
+                (
+                    SimResult {
+                        finish,
+                        marks,
+                        events,
+                    },
+                    trace,
+                )
+            },
+        )
     }
 }
 

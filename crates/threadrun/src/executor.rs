@@ -100,9 +100,8 @@ impl ThreadExecutor {
                     scope.spawn(move || {
                         // Local monotonic counters (offsets past prior runs).
                         let mut sent: Vec<u64> = base[rank].clone();
-                        let mut seen: Vec<u64> = (0..p)
-                            .map(|src| board.signal_count(src, rank))
-                            .collect();
+                        let mut seen: Vec<u64> =
+                            (0..p).map(|src| board.signal_count(src, rank)).collect();
                         start_line.wait();
                         pre_run(rank);
                         for _ in 0..iterations {

@@ -85,6 +85,9 @@ mod tests {
         let sched = Algorithm::Dissemination.full_schedule(4, &members);
         let t = time_schedule(&sched, 200);
         assert!(t > Duration::ZERO);
-        assert!(t < Duration::from_millis(50), "per-barrier {t:?} absurdly slow");
+        assert!(
+            t < Duration::from_millis(50),
+            "per-barrier {t:?} absurdly slow"
+        );
     }
 }

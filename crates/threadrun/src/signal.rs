@@ -24,8 +24,12 @@ impl SignalBoard {
     pub fn new(p: usize) -> Self {
         SignalBoard {
             p,
-            sig: (0..p * p).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
-            ack: (0..p * p).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            sig: (0..p * p)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            ack: (0..p * p)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 
@@ -144,7 +148,10 @@ mod tests {
         });
         b.signal(0, 1);
         b.await_ack(0, 1, 1);
-        assert!(consumed.load(Ordering::SeqCst), "ack must follow consumption");
+        assert!(
+            consumed.load(Ordering::SeqCst),
+            "ack must follow consumption"
+        );
         receiver.join().unwrap();
     }
 }

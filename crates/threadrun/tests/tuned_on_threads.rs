@@ -19,8 +19,7 @@ fn tuned_for(p: usize) -> hbar_core::compose::TunedBarrier {
 fn tuned_hybrid_executes_and_synchronizes_on_threads() {
     for p in [2usize, 4, 6] {
         let tuned = tuned_for(p);
-        let (ok, runs) =
-            harness::staggered_delay_check(&tuned.schedule, Duration::from_millis(12));
+        let (ok, runs) = harness::staggered_delay_check(&tuned.schedule, Duration::from_millis(12));
         assert!(ok, "p={p}: {runs:?}");
     }
 }

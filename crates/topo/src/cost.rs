@@ -70,8 +70,18 @@ impl CostMatrices {
     /// `k`-th target in `targets` (0-based), consistent with
     /// [`send_set_cost`](Self::send_set_cost): running `max O` (or `O_ii`)
     /// plus the cumulative `L` of messages injected so far.
-    pub fn arrival_offset(&self, sender: usize, targets: &[usize], k: usize, mode: SendMode) -> f64 {
-        assert!(k < targets.len(), "target index {k} out of range {}", targets.len());
+    pub fn arrival_offset(
+        &self,
+        sender: usize,
+        targets: &[usize],
+        k: usize,
+        mode: SendMode,
+    ) -> f64 {
+        assert!(
+            k < targets.len(),
+            "target index {k} out of range {}",
+            targets.len()
+        );
         let latency: f64 = targets[..=k].iter().map(|&j| self.l[(sender, j)]).sum();
         let startup = match mode {
             SendMode::General => targets[..=k]
@@ -128,7 +138,10 @@ mod tests {
     fn eq2_uses_local_call_overhead() {
         let c = sample();
         // t(0, [1,2]) = O_00 + (1 + 2) = 3.5
-        assert_eq!(c.send_set_cost(0, &[1, 2], SendMode::ReceiversAwaiting), 3.5);
+        assert_eq!(
+            c.send_set_cost(0, &[1, 2], SendMode::ReceiversAwaiting),
+            3.5
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ pub fn render_labelled(m: &DenseMatrix<f64>, title: &str) -> String {
 /// # Panics
 /// Panics if `block` does not divide the matrix dimension.
 pub fn block_means(m: &DenseMatrix<f64>, block: usize) -> BlockMeans {
-    assert!(block > 0 && m.n().is_multiple_of(block), "block {block} must divide {}", m.n());
+    assert!(
+        block > 0 && m.n().is_multiple_of(block),
+        "block {block} must divide {}",
+        m.n()
+    );
     let on = m
         .mean_where(|i, j| i != j && i / block == j / block)
         .unwrap_or(0.0);
@@ -111,7 +115,11 @@ mod tests {
         let s = render(&m);
         assert_eq!(s.lines().count(), 3);
         for line in s.lines() {
-            assert_eq!(line.chars().filter(|c| *c != ' ').count() + line.chars().filter(|c| *c == ' ').count(), 5);
+            assert_eq!(
+                line.chars().filter(|c| *c != ' ').count()
+                    + line.chars().filter(|c| *c == ' ').count(),
+                5
+            );
         }
         // Diagonal is blank.
         assert_eq!(s.lines().next().unwrap().chars().next(), Some(' '));

@@ -39,7 +39,13 @@ impl ProfileKey {
         let safe: String = self
             .machine_name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         format!("{safe}__{}__{}.profile.json", self.mapping_tag, self.p)
     }
@@ -139,7 +145,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("hbar_profile_lib_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("hbar_profile_lib_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -156,8 +163,14 @@ mod tests {
         let hit = lib.lookup(&machine, &RankMapping::RoundRobin, 16).unwrap();
         assert_eq!(hit, Some(prof));
         // Different mapping or size misses.
-        assert!(lib.lookup(&machine, &RankMapping::Block, 16).unwrap().is_none());
-        assert!(lib.lookup(&machine, &RankMapping::RoundRobin, 8).unwrap().is_none());
+        assert!(lib
+            .lookup(&machine, &RankMapping::Block, 16)
+            .unwrap()
+            .is_none());
+        assert!(lib
+            .lookup(&machine, &RankMapping::RoundRobin, 8)
+            .unwrap()
+            .is_none());
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -207,7 +220,10 @@ mod tests {
         prof.cost.o[(0, 1)] *= 2.0;
         lib.store(&prof).unwrap();
         assert_eq!(lib.len(), 1);
-        let hit = lib.lookup(&machine, &RankMapping::Block, 2).unwrap().unwrap();
+        let hit = lib
+            .lookup(&machine, &RankMapping::Block, 2)
+            .unwrap()
+            .unwrap();
         assert_eq!(hit.cost.o[(0, 1)], prof.cost.o[(0, 1)]);
         fs::remove_dir_all(&dir).ok();
     }

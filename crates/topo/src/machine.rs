@@ -146,8 +146,12 @@ impl GroundTruth {
     /// per injection).
     pub fn effective_o(&self, class: LinkClass) -> f64 {
         let c = self.link(class);
-        (self.call_overhead_ns + c.cpu_send_ns + c.nic_tx_ns + c.wire_ns + c.nic_rx_ns + c.cpu_recv_ns)
-            as f64
+        (self.call_overhead_ns
+            + c.cpu_send_ns
+            + c.nic_tx_ns
+            + c.wire_ns
+            + c.nic_rx_ns
+            + c.cpu_recv_ns) as f64
             * 1e-9
     }
 
@@ -186,7 +190,10 @@ pub struct MachineSpec {
 impl MachineSpec {
     /// A machine with commodity-cluster ground truth.
     pub fn new(nodes: usize, sockets: usize, cores_per_socket: usize) -> Self {
-        assert!(nodes > 0 && sockets > 0 && cores_per_socket > 0, "machine must be non-empty");
+        assert!(
+            nodes > 0 && sockets > 0 && cores_per_socket > 0,
+            "machine must be non-empty"
+        );
         MachineSpec {
             nodes,
             sockets,
@@ -227,7 +234,11 @@ impl MachineSpec {
     /// # Panics
     /// Panics if `idx >= total_cores()`.
     pub fn core(&self, idx: usize) -> CoreId {
-        assert!(idx < self.total_cores(), "core {idx} out of range {}", self.total_cores());
+        assert!(
+            idx < self.total_cores(),
+            "core {idx} out of range {}",
+            self.total_cores()
+        );
         let per_node = self.cores_per_node();
         let node = idx / per_node;
         let within = idx % per_node;
@@ -253,19 +264,68 @@ mod tests {
         let m = MachineSpec::dual_quad_cluster(8);
         assert_eq!(m.total_cores(), 64);
         assert_eq!(m.cores_per_node(), 8);
-        assert_eq!(m.core(0), CoreId { node: 0, socket: 0, core: 0 });
-        assert_eq!(m.core(3), CoreId { node: 0, socket: 0, core: 3 });
-        assert_eq!(m.core(4), CoreId { node: 0, socket: 1, core: 0 });
-        assert_eq!(m.core(8), CoreId { node: 1, socket: 0, core: 0 });
-        assert_eq!(m.core(63), CoreId { node: 7, socket: 1, core: 3 });
+        assert_eq!(
+            m.core(0),
+            CoreId {
+                node: 0,
+                socket: 0,
+                core: 0
+            }
+        );
+        assert_eq!(
+            m.core(3),
+            CoreId {
+                node: 0,
+                socket: 0,
+                core: 3
+            }
+        );
+        assert_eq!(
+            m.core(4),
+            CoreId {
+                node: 0,
+                socket: 1,
+                core: 0
+            }
+        );
+        assert_eq!(
+            m.core(8),
+            CoreId {
+                node: 1,
+                socket: 0,
+                core: 0
+            }
+        );
+        assert_eq!(
+            m.core(63),
+            CoreId {
+                node: 7,
+                socket: 1,
+                core: 3
+            }
+        );
     }
 
     #[test]
     fn core_decomposition_dual_hex() {
         let m = MachineSpec::dual_hex_cluster(10);
         assert_eq!(m.total_cores(), 120);
-        assert_eq!(m.core(11), CoreId { node: 0, socket: 1, core: 5 });
-        assert_eq!(m.core(12), CoreId { node: 1, socket: 0, core: 0 });
+        assert_eq!(
+            m.core(11),
+            CoreId {
+                node: 0,
+                socket: 1,
+                core: 5
+            }
+        );
+        assert_eq!(
+            m.core(12),
+            CoreId {
+                node: 1,
+                socket: 0,
+                core: 0
+            }
+        );
     }
 
     #[test]
@@ -281,9 +341,15 @@ mod tests {
     fn ground_truth_hierarchy_is_ordered() {
         let gt = GroundTruth::commodity_cluster();
         let o: Vec<f64> = LinkClass::ALL.iter().map(|&c| gt.effective_o(c)).collect();
-        assert!(o[0] < o[1] && o[1] < o[2], "O must grow with distance: {o:?}");
+        assert!(
+            o[0] < o[1] && o[1] < o[2],
+            "O must grow with distance: {o:?}"
+        );
         let l: Vec<f64> = LinkClass::ALL.iter().map(|&c| gt.effective_l(c)).collect();
-        assert!(l[0] < l[1] && l[1] < l[2], "L must grow with distance: {l:?}");
+        assert!(
+            l[0] < l[1] && l[1] < l[2],
+            "L must grow with distance: {l:?}"
+        );
     }
 
     #[test]

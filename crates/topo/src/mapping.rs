@@ -58,7 +58,11 @@ impl RankMapping {
             }
             RankMapping::Block => (0..p).collect(),
             RankMapping::Custom(cores) => {
-                assert!(cores.len() >= p, "custom mapping covers {} ranks, need {p}", cores.len());
+                assert!(
+                    cores.len() >= p,
+                    "custom mapping covers {} ranks, need {p}",
+                    cores.len()
+                );
                 cores[..p].to_vec()
             }
         };
@@ -73,7 +77,10 @@ impl RankMapping {
 
     /// Physical [`CoreId`]s of ranks `0..p`.
     pub fn cores(&self, machine: &MachineSpec, p: usize) -> Vec<CoreId> {
-        self.place(machine, p).iter().map(|&c| machine.core(c)).collect()
+        self.place(machine, p)
+            .iter()
+            .map(|&c| machine.core(c))
+            .collect()
     }
 
     /// Number of distinct nodes occupied by ranks `0..p`.

@@ -93,7 +93,11 @@ impl DistanceMetric {
         for i in 0..p {
             for j in (i + 1)..p {
                 if self.dist(i, j) <= 0.0 {
-                    violations.push(MetricViolation::NonPositive { i, j, d: self.dist(i, j) });
+                    violations.push(MetricViolation::NonPositive {
+                        i,
+                        j,
+                        d: self.dist(i, j),
+                    });
                 }
             }
         }
@@ -109,7 +113,13 @@ impl DistanceMetric {
                     let direct = self.dist(i, k);
                     let via = self.dist(i, j) + self.dist(j, k);
                     if direct > via * (1.0 + rel_tolerance) {
-                        violations.push(MetricViolation::TriangleInequality { i, j, k, direct, via });
+                        violations.push(MetricViolation::TriangleInequality {
+                            i,
+                            j,
+                            k,
+                            direct,
+                            via,
+                        });
                     }
                 }
             }
@@ -141,7 +151,10 @@ mod tests {
         let machine = MachineSpec::dual_quad_cluster(2);
         let gt = machine.ground_truth.clone();
         let m = metric_for(machine);
-        assert_eq!(m.diameter(), gt.effective_o(crate::machine::LinkClass::InterNode));
+        assert_eq!(
+            m.diameter(),
+            gt.effective_o(crate::machine::LinkClass::InterNode)
+        );
     }
 
     #[test]
@@ -180,7 +193,9 @@ mod tests {
         cost.o[(2, 1)] = 1.0;
         let m = DistanceMetric::from_costs(&cost);
         let v = m.validate(0.0);
-        assert!(v.iter().any(|x| matches!(x, MetricViolation::NonPositive { i: 0, j: 1, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, MetricViolation::NonPositive { i: 0, j: 1, .. })));
     }
 
     #[test]
@@ -188,9 +203,11 @@ mod tests {
         let d = DenseMatrix::from_vec(3, vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0]);
         let m = DistanceMetric::from_matrix(d);
         let v = m.validate(0.0);
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, MetricViolation::TriangleInequality { i: 0, k: 2, .. } | MetricViolation::TriangleInequality { i: 2, k: 0, .. })));
+        assert!(v.iter().any(|x| matches!(
+            x,
+            MetricViolation::TriangleInequality { i: 0, k: 2, .. }
+                | MetricViolation::TriangleInequality { i: 2, k: 0, .. }
+        )));
         // With a huge tolerance it passes.
         assert!(m.validate(10.0).is_empty());
     }

@@ -72,7 +72,12 @@ impl TopologyProfile {
 
     /// True if `machine`/`mapping`/`p` match the conditions this profile
     /// was collected under, i.e. predictions from it are valid.
-    pub fn placement_matches(&self, machine: &MachineSpec, mapping: &RankMapping, p: usize) -> bool {
+    pub fn placement_matches(
+        &self,
+        machine: &MachineSpec,
+        mapping: &RankMapping,
+        p: usize,
+    ) -> bool {
         self.p == p && &self.machine == machine && &self.mapping == mapping
     }
 
@@ -85,7 +90,11 @@ impl TopologyProfile {
     /// # Panics
     /// Panics if `p` exceeds the profile size.
     pub fn truncate(&self, p: usize) -> Self {
-        assert!(p <= self.p, "cannot truncate {}-rank profile to {p}", self.p);
+        assert!(
+            p <= self.p,
+            "cannot truncate {}-rank profile to {p}",
+            self.p
+        );
         let idx: Vec<usize> = (0..p).collect();
         TopologyProfile {
             machine: self.machine.clone(),

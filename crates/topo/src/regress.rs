@@ -24,7 +24,11 @@ pub struct LineFit {
 /// # Panics
 /// Panics if fewer than two points are given or all `x` are identical.
 pub fn least_squares(points: &[(f64, f64)]) -> LineFit {
-    assert!(points.len() >= 2, "need at least two points, got {}", points.len());
+    assert!(
+        points.len() >= 2,
+        "need at least two points, got {}",
+        points.len()
+    );
     let n = points.len() as f64;
     let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
     let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
@@ -41,7 +45,11 @@ pub fn least_squares(points: &[(f64, f64)]) -> LineFit {
     assert!(sxx > 0.0, "all x values are identical; cannot fit a line");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LineFit {
         intercept,
         slope,

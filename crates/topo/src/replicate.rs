@@ -57,16 +57,18 @@ pub fn representatives_from(
     cores: &[usize],
 ) -> ClassRepresentatives {
     let p = cost.p();
-    assert_eq!(cores.len(), p, "placement covers {} ranks, profile has {p}", cores.len());
+    assert_eq!(
+        cores.len(),
+        p,
+        "placement covers {} ranks, profile has {p}",
+        cores.len()
+    );
     let class_mean = |matrix: &DenseMatrix<f64>, class: LinkClass| -> f64 {
         matrix
             .mean_where(|i, j| i != j && machine.link_class(cores[i], cores[j]) == class)
             .unwrap_or(0.0)
     };
-    let o_diag = cost
-        .o
-        .mean_where(|i, j| i == j)
-        .unwrap_or(0.0);
+    let o_diag = cost.o.mean_where(|i, j| i == j).unwrap_or(0.0);
     ClassRepresentatives {
         o_same_socket: class_mean(&cost.o, LinkClass::SameSocket),
         o_cross_socket: class_mean(&cost.o, LinkClass::CrossSocket),

@@ -35,7 +35,10 @@ fn main() {
     // code never re-measures what is already known.
     let libdir = std::env::temp_dir().join("hbarrier_profile_library");
     let mut library = ProfileLibrary::open(&libdir).expect("open profile library");
-    let profile = match library.lookup(&machine, &mapping, p).expect("library lookup") {
+    let profile = match library
+        .lookup(&machine, &mapping, p)
+        .expect("library lookup")
+    {
         Some(prof) => {
             println!("profile found in library ({} entries)", library.len());
             prof

@@ -49,10 +49,17 @@ fn main() {
         result.cost * 1e6,
         result.expansions,
         t0.elapsed(),
-        if result.complete { "complete" } else { "truncated" }
+        if result.complete {
+            "complete"
+        } else {
+            "truncated"
+        }
     );
     assert!(result.schedule.is_barrier());
     let gap = greedy.predicted_cost / result.cost;
-    println!("greedy is within {:.2}x of the restricted-space optimum", gap);
+    println!(
+        "greedy is within {:.2}x of the restricted-space optimum",
+        gap
+    );
     println!("\noptimal schedule found:\n{}", result.schedule);
 }

@@ -44,7 +44,10 @@ fn main() {
     // Fig. 9: the L matrix of the node, with its two darker on-chip
     // blocks.
     println!();
-    println!("{}", render_labelled(&reloaded.cost.l, "L Matrix Heat Map, 2x4 cores"));
+    println!(
+        "{}",
+        render_labelled(&reloaded.cost.l, "L Matrix Heat Map, 2x4 cores")
+    );
     let blocks = block_means(&reloaded.cost.l, 4);
     println!(
         "on-chip mean L = {:.2e} s, off-chip mean L = {:.2e} s, ratio = {:.2} (paper: ~4)",

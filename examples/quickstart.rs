@@ -27,12 +27,17 @@ fn main() {
     // 2. Tune a hybrid barrier with the paper's configuration
     //    (SSS sparseness 35 %, candidates {linear, dissemination, tree}).
     let tuned = tune_hybrid(&profile, &TunerConfig::default());
-    assert!(tuned.schedule.is_barrier(), "composition is always verified");
+    assert!(
+        tuned.schedule.is_barrier(),
+        "composition is always verified"
+    );
     println!(
         "tuned hybrid: {} stages, {} signals, root algorithm {}",
         tuned.schedule.len(),
         tuned.schedule.total_signals(),
-        tuned.root_algorithm().expect("multi-rank barrier has a root"),
+        tuned
+            .root_algorithm()
+            .expect("multi-rank barrier has a root"),
     );
 
     // 3. Predict both the hybrid and the neutral tree baseline.

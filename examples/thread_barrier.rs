@@ -38,7 +38,10 @@ fn main() {
     // §VI staggered-delay validation on real threads.
     let delay = Duration::from_millis(20);
     let (ok, _) = harness::staggered_delay_check(&tuned.schedule, delay);
-    println!("staggered-delay check ({delay:?} per rank): {}", if ok { "PASSED" } else { "FAILED" });
+    println!(
+        "staggered-delay check ({delay:?} per rank): {}",
+        if ok { "PASSED" } else { "FAILED" }
+    );
     assert!(ok);
 
     // Time the generated schedules against the baselines.
@@ -54,7 +57,15 @@ fn main() {
     println!("  {:>18}: {:?}", "tuned hybrid", ex.time_barrier(iters));
 
     let central = CentralCounterBarrier::new(p);
-    println!("  {:>18}: {:?}", central.name(), time_thread_barrier(&central, p, iters));
+    println!(
+        "  {:>18}: {:?}",
+        central.name(),
+        time_thread_barrier(&central, p, iters)
+    );
     let std_b = StdSyncBarrier::new(p);
-    println!("  {:>18}: {:?}", std_b.name(), time_thread_barrier(&std_b, p, iters));
+    println!(
+        "  {:>18}: {:?}",
+        std_b.name(),
+        time_thread_barrier(&std_b, p, iters)
+    );
 }

@@ -43,7 +43,10 @@ fn main() {
 
     // Eq. 3 verification (the tuner already asserts this internally).
     assert!(verify::is_barrier(&tuned.schedule));
-    println!("Eq. 3 knowledge closure: all {}² entries non-zero — valid barrier", 22);
+    println!(
+        "Eq. 3 knowledge closure: all {}² entries non-zero — valid barrier",
+        22
+    );
 
     // Compare against forcing each single algorithm through the same
     // hierarchy (the ablation the DESIGN.md calls out).

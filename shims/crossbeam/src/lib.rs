@@ -1,0 +1,74 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the tiny API surface it actually consumes:
+//! [`utils::CachePadded`]. Semantics match upstream: the wrapper aligns its
+//! contents to a cache-line boundary so adjacent atomics in an array do not
+//! false-share.
+
+pub mod utils {
+    use core::fmt;
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line.
+    ///
+    /// 128 bytes covers the common cases: x86_64 prefetches cache-line
+    /// pairs, and several aarch64 parts use 128-byte lines outright.
+    #[derive(Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pads and aligns a value to the length of a cache line.
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded").field("value", &self.value).finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let slot = CachePadded::new(AtomicU64::new(7));
+        assert_eq!(core::mem::align_of_val(&slot), 128);
+        slot.store(9, Ordering::Relaxed);
+        assert_eq!(slot.load(Ordering::Relaxed), 9);
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace uses rayon as a deterministic data-parallel map: every
+//! call site is `par_iter()/into_par_iter()` followed by `map(...)` and an
+//! order-preserving `collect()`/`sum()`. This shim reproduces exactly that
+//! contract on `std::thread::scope`: inputs are split into contiguous
+//! chunks, one OS thread per chunk, and outputs land in input order, so
+//! results are bit-identical to the sequential loop regardless of thread
+//! count or scheduling.
+//!
+//! `RAYON_NUM_THREADS` is honoured (like upstream): `1` forces the
+//! sequential path.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads the pool would use.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// A not-yet-mapped parallel iterator holding its items by value.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A mapped parallel iterator; consumed by `collect`/`sum`.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Applies `f` to every item in parallel, preserving input order.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Number of items behind the iterator.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Accepted for API compatibility; chunking is already contiguous.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Send, R: Send, F: Fn(I) -> R + Sync> ParMap<I, F> {
+    /// Gathers results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_ordered(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Sums results; addition order equals input order.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        par_map_ordered(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// The core primitive: chunked fork-join map with stable output order.
+fn par_map_ordered<I: Send, R: Send, F: Fn(I) -> R + Sync>(items: Vec<I>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut inputs: Vec<Option<I>> = items.into_iter().map(Some).collect();
+    let mut outputs: Vec<Option<R>> = Vec::with_capacity(n);
+    outputs.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (ins, outs) in inputs.chunks_mut(chunk).zip(outputs.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot_in, slot_out) in ins.iter_mut().zip(outs.iter_mut()) {
+                    *slot_out = Some(f(slot_in.take().expect("input consumed twice")));
+                }
+            });
+        }
+    });
+    outputs.into_iter().map(|slot| slot.expect("worker left a hole")).collect()
+}
+
+/// `into_par_iter()` for owned collections.
+pub trait IntoParallelIterator {
+    /// Element type produced by the iterator.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter()` for borrowed collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type produced by the iterator (a shared reference).
+    type Item: Send + 'data;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..1000).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let words = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = words.par_iter().map(|w| w.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let total: u64 = (0..257usize).into_par_iter().map(|i| i as u64).sum();
+        assert_eq!(total, 256 * 257 / 2);
+    }
+}

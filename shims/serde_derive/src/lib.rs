@@ -1,0 +1,423 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! With no crates registry available, `syn`/`quote` cannot be pulled in,
+//! so these derives parse the item declaration directly from the
+//! `proc_macro` token stream. Supported shapes — exactly what the
+//! workspace declares — are structs with named fields (optionally with
+//! unbounded type parameters), enums with unit variants, newtype/tuple
+//! variants, and struct variants. The generated impls target the `Value`
+//! data model of the local `serde` shim and use serde's externally-tagged
+//! enum layout so JSON output matches upstream conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Struct variant with these named fields.
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde shim derive emitted invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde shim derive emitted invalid Rust")
+}
+
+fn ident_of(tok: &TokenTree) -> Option<String> {
+    match tok {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tok: Option<&TokenTree>, ch: char) -> bool {
+    matches!(tok, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+/// Advances past `#[...]` attributes (doc comments included) and any
+/// `pub`/`pub(...)` visibility, returning the new cursor.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if is_punct(toks.get(i), '#') {
+            i += 2; // the `#` and the bracketed group
+        } else if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = ident_of(&toks[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("expected the item name");
+    i += 1;
+
+    let mut generics = Vec::new();
+    if is_punct(toks.get(i), '<') {
+        i += 1;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ':' => {
+                    panic!("serde shim derive: bounded generics are not supported on {name}")
+                }
+                TokenTree::Ident(id) if depth == 1 => generics.push(id.to_string()),
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    let body_group = loop {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple structs are not supported ({name})")
+            }
+            _ => i += 1,
+        }
+    };
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group)),
+        "enum" => Body::Enum(parse_variants(body_group)),
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Item { name, generics, body }
+}
+
+/// Parses `name: Type, ...` field lists; types are skipped token-wise with
+/// angle-bracket depth tracking (generated code never needs them — field
+/// types are inferred at the use site).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let field = ident_of(&toks[i]).expect("expected a field name");
+        i += 1;
+        assert!(is_punct(toks.get(i), ':'), "expected `:` after field `{field}`");
+        i += 1;
+        let mut depth = 0isize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("expected a variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Counts comma-separated items at angle-bracket depth zero.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0isize;
+    let mut trailing_comma = false;
+    for tok in &toks {
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// `impl<T: ::serde::Serialize> ... for Name<T>` header pieces.
+fn impl_pieces(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let decl = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        (format!("<{decl}>"), format!("<{}>", item.generics.join(", ")))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = impl_pieces(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let pairs = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        Body::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+             ::std::string::String::from(\"{vname}\"), \
+             ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds = (0..*n).map(|k| format!("__f{k}")).collect::<Vec<_>>().join(", ");
+            let elems = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Array(::std::vec![{elems}]))]),"
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds = fields.join(", ");
+            let pairs = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Object(::std::vec![{pairs}]))]),"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = impl_pieces(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::__field(__value, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("::std::result::Result::Ok({name} {{\n{inits}\n}})")
+        }
+        Body::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let tagged_arms = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .map(|v| deserialize_tagged_arm(name, v))
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "match __value {{\n\
+             ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::std::format!(\n\
+                     \"unknown unit variant `{{__other}}` for {name}\")),\n\
+             }},\n\
+             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     __other => ::std::result::Result::Err(::std::format!(\n\
+                         \"unknown variant `{{__other}}` for {name}\")),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(::std::format!(\n\
+                 \"invalid encoding for enum {name}: {{__other:?}}\")),\n\
+         }}"
+    )
+}
+
+fn deserialize_tagged_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants use the string arm"),
+        VariantKind::Tuple(1) => format!(
+            "\"{vname}\" => ::std::result::Result::Ok(\
+             {name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+        ),
+        VariantKind::Tuple(n) => {
+            let elems = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "\"{vname}\" => {{\n\
+                     let __items = __inner.as_array().ok_or_else(|| \
+                         ::std::string::String::from(\
+                         \"expected an array for {name}::{vname}\"))?;\n\
+                     if __items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::std::format!(\n\
+                             \"expected {n} elements for {name}::{vname}, found {{}}\",\n\
+                             __items.len()));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                 }}"
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::__field(__inner, \"{f}\", \"{name}::{vname}\")?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{\n{inits}\n}}),"
+            )
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Bridges the local `serde` shim's [`Value`] data model to JSON text.
+//! Floats are printed with Rust's shortest-round-trip formatting (the
+//! behaviour upstream's `float_roundtrip` feature guarantees), so
+//! serialize → parse returns bit-identical `f64`s.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization or parse failure.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    out.push('\n');
+    Ok(out)
+}
+
+/// Parses a JSON document into `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.fail("trailing characters after JSON document"));
+    }
+    T::from_value(&value).map_err(Error::new)
+}
+
+fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => write_seq(items.iter(), out, indent, depth, ('[', ']'), |item, out, ind, d| {
+            write_value(item, out, ind, d)
+        }),
+        Value::Object(entries) => {
+            write_seq(entries.iter(), out, indent, depth, ('{', '}'), |(key, val), out, ind, d| {
+                write_string(key, out);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, ind, d);
+            })
+        }
+    }
+}
+
+fn write_seq<T>(
+    items: impl ExactSizeIterator<Item = T>,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(T, &mut String, Option<usize>, usize),
+) {
+    out.push(open);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(item, out, indent, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+/// Shortest representation that round-trips: Rust's `{:?}` for `f64`.
+/// JSON has no non-finite literals, so those become `null` (as upstream).
+fn write_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        out.push_str(&format!("{f:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null").map(|()| Value::Null),
+            Some(b't') => self.eat_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.fail("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.fail("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.fail("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.fail("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.fail("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            let ch = if (0xd800..0xdc00).contains(&code) {
+                                // Surrogate pair: expect a low surrogate next.
+                                self.eat_literal("\\u")?;
+                                let low = self.parse_hex4()?;
+                                let combined =
+                                    0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(ch.ok_or_else(|| self.fail("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.fail("unknown escape")),
+                    }
+                }
+                _ => return Err(self.fail("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.fail("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.fail("invalid \\u escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.fail("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.fail("invalid number"))?;
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if stripped.parse::<u64>().is_ok() || text.parse::<i64>().is_ok() {
+                    if let Ok(i) = text.parse::<i64>() {
+                        return Ok(Value::Int(i));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.fail(&format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.1, 1.0 / 3.0, 6.02e23, -4.9e-14, 0.0, 1.0] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![vec![1u64, 2], vec![], vec![3]];
+        let s = to_string_pretty(&v).unwrap();
+        let back: Vec<Vec<u64>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\u{1}é".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<bool>("true false").is_err());
+        assert!(from_str::<f64>("1.0.0").is_err());
+    }
+}

@@ -222,8 +222,13 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
     }
     let pred = predict_barrier_cost(&schedule, &profile.cost, &CostParams::default(), None);
     println!("predicted barrier cost: {:.3} us", pred.barrier_cost * 1e6);
-    println!("per-stage frontier (us): {:?}",
-        pred.stage_frontier.iter().map(|v| (v * 1e7).round() / 10.0).collect::<Vec<_>>());
+    println!(
+        "per-stage frontier (us): {:?}",
+        pred.stage_frontier
+            .iter()
+            .map(|v| (v * 1e7).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
     Ok(())
 }
 
@@ -267,13 +272,19 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     };
     let mut world = SimWorld::new(cfg, profile.p);
     let t = measure_schedule(&mut world, &schedule, reps);
-    println!("measured barrier cost: {:.3} us (mean of {reps} executions)", t * 1e6);
+    println!(
+        "measured barrier cost: {:.3} us (mean of {reps} executions)",
+        t * 1e6
+    );
     Ok(())
 }
 
 fn cmd_codegen(flags: &Flags) -> Result<(), String> {
     let schedule = load_schedule(flags)?;
-    let name = flags.get("name").map(String::as_str).unwrap_or("generated_barrier");
+    let name = flags
+        .get("name")
+        .map(String::as_str)
+        .unwrap_or("generated_barrier");
     let programs = compile_schedule(&schedule);
     let lang = flags.get("lang").map(String::as_str).unwrap_or("c");
     let src = match lang {
@@ -310,7 +321,11 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "search {} after {} states: best {:.2} us ({} stages) vs greedy {:.2} us -> {out}",
-        if result.complete { "complete" } else { "TRUNCATED" },
+        if result.complete {
+            "complete"
+        } else {
+            "TRUNCATED"
+        },
         result.expansions,
         result.cost * 1e6,
         result.schedule.len(),

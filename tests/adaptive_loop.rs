@@ -42,10 +42,7 @@ fn trace_driven_retuning_loop() {
 
     // Conditions change: the network is now heavily congested.
     let busy_machine = congested(&machine, 8.0);
-    let mut busy_world = SimWorld::new(
-        SimConfig::exact(busy_machine.clone(), mapping.clone()),
-        p,
-    );
+    let mut busy_world = SimWorld::new(SimConfig::exact(busy_machine.clone(), mapping.clone()), p);
 
     // Run the deployed barrier under congestion, collecting traces and
     // observations.
@@ -87,7 +84,10 @@ fn trace_driven_retuning_loop() {
             }
         }
     }
-    assert!(updated_inter_pairs > 0, "traces must update the inter-node pairs the barrier used");
+    assert!(
+        updated_inter_pairs > 0,
+        "traces must update the inter-node pairs the barrier used"
+    );
 
     // The trace estimates detect drift and flag re-profiling; the actual
     // re-tune uses a full fresh profile of the congested fabric (the

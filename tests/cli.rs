@@ -36,7 +36,14 @@ fn full_cli_workflow() {
 
     // profile (exact machine: fast and deterministic for the test)
     let o = hbar(&[
-        "profile", "--machine", "2x2x2", "--mapping", "rr", "--out", profile_s, "--exact-machine",
+        "profile",
+        "--machine",
+        "2x2x2",
+        "--mapping",
+        "rr",
+        "--out",
+        profile_s,
+        "--exact-machine",
     ]);
     assert!(o.status.success(), "{}", stderr(&o));
     assert!(stdout(&o).contains("profiled 8 ranks"));
@@ -60,13 +67,27 @@ fn full_cli_workflow() {
 
     // simulate
     let o = hbar(&[
-        "simulate", "--profile", profile_s, "--schedule", schedule_s, "--reps", "3",
+        "simulate",
+        "--profile",
+        profile_s,
+        "--schedule",
+        schedule_s,
+        "--reps",
+        "3",
     ]);
     assert!(o.status.success(), "{}", stderr(&o));
     assert!(stdout(&o).contains("measured barrier cost"));
 
     // codegen (both languages)
-    let o = hbar(&["codegen", "--schedule", schedule_s, "--lang", "c", "--name", "b8"]);
+    let o = hbar(&[
+        "codegen",
+        "--schedule",
+        schedule_s,
+        "--lang",
+        "c",
+        "--name",
+        "b8",
+    ]);
     assert!(o.status.success(), "{}", stderr(&o));
     assert!(stdout(&o).contains("void b8(MPI_Comm comm)"));
     assert!(stdout(&o).contains("MPI_Issend"));
@@ -143,7 +164,9 @@ fn helpful_errors() {
 
     let o = hbar(&["predict", "--schedule", "/nonexistent.json"]);
     assert!(!o.status.success());
-    assert!(stderr(&o).contains("missing required flag --profile") || stderr(&o).contains("cannot"));
+    assert!(
+        stderr(&o).contains("missing required flag --profile") || stderr(&o).contains("cannot")
+    );
 }
 
 #[test]
@@ -152,8 +175,14 @@ fn search_subcommand_finds_a_barrier() {
     let profile = dir.join("prof.json");
     let schedule = dir.join("opt.json");
     let o = hbar(&[
-        "profile", "--machine", "2x1x2", "--mapping", "block", "--out",
-        profile.to_str().unwrap(), "--exact-machine",
+        "profile",
+        "--machine",
+        "2x1x2",
+        "--mapping",
+        "block",
+        "--out",
+        profile.to_str().unwrap(),
+        "--exact-machine",
     ]);
     assert!(o.status.success(), "{}", stderr(&o));
     let o = hbar(&[
@@ -177,8 +206,14 @@ fn preset_machines_parse() {
     let dir = workdir("presets");
     let profile = dir.join("a.json");
     let o = hbar(&[
-        "profile", "--machine", "cluster-a", "--ranks", "16", "--out",
-        profile.to_str().unwrap(), "--exact-machine",
+        "profile",
+        "--machine",
+        "cluster-a",
+        "--ranks",
+        "16",
+        "--out",
+        profile.to_str().unwrap(),
+        "--exact-machine",
     ]);
     assert!(o.status.success(), "{}", stderr(&o));
     let prof = hbarrier::topo::profile::TopologyProfile::load(&profile).unwrap();

@@ -66,7 +66,10 @@ fn section5_stage_counts_at_paper_sizes() {
         let members: Vec<usize> = (0..p).collect();
         assert_eq!(Algorithm::Linear.full_schedule(p, &members).len(), 2);
         assert_eq!(Algorithm::Tree.full_schedule(p, &members).len(), 2 * log2);
-        assert_eq!(Algorithm::Dissemination.full_schedule(p, &members).len(), log2);
+        assert_eq!(
+            Algorithm::Dissemination.full_schedule(p, &members).len(),
+            log2
+        );
     }
 }
 

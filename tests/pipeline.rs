@@ -49,7 +49,11 @@ fn measured_profile_to_tuned_barrier_end_to_end() {
     let measured = measure_schedule(&mut world, &tuned.schedule, 10);
     assert!(measured > 0.0);
     let ratio = measured / tuned.predicted_cost;
-    assert!((0.33..3.0).contains(&ratio), "prediction {} vs measured {measured}", tuned.predicted_cost);
+    assert!(
+        (0.33..3.0).contains(&ratio),
+        "prediction {} vs measured {measured}",
+        tuned.predicted_cost
+    );
 
     // The tuned barrier must also beat (or match) the neutral tree here.
     let members: Vec<usize> = (0..p).collect();
@@ -70,10 +74,7 @@ fn both_backends_agree_on_synchronization() {
     let tuned = tune_hybrid(&profile, &TunerConfig::default());
 
     // Simulator backend.
-    let mut world = SimWorld::new(
-        SimConfig::exact(machine, RankMapping::Block),
-        profile.p,
-    );
+    let mut world = SimWorld::new(SimConfig::exact(machine, RankMapping::Block), profile.p);
     let (sim_ok, _) = staggered_delay_check(&mut world, &tuned.schedule, 10_000_000);
     assert!(sim_ok);
 

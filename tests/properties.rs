@@ -20,8 +20,7 @@ fn arb_machine() -> impl Strategy<Value = MachineSpec> {
 /// Random edge lists over n ranks without self-loops.
 fn arb_stage(n: usize) -> impl Strategy<Value = BoolMatrix> {
     prop::collection::vec((0..n, 0..n), 0..n * 2).prop_map(move |edges| {
-        let filtered: Vec<(usize, usize)> =
-            edges.into_iter().filter(|(i, j)| i != j).collect();
+        let filtered: Vec<(usize, usize)> = edges.into_iter().filter(|(i, j)| i != j).collect();
         BoolMatrix::from_edges(n, &filtered)
     })
 }

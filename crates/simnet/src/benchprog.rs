@@ -3,69 +3,121 @@
 //! All three benchmarks measure between a *source* (local rank 0) and a
 //! *destination* (local rank 1) placed on the two cores of interest:
 //!
-//! * [`ping_pong`] — `reps` round trips at a given payload size; the
+//! * [`ping_pong`] — one round trip at a given payload size; the
 //!   Hockney-style `O_ij` estimate is the regression intercept of the
 //!   one-way time over growing sizes;
-//! * [`multi_message`] — `reps` bursts of `k` simultaneous zero-byte
-//!   sends; the `L_ij` estimate is the regression gradient of the burst
-//!   completion time over `k = 1 … 32`;
+//! * [`multi_message`] — a burst of `k` simultaneous zero-byte sends into
+//!   pre-posted receives, timed from a `Mark` placed after a readiness
+//!   handshake (the simulated analogue of calling `MPI_Wtime` after a
+//!   barrier) so receive-posting overhead stays out of the sample; the
+//!   `L_ij` estimate is the regression gradient of the burst span over
+//!   `k = 1 … 32`;
 //! * [`noop_calls`] — `k` transmission-free calls; their mean cost is the
 //!   `O_ii` estimate.
+//!
+//! Every sample point is the **median of `reps` independent runs**, one
+//! round (or burst) per run, each run under a fresh deterministic noise
+//! sub-stream. Summarizing repetitions by a robust statistic over
+//! independent executions — rather than averaging one long inlined run —
+//! is the methodology Hunold & Carpen-Amarie ("MPI Benchmarking
+//! Revisited") argue is required for reproducible MPI measurements, and
+//! it keeps the noise model's rare preemption spikes from polluting a
+//! whole sample point.
+//!
+//! [`PairBench`] is the amortized driver the profiling sweep uses: one
+//! world (and therefore one engine) plus one pair of program buffers per
+//! measured pair, rebuilt in place across the whole sizes × bursts
+//! schedule so no construction cost repeats per sample point — and with
+//! `reps` runs per point, none repeats per run either.
 
 use crate::program::Program;
 use crate::world::{SimResult, SimWorld};
 use crate::{ns_to_sec, Time};
 
-/// Builds the ping-pong program pair: `reps` round trips of `bytes`-sized
+/// Label of the timing mark the burst benchmark places after its
+/// readiness handshake.
+pub const BURST_MARK: &str = "burst_start";
+
+/// Fills `a`/`b` in place with the ping-pong pair: one round trip of
+/// `bytes`-sized synchronous messages. Buffers are cleared first and
+/// retain their capacity.
+pub fn build_ping_pong(a: &mut Program, b: &mut Program, bytes: usize) {
+    a.clear();
+    b.clear();
+    a.reserve(4);
+    b.reserve(4);
+    a.push_issend_bytes(1, bytes);
+    a.push_wait_all();
+    a.push_irecv(1);
+    a.push_wait_all();
+    b.push_irecv(0);
+    b.push_wait_all();
+    b.push_issend_bytes(0, bytes);
+    b.push_wait_all();
+}
+
+/// Builds the ping-pong program pair: one round trip of `bytes`-sized
 /// synchronous messages.
-pub fn ping_pong(bytes: usize, reps: usize) -> (Program, Program) {
-    assert!(reps > 0, "need at least one repetition");
+pub fn ping_pong(bytes: usize) -> (Program, Program) {
     let mut a = Program::new();
     let mut b = Program::new();
-    for _ in 0..reps {
-        a = a.issend_bytes(1, bytes).wait_all().irecv(1).wait_all();
-        b = b.irecv(0).wait_all().issend_bytes(0, bytes).wait_all();
-    }
+    build_ping_pong(&mut a, &mut b, bytes);
     (a, b)
 }
 
-/// Mean one-way transmission time (seconds) from a completed ping-pong
-/// run: half the mean round-trip time at the initiator.
-pub fn ping_pong_one_way(result: &SimResult, reps: usize) -> f64 {
-    ns_to_sec(result.finish[0]) / (2.0 * reps as f64)
+/// Fills `a`/`b` in place with the multi-message burst pair: the
+/// destination pre-posts `k` receives and signals readiness; the source
+/// waits for the signal, records a [`BURST_MARK`] timestamp, then posts
+/// `k` zero-byte synchronous sends and one completion wait. Timing the
+/// span from the mark to the source's finish keeps the destination's
+/// receive-posting overhead — serialized on its CPU *before* the signal —
+/// out of the measured burst, so the regression gradient isolates the
+/// steady-state per-message spacing `L`.
+pub fn build_multi_message(a: &mut Program, b: &mut Program, k: usize) {
+    assert!(k > 0, "need at least one message");
+    a.clear();
+    b.clear();
+    a.reserve(k + 4);
+    b.reserve(k + 2);
+    a.push_irecv(1);
+    a.push_wait_all();
+    a.push_mark(BURST_MARK);
+    for _ in 0..k {
+        a.push_issend(1);
+        b.push_irecv(0);
+    }
+    a.push_wait_all();
+    b.push_issend(0);
+    b.push_wait_all();
 }
 
-/// Builds the multi-message burst pair: `reps` rounds, each posting `k`
-/// zero-byte synchronous sends before a single completion wait.
-pub fn multi_message(k: usize, reps: usize) -> (Program, Program) {
-    assert!(
-        k > 0 && reps > 0,
-        "need at least one message and repetition"
-    );
+/// Builds the multi-message burst pair: `k` zero-byte synchronous sends
+/// into pre-posted receives behind a readiness handshake.
+pub fn multi_message(k: usize) -> (Program, Program) {
     let mut a = Program::new();
     let mut b = Program::new();
-    for _ in 0..reps {
-        for _ in 0..k {
-            a = a.issend(1);
-            b = b.irecv(0);
-        }
-        a = a.wait_all();
-        b = b.wait_all();
-    }
+    build_multi_message(&mut a, &mut b, k);
     (a, b)
 }
 
-/// Mean burst completion time (seconds) at the sender.
-pub fn multi_message_burst_time(result: &SimResult, reps: usize) -> f64 {
-    ns_to_sec(result.finish[0]) / reps as f64
+/// Fills `a`/`b` in place with the transmission-free call workload
+/// (rank 0 active, rank 1 idle).
+pub fn build_noop_calls(a: &mut Program, b: &mut Program, k: usize) {
+    assert!(k > 0, "need at least one call");
+    a.clear();
+    b.clear();
+    a.reserve(k);
+    for _ in 0..k {
+        a.push_noop_call();
+    }
 }
 
 /// Builds the transmission-free call program (single rank active).
 pub fn noop_calls(k: usize) -> Program {
     assert!(k > 0, "need at least one call");
-    let mut p = Program::new();
+    let mut p = Program::with_capacity(k);
     for _ in 0..k {
-        p = p.noop_call();
+        p.push_noop_call();
     }
     p
 }
@@ -83,29 +135,141 @@ pub fn noop_call_mean(result: &SimResult, k: usize) -> f64 {
 /// benchmark programs cannot deadlock by construction).
 pub fn run_pair(world: &mut SimWorld, pair: (Program, Program)) -> SimResult {
     assert_eq!(world.p(), 2, "benchmark worlds have exactly two ranks");
+    let progs = [pair.0, pair.1];
     world
-        .run(vec![pair.0, pair.1])
+        .run(&progs)
         .expect("benchmark programs cannot deadlock")
 }
 
-/// Measured one-way time of a size-`bytes` ping-pong between the two
-/// ranks of `world`, mean of `reps` repetitions.
-pub fn measure_one_way(world: &mut SimWorld, bytes: usize, reps: usize) -> f64 {
-    let res = run_pair(world, ping_pong(bytes, reps));
-    ping_pong_one_way(&res, reps)
+/// Median of `values`, sorting them in place; even counts average the two
+/// middle elements.
+///
+/// # Panics
+/// Panics on an empty slice or non-finite values.
+pub fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of no measurements");
+    values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite measurement"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
 }
 
-/// Measured completion time of a `k`-message burst, mean of `reps`.
+/// Measured one-way time of a size-`bytes` ping-pong between the two
+/// ranks of `world`: the median of `reps` independent single-round runs.
+pub fn measure_one_way(world: &mut SimWorld, bytes: usize, reps: usize) -> f64 {
+    assert_eq!(world.p(), 2, "benchmark worlds have exactly two ranks");
+    assert!(reps > 0, "need at least one repetition");
+    let (a, b) = ping_pong(bytes);
+    let progs = [a, b];
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let f = world
+                .run_finish0(&progs)
+                .expect("benchmark programs cannot deadlock");
+            ns_to_sec(f) / 2.0
+        })
+        .collect();
+    median(&mut times)
+}
+
+/// Measured `k`-message burst span (readiness mark → sender completion):
+/// the median of `reps` independent single-burst runs.
 pub fn measure_burst(world: &mut SimWorld, k: usize, reps: usize) -> f64 {
-    let res = run_pair(world, multi_message(k, reps));
-    multi_message_burst_time(&res, reps)
+    assert_eq!(world.p(), 2, "benchmark worlds have exactly two ranks");
+    assert!(reps > 0, "need at least one repetition");
+    let (a, b) = multi_message(k);
+    let progs = [a, b];
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let f = world
+                .run_span0(&progs)
+                .expect("benchmark programs cannot deadlock");
+            ns_to_sec(f)
+        })
+        .collect();
+    median(&mut times)
 }
 
 /// Measured mean transmission-free call cost over `k` calls at rank 0.
 pub fn measure_noop(world: &mut SimWorld, k: usize) -> f64 {
-    let progs = vec![noop_calls(k), Program::new()];
-    let res = world.run(progs).expect("no communication, cannot deadlock");
+    let progs = [noop_calls(k), Program::new()];
+    let res = world
+        .run(&progs)
+        .expect("no communication, cannot deadlock");
     noop_call_mean(&res, k)
+}
+
+/// Amortized two-rank benchmark scratch: one reused world/engine, one
+/// pair of program buffers refilled in place per sample point, and one
+/// measurement buffer reused across the per-point repetition loop. After
+/// the first (largest) build, no measurement allocates.
+pub struct PairBench {
+    world: SimWorld,
+    progs: [Program; 2],
+    times: Vec<f64>,
+}
+
+impl PairBench {
+    /// Wraps a two-rank world.
+    ///
+    /// # Panics
+    /// Panics if the world does not have exactly 2 ranks.
+    pub fn new(world: SimWorld) -> Self {
+        assert_eq!(world.p(), 2, "benchmark worlds have exactly two ranks");
+        PairBench {
+            world,
+            progs: [Program::new(), Program::new()],
+            times: Vec::new(),
+        }
+    }
+
+    /// Measured one-way ping-pong time at `bytes`: the median of `reps`
+    /// independent single-round runs.
+    pub fn one_way(&mut self, bytes: usize, reps: usize) -> f64 {
+        assert!(reps > 0, "need at least one repetition");
+        let [a, b] = &mut self.progs;
+        build_ping_pong(a, b, bytes);
+        self.times.clear();
+        for _ in 0..reps {
+            let f = self
+                .world
+                .run_finish0(&self.progs)
+                .expect("benchmark programs cannot deadlock");
+            self.times.push(ns_to_sec(f) / 2.0);
+        }
+        median(&mut self.times)
+    }
+
+    /// Measured `k`-message burst span (readiness mark → sender
+    /// completion): the median of `reps` independent single-burst runs.
+    pub fn burst(&mut self, k: usize, reps: usize) -> f64 {
+        assert!(reps > 0, "need at least one repetition");
+        let [a, b] = &mut self.progs;
+        build_multi_message(a, b, k);
+        self.times.clear();
+        for _ in 0..reps {
+            let f = self
+                .world
+                .run_span0(&self.progs)
+                .expect("benchmark programs cannot deadlock");
+            self.times.push(ns_to_sec(f));
+        }
+        median(&mut self.times)
+    }
+
+    /// Measured mean transmission-free call cost over `k` calls.
+    pub fn noop(&mut self, k: usize) -> f64 {
+        let [a, b] = &mut self.progs;
+        build_noop_calls(a, b, k);
+        let f = self
+            .world
+            .run_finish0(&self.progs)
+            .expect("no communication, cannot deadlock");
+        ns_to_sec(f) / k as f64
+    }
 }
 
 /// Virtual duration helper for tests.
@@ -198,8 +362,27 @@ mod tests {
     }
 
     #[test]
+    fn pair_bench_matches_one_shot_measurements() {
+        // The amortized scratch must reproduce the one-shot helpers
+        // bit-for-bit: same run order ⇒ same run counter ⇒ same noise.
+        let machine = MachineSpec::new(2, 1, 1);
+        let mut world = pair_world(machine.clone(), 0, 1);
+        let o1 = measure_one_way(&mut world, 1 << 10, 4);
+        let b1 = measure_burst(&mut world, 8, 3);
+        let n1 = measure_noop(&mut world, 16);
+        let mut bench = PairBench::new(pair_world(machine, 0, 1));
+        let o2 = bench.one_way(1 << 10, 4);
+        let b2 = bench.burst(8, 3);
+        let n2 = bench.noop(16);
+        assert_eq!(o1.to_bits(), o2.to_bits());
+        assert_eq!(b1.to_bits(), b2.to_bits());
+        assert_eq!(n1.to_bits(), n2.to_bits());
+    }
+
+    #[test]
     #[should_panic(expected = "at least one repetition")]
     fn zero_reps_panics() {
-        ping_pong(0, 0);
+        let mut world = pair_world(MachineSpec::new(2, 1, 1), 0, 1);
+        measure_one_way(&mut world, 0, 0);
     }
 }

@@ -27,14 +27,30 @@
 //! costs `call_overhead` on the caller's CPU. `Delay` models computation
 //! without occupying the CPU resource (message progress continues, as
 //! with an MPI progress thread).
+//!
+//! ## Reuse lifecycle
+//!
+//! An `Engine` is built **once** per placement ([`Engine::new`] takes the
+//! core list and ground truth) and then runs arbitrarily many program
+//! sets: [`run`](Engine::run) borrows a program slice, [`reset`]s the
+//! per-run state, and interprets instructions **by value** (`Instr` is
+//! `Copy`; mark labels are interned ids). All per-run state lives in
+//! arenas sized at construction — the event queue, per-process interpreter
+//! states, per-resource clocks, and a flat `p × p` pool of head-indexed
+//! FIFO queues for posted/ready message matching — and is cleared in
+//! O(touched) between runs, so the hot loop performs no heap allocation
+//! after warm-up. Results are bit-identical to a freshly constructed
+//! engine: event ordering depends only on `(time, seq)` and `seq` restarts
+//! at zero each run, so the deterministic noise stream is consumed in the
+//! same order.
+//!
+//! [`reset`]: Engine::reset
 
-use crate::noise::NoiseState;
-use crate::program::{Instr, Program};
+use crate::noise::{NoiseModel, NoiseState};
+use crate::program::{Instr, LabelId, Program};
 use crate::trace::{Trace, TraceEvent};
 use crate::Time;
 use hbar_topo::machine::{CoreId, GroundTruth, LinkClass};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
 
 /// A serial resource reserved in event-time order.
 #[derive(Clone, Copy, Debug, Default)]
@@ -52,55 +68,229 @@ impl Resource {
     }
 }
 
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum EventKind {
-    /// Resume a process's program interpretation.
-    Resume { proc: usize },
-    /// A message has finished its wire (and pre-RX) journey.
-    Arrive {
-        dst: usize,
-        src: usize,
-        class: LinkClass,
-    },
-    /// A receive request completed at `proc`.
-    RecvComplete { proc: usize },
-    /// A synchronous send request completed at `proc`.
-    SendComplete { proc: usize },
+/// Event tags, packed into the top bits of an event payload.
+const TAG_RESUME: u32 = 0;
+const TAG_ARRIVE: u32 = 1;
+const TAG_RECV_DONE: u32 = 2;
+const TAG_SEND_DONE: u32 = 3;
+
+/// Rank-field width in a packed event payload (two ranks + a 2-bit tag
+/// must fit in 32 bits).
+const RANK_BITS: u32 = 15;
+const RANK_MASK: u32 = (1 << RANK_BITS) - 1;
+
+/// Packs `(tag, dst, src)` into an event payload word.
+#[inline]
+fn payload(tag: u32, dst: usize, src: usize) -> u32 {
+    (tag << (2 * RANK_BITS)) | ((dst as u32) << RANK_BITS) | src as u32
 }
 
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A popped queue entry. `key` carries the tie-breaking sequence number
+/// in its high half and the packed `(tag, dst, src)` payload in its low
+/// half; in the queue both words live in one `u128` (`time` on top) whose
+/// integer order is exactly the engine's `(time, seq)` event order, since
+/// sequence numbers are unique.
+#[derive(Clone, Copy, Debug)]
 struct Event {
     time: Time,
-    seq: u64,
-    kind: EventKind,
+    key: u64,
 }
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+impl Event {
+    #[inline]
+    fn tag(&self) -> u32 {
+        self.key as u32 >> (2 * RANK_BITS)
+    }
+
+    #[inline]
+    fn src(&self) -> usize {
+        (self.key as u32 & RANK_MASK) as usize
+    }
+
+    #[inline]
+    fn dst(&self) -> usize {
+        ((self.key as u32 >> RANK_BITS) & RANK_MASK) as usize
     }
 }
 
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+/// A monotone (radix-heap) priority queue over packed `u128` events.
+///
+/// Discrete-event simulation never schedules into the past, so every
+/// pushed key exceeds the last popped one — the property radix heaps
+/// exploit. Keys are binned by the position of their highest bit
+/// differing from the last popped key; a push is an XOR, a
+/// leading-zeros count and a `Vec` push, and a pop drains the lowest
+/// occupied bin (found through a 128-bit occupancy mask), re-binning its
+/// entries relative to the new minimum. Each key only ever migrates to
+/// strictly lower bins, so the amortized cost per event is a few moves —
+/// far below the comparison-sift cost of a binary heap on this workload.
+/// Pops still yield the exact global minimum in `(time, seq)` order, so
+/// event ordering (and therefore the noise-draw order) is bit-identical
+/// to an ordinary heap.
+#[derive(Debug)]
+struct EventQueue {
+    /// `bins[i]` holds keys whose XOR with `last` has highest bit `i`.
+    bins: Vec<Vec<u128>>,
+    /// Bit `i` set ⇔ `bins[i]` is non-empty.
+    occupied: u128,
+    /// The minimum key, extracted from its bin and awaiting `pop`.
+    front: Option<u128>,
+    /// Last popped (or staged) key; all queued keys exceed it.
+    last: u128,
+    len: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            bins: vec![Vec::new(); 128],
+            occupied: 0,
+            front: None,
+            last: 0,
+            len: 0,
+        }
     }
 }
 
-struct Proc {
-    program: Vec<Instr>,
+impl EventQueue {
+    #[inline]
+    fn push(&mut self, key: u128) {
+        debug_assert!(key > self.last, "monotonicity violated");
+        let bin = 127 - (key ^ self.last).leading_zeros() as usize;
+        self.bins[bin].push(key);
+        self.occupied |= 1 << bin;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u128> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if let Some(v) = self.front.take() {
+            return Some(v);
+        }
+        self.pull();
+        self.front.take()
+    }
+
+    /// Extracts the minimum of the lowest occupied bin into `front` and
+    /// re-bins that bin's remaining keys relative to it. Every re-binned
+    /// key lands in a strictly lower bin (it shares the old highest
+    /// differing bit with the minimum), which bounds the total moves.
+    fn pull(&mut self) {
+        let i = self.occupied.trailing_zeros() as usize;
+        let mut bin = std::mem::take(&mut self.bins[i]);
+        self.occupied &= !(1u128 << i);
+        let (at, &min) = bin
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &k)| k)
+            .expect("occupied bin is non-empty");
+        bin.swap_remove(at);
+        self.last = min;
+        self.front = Some(min);
+        for k in bin.drain(..) {
+            let nb = 127 - (k ^ min).leading_zeros() as usize;
+            self.bins[nb].push(k);
+            self.occupied |= 1 << nb;
+        }
+        self.bins[i] = bin; // keep the drained bin's capacity
+    }
+
+    fn clear(&mut self) {
+        let mut occ = self.occupied;
+        while occ != 0 {
+            let i = occ.trailing_zeros() as usize;
+            self.bins[i].clear();
+            occ &= occ - 1;
+        }
+        self.occupied = 0;
+        self.front = None;
+        self.last = 0;
+        self.len = 0;
+    }
+}
+
+/// Precomputed per-(src,dst) link charges: one cache line resolves what
+/// previously took a `CoreId` comparison plus a `GroundTruth` match per
+/// instruction.
+#[derive(Clone, Copy, Debug)]
+struct PairCost {
+    inter_node: bool,
+    /// `call_overhead + cpu_send` — the sender CPU injection occupancy.
+    inject_ns: Time,
+    cpu_recv_ns: Time,
+    nic_tx_ns: Time,
+    nic_rx_ns: Time,
+    wire_ns: Time,
+    ns_per_byte: f64,
+}
+
+/// Per-process interpreter state, reused across runs.
+#[derive(Clone, Debug, Default)]
+struct ProcState {
     pc: usize,
     /// Requests issued and not yet completed.
     outstanding: usize,
     /// Blocked in `WaitAll` (or at end of program awaiting completions).
     waiting: bool,
     done: bool,
-    /// Posted, unmatched receives: per source, post times (FIFO).
-    posted: Vec<VecDeque<Time>>,
-    /// Arrived, unmatched messages: per source, availability times (FIFO).
-    ready: Vec<VecDeque<(Time, LinkClass)>>,
     finish: Option<Time>,
-    marks: Vec<(String, Time)>,
+    /// Recorded `Mark` timestamps as interned label ids; resolved to
+    /// strings only when building the [`EngineResult`].
+    marks: Vec<(LabelId, Time)>,
+}
+
+impl ProcState {
+    fn reset(&mut self) {
+        self.pc = 0;
+        self.outstanding = 0;
+        self.waiting = false;
+        self.done = false;
+        self.finish = None;
+        self.marks.clear();
+    }
+}
+
+/// Head-indexed FIFO queues for one `(dst, src)` pair: posted, unmatched
+/// receives (post times) and arrived, unmatched messages (availability
+/// times; the link class is implied by the pair). Pops advance a head
+/// index instead of shifting, so entries stay in place and the backing
+/// storage is reused run after run.
+#[derive(Clone, Debug, Default)]
+struct PairQueue {
+    posted: Vec<Time>,
+    posted_head: usize,
+    ready: Vec<Time>,
+    ready_head: usize,
+    /// Set on first use in a run; indexes the engine's touched list.
+    touched: bool,
+}
+
+impl PairQueue {
+    #[inline]
+    fn pop_posted(&mut self) -> Option<Time> {
+        let v = self.posted.get(self.posted_head).copied()?;
+        self.posted_head += 1;
+        Some(v)
+    }
+
+    #[inline]
+    fn pop_ready(&mut self) -> Option<Time> {
+        let v = self.ready.get(self.ready_head).copied()?;
+        self.ready_head += 1;
+        Some(v)
+    }
+
+    fn clear(&mut self) {
+        self.posted.clear();
+        self.posted_head = 0;
+        self.ready.clear();
+        self.ready_head = 0;
+        self.touched = false;
+    }
 }
 
 /// Error returned when the simulation cannot complete.
@@ -136,35 +326,119 @@ pub struct EngineResult {
     pub trace: Option<Trace>,
 }
 
-/// The event-driven interpreter for one run.
+/// The reusable event-driven interpreter: arenas sized once for a
+/// placement, then [`run`](Engine::run) borrows program slices.
 pub struct Engine {
-    procs: Vec<Proc>,
     cores: Vec<CoreId>,
     gt: GroundTruth,
+    procs: Vec<ProcState>,
     cpu: Vec<Resource>,
     nic_tx: Vec<Resource>,
     nic_rx: Vec<Resource>,
-    queue: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    queue: EventQueue,
+    /// Flat `p × p` matching pools, indexed `dst * p + src`.
+    pairs: Vec<PairQueue>,
+    /// Flat `p × p` link charges, indexed `dst * p + src` (symmetric, so
+    /// the same index convention as `pairs` serves both directions).
+    costs: Vec<PairCost>,
+    /// Node of each rank's core (for the shared NIC resources).
+    node: Vec<u32>,
+    /// Cached `GroundTruth::call_overhead_ns`.
+    overhead_ns: Time,
+    /// Pair indices dirtied during the current run (cleared on reset).
+    touched: Vec<usize>,
+    seq: u32,
     noise: NoiseState,
     events: u64,
     trace: Option<Trace>,
 }
 
 impl Engine {
-    /// Builds an engine for `programs[r]` running on `cores[r]`.
+    /// Builds an engine for processes pinned to `cores`, sizing every
+    /// arena for `cores.len()` ranks. The engine holds no programs;
+    /// [`run`](Self::run) borrows them per run.
     ///
     /// # Panics
-    /// Panics if program and core counts differ, if any instruction
-    /// references an out-of-range rank, or if a rank messages itself.
-    pub fn new(
-        programs: Vec<Program>,
-        cores: Vec<CoreId>,
-        gt: GroundTruth,
-        noise: NoiseState,
-    ) -> Self {
-        assert_eq!(programs.len(), cores.len(), "one core per program required");
-        let p = programs.len();
+    /// Panics if the rank count exceeds the packed-event rank field
+    /// (32768 ranks — far beyond the paper's scale).
+    pub fn new(cores: Vec<CoreId>, gt: GroundTruth) -> Self {
+        let p = cores.len();
+        assert!(
+            p <= RANK_MASK as usize + 1,
+            "engine supports at most {} ranks",
+            RANK_MASK as usize + 1
+        );
+        let max_node = cores.iter().map(|c| c.node).max().unwrap_or(0);
+        let mut costs = Vec::with_capacity(p * p);
+        for dst in 0..p {
+            for src in 0..p {
+                let class = cores[dst].link_class(&cores[src]);
+                let lc = gt.link(class);
+                costs.push(PairCost {
+                    inter_node: class == LinkClass::InterNode,
+                    inject_ns: gt.call_overhead_ns + lc.cpu_send_ns,
+                    cpu_recv_ns: lc.cpu_recv_ns,
+                    nic_tx_ns: lc.nic_tx_ns,
+                    nic_rx_ns: lc.nic_rx_ns,
+                    wire_ns: lc.wire_ns,
+                    ns_per_byte: lc.ns_per_byte,
+                });
+            }
+        }
+        Engine {
+            procs: vec![ProcState::default(); p],
+            cpu: vec![Resource::default(); p],
+            nic_tx: vec![Resource::default(); max_node + 1],
+            nic_rx: vec![Resource::default(); max_node + 1],
+            queue: EventQueue::default(),
+            pairs: vec![PairQueue::default(); p * p],
+            costs,
+            node: cores.iter().map(|c| c.node as u32).collect(),
+            overhead_ns: gt.call_overhead_ns,
+            touched: Vec::new(),
+            seq: 0,
+            noise: NoiseState::new(NoiseModel::none(), 0),
+            events: 0,
+            trace: None,
+            cores,
+            gt,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The physical placement of each rank.
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// The ground truth this engine charges.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.gt
+    }
+
+    /// Enables per-message trace recording for the next run only (the
+    /// run's result carries the trace out).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::default());
+    }
+
+    /// Clears all per-run state — event queue, interpreter states,
+    /// resource clocks, and every matching pool dirtied by the previous
+    /// run (O(touched), not O(p²)) — and validates `programs` against the
+    /// placement. Arenas retain their capacity, so a reset-and-run cycle
+    /// allocates nothing once warm.
+    ///
+    /// # Panics
+    /// Panics if the program count differs from the rank count, if any
+    /// instruction references an out-of-range rank, or if a rank messages
+    /// itself.
+    pub fn reset(&mut self, programs: &[Program]) {
+        let p = self.p();
+        assert_eq!(programs.len(), p, "one program per rank required");
         for (r, prog) in programs.iter().enumerate() {
             for ins in &prog.instrs {
                 match ins {
@@ -180,39 +454,27 @@ impl Engine {
                 }
             }
         }
-        let max_node = cores.iter().map(|c| c.node).max().unwrap_or(0);
-        let procs = programs
-            .into_iter()
-            .map(|prog| Proc {
-                program: prog.instrs,
-                pc: 0,
-                outstanding: 0,
-                waiting: false,
-                done: false,
-                posted: vec![VecDeque::new(); p],
-                ready: vec![VecDeque::new(); p],
-                finish: None,
-                marks: Vec::new(),
-            })
-            .collect();
-        Engine {
-            procs,
-            cores,
-            gt,
-            cpu: vec![Resource::default(); p],
-            nic_tx: vec![Resource::default(); max_node + 1],
-            nic_rx: vec![Resource::default(); max_node + 1],
-            queue: BinaryHeap::new(),
-            seq: 0,
-            noise,
-            events: 0,
-            trace: None,
+        for pr in &mut self.procs {
+            pr.reset();
         }
-    }
-
-    /// Enables per-message trace recording for this run.
-    pub fn enable_trace(&mut self) {
-        self.trace = Some(Trace::default());
+        for r in self
+            .cpu
+            .iter_mut()
+            .chain(&mut self.nic_tx)
+            .chain(&mut self.nic_rx)
+        {
+            r.free_at = 0;
+        }
+        self.queue.clear();
+        for &idx in &self.touched {
+            self.pairs[idx].clear();
+        }
+        self.touched.clear();
+        self.seq = 0;
+        self.events = 0;
+        if let Some(t) = &mut self.trace {
+            t.events.clear();
+        }
     }
 
     #[inline]
@@ -222,34 +484,100 @@ impl Engine {
         }
     }
 
-    fn schedule(&mut self, time: Time, kind: EventKind) {
-        self.seq += 1;
-        self.queue.push(Reverse(Event {
-            time,
-            seq: self.seq,
-            kind,
-        }));
+    #[inline]
+    fn schedule(&mut self, time: Time, payload: u32) {
+        self.seq = self.seq.checked_add(1).expect("event sequence overflow");
+        self.queue
+            .push((time as u128) << 64 | (self.seq as u128) << 32 | payload as u128);
     }
 
-    fn link_class(&self, a: usize, b: usize) -> LinkClass {
-        self.cores[a].link_class(&self.cores[b])
-    }
-
-    /// Runs all programs to completion.
-    pub fn run(mut self) -> Result<EngineResult, SimDeadlock> {
-        let p = self.procs.len();
-        for r in 0..p {
-            self.schedule(0, EventKind::Resume { proc: r });
+    /// The matching pool for messages `src → dst`, marked touched so the
+    /// next [`reset`](Self::reset) clears it.
+    #[inline]
+    fn pair_mut(&mut self, dst: usize, src: usize) -> &mut PairQueue {
+        let idx = dst * self.procs.len() + src;
+        let q = &mut self.pairs[idx];
+        if !q.touched {
+            q.touched = true;
+            self.touched.push(idx);
         }
-        while let Some(Reverse(ev)) = self.queue.pop() {
+        &mut self.pairs[idx]
+    }
+
+    /// Runs one program per rank to completion with the given per-run
+    /// noise state, resetting all reused arenas first. Results are
+    /// bit-identical to a freshly constructed engine fed the same
+    /// programs and noise.
+    pub fn run(
+        &mut self,
+        programs: &[Program],
+        noise: NoiseState,
+    ) -> Result<EngineResult, SimDeadlock> {
+        self.execute(programs, noise)?;
+        Ok(EngineResult {
+            finish: self
+                .procs
+                .iter()
+                .map(|pr| pr.finish.expect("done implies finish"))
+                .collect(),
+            marks: self
+                .procs
+                .iter()
+                .enumerate()
+                .map(|(r, pr)| {
+                    pr.marks
+                        .iter()
+                        .map(|&(id, t)| (programs[r].label(id).to_string(), t))
+                        .collect()
+                })
+                .collect(),
+            events: self.events,
+            trace: self.trace.take(),
+        })
+    }
+
+    /// Rank `r`'s completion time after a successful [`execute`].
+    ///
+    /// [`execute`]: Self::execute
+    pub(crate) fn finish_of(&self, r: usize) -> Time {
+        self.procs[r].finish.expect("execute completed this rank")
+    }
+
+    /// Rank `r`'s first recorded `Mark` time after a successful
+    /// [`execute`](Self::execute).
+    pub(crate) fn first_mark_of(&self, r: usize) -> Time {
+        self.procs[r].marks.first().expect("rank recorded a mark").1
+    }
+
+    /// The simulation loop without result assembly: benchmark drivers that
+    /// only need one rank's finish time call this to keep the per-run path
+    /// free of even the result-vector allocations.
+    pub(crate) fn execute(
+        &mut self,
+        programs: &[Program],
+        noise: NoiseState,
+    ) -> Result<(), SimDeadlock> {
+        self.reset(programs);
+        self.noise = noise;
+        let p = self.p();
+        for r in 0..p {
+            self.schedule(0, payload(TAG_RESUME, 0, r));
+        }
+        while let Some(v) = self.queue.pop() {
+            let ev = Event {
+                time: (v >> 64) as Time,
+                key: v as u64,
+            };
             self.events += 1;
-            match ev.kind {
-                EventKind::Resume { proc } => self.run_program(proc, ev.time),
-                EventKind::Arrive { dst, src, class } => {
+            match ev.tag() {
+                TAG_RESUME => self.run_program(programs, ev.src(), ev.time),
+                TAG_ARRIVE => {
+                    let (src, dst) = (ev.src(), ev.dst());
+                    let c = self.costs[dst * p + src];
                     // NIC RX serialization for inter-node traffic.
-                    let available = if class == LinkClass::InterNode {
-                        let dur = self.noise.sample(self.gt.link(class).nic_rx_ns);
-                        self.nic_rx[self.cores[dst].node].acquire(ev.time, dur)
+                    let available = if c.inter_node {
+                        let dur = self.noise.sample(c.nic_rx_ns);
+                        self.nic_rx[self.node[dst] as usize].acquire(ev.time, dur)
                     } else {
                         ev.time
                     };
@@ -258,19 +586,20 @@ impl Engine {
                         src,
                         dst,
                     });
-                    if let Some(post_time) = self.procs[dst].posted[src].pop_front() {
-                        self.complete_match(src, dst, class, available.max(post_time));
+                    if let Some(post_time) = self.pair_mut(dst, src).pop_posted() {
+                        self.complete_match(src, dst, c, available.max(post_time));
                     } else {
-                        self.procs[dst].ready[src].push_back((available, class));
+                        self.pair_mut(dst, src).ready.push(available);
                     }
                 }
-                EventKind::RecvComplete { proc } | EventKind::SendComplete { proc } => {
+                _ => {
+                    let proc = ev.src();
                     let pr = &mut self.procs[proc];
                     debug_assert!(pr.outstanding > 0, "completion without outstanding request");
                     pr.outstanding -= 1;
                     if pr.waiting && pr.outstanding == 0 {
                         pr.waiting = false;
-                        self.run_program(proc, ev.time);
+                        self.run_program(programs, proc, ev.time);
                     }
                 }
             }
@@ -285,36 +614,24 @@ impl Engine {
         if !stuck.is_empty() {
             return Err(SimDeadlock { stuck });
         }
-        Ok(EngineResult {
-            finish: self
-                .procs
-                .iter()
-                .map(|pr| pr.finish.expect("done implies finish"))
-                .collect(),
-            marks: self
-                .procs
-                .iter_mut()
-                .map(|pr| std::mem::take(&mut pr.marks))
-                .collect(),
-            events: self.events,
-            trace: self.trace.take(),
-        })
+        Ok(())
     }
 
     /// Matches a message `src → dst`: charges the receiver CPU, completes
     /// the receive, and acknowledges the synchronous sender.
-    fn complete_match(&mut self, src: usize, dst: usize, class: LinkClass, at: Time) {
-        let dur = self.noise.sample(self.gt.link(class).cpu_recv_ns);
+    #[inline]
+    fn complete_match(&mut self, src: usize, dst: usize, c: PairCost, at: Time) {
+        let dur = self.noise.sample(c.cpu_recv_ns);
         let done = self.cpu[dst].acquire(at, dur);
-        self.schedule(done, EventKind::RecvComplete { proc: dst });
+        self.schedule(done, payload(TAG_RECV_DONE, 0, dst));
         self.record(TraceEvent::RecvCompleted {
             time: done,
             src,
             dst,
         });
         // Acknowledgement back to the synchronous sender: one wire delay.
-        let ack = self.noise.sample(self.gt.link(class).wire_ns);
-        self.schedule(done + ack, EventKind::SendComplete { proc: src });
+        let ack = self.noise.sample(c.wire_ns);
+        self.schedule(done + ack, payload(TAG_SEND_DONE, 0, src));
         self.record(TraceEvent::SendCompleted {
             time: done + ack,
             src,
@@ -323,15 +640,17 @@ impl Engine {
     }
 
     /// Interprets `proc`'s program starting at time `now` until it blocks
-    /// or finishes.
-    fn run_program(&mut self, proc: usize, now: Time) {
+    /// or finishes. Instructions are read by value (`Instr: Copy`) — the
+    /// loop performs no heap allocation.
+    fn run_program(&mut self, programs: &[Program], proc: usize, now: Time) {
         let mut now = now;
+        let instrs = &programs[proc].instrs;
         loop {
             let pr = &self.procs[proc];
             if pr.done {
                 return;
             }
-            if pr.pc >= pr.program.len() {
+            if pr.pc >= instrs.len() {
                 let pr = &mut self.procs[proc];
                 if pr.outstanding == 0 {
                     pr.done = true;
@@ -342,11 +661,10 @@ impl Engine {
                 }
                 return;
             }
-            let instr = pr.program[pr.pc].clone();
-            match instr {
+            match instrs[pr.pc] {
                 Instr::Delay { ns } => {
                     self.procs[proc].pc += 1;
-                    self.schedule(now + ns, EventKind::Resume { proc });
+                    self.schedule(now + ns, payload(TAG_RESUME, 0, proc));
                     return;
                 }
                 Instr::Mark { label } => {
@@ -354,7 +672,7 @@ impl Engine {
                     self.procs[proc].pc += 1;
                 }
                 Instr::NoOpCall => {
-                    let dur = self.noise.sample(self.gt.call_overhead_ns);
+                    let dur = self.noise.sample(self.overhead_ns);
                     now = self.cpu[proc].acquire(now, dur);
                     self.procs[proc].pc += 1;
                 }
@@ -368,20 +686,20 @@ impl Engine {
                     }
                 }
                 Instr::Irecv { src } => {
-                    let dur = self.noise.sample(self.gt.call_overhead_ns);
+                    let dur = self.noise.sample(self.overhead_ns);
                     now = self.cpu[proc].acquire(now, dur);
                     self.procs[proc].pc += 1;
                     self.procs[proc].outstanding += 1;
-                    if let Some((available, class)) = self.procs[proc].ready[src].pop_front() {
-                        self.complete_match(src, proc, class, available.max(now));
+                    if let Some(available) = self.pair_mut(proc, src).pop_ready() {
+                        let c = self.costs[proc * self.procs.len() + src];
+                        self.complete_match(src, proc, c, available.max(now));
                     } else {
-                        self.procs[proc].posted[src].push_back(now);
+                        self.pair_mut(proc, src).posted.push(now);
                     }
                 }
                 Instr::Issend { dst, bytes } => {
-                    let class = self.link_class(proc, dst);
-                    let lc = *self.gt.link(class);
-                    let inject = self.noise.sample(self.gt.call_overhead_ns + lc.cpu_send_ns);
+                    let c = self.costs[dst * self.procs.len() + proc];
+                    let inject = self.noise.sample(c.inject_ns);
                     now = self.cpu[proc].acquire(now, inject);
                     self.record(TraceEvent::SendInjected {
                         time: now,
@@ -390,23 +708,19 @@ impl Engine {
                     });
                     self.procs[proc].pc += 1;
                     self.procs[proc].outstanding += 1;
-                    let after_tx = if class == LinkClass::InterNode {
-                        let dur = self.noise.sample(lc.nic_tx_ns);
-                        self.nic_tx[self.cores[proc].node].acquire(now, dur)
+                    let after_tx = if c.inter_node {
+                        let dur = self.noise.sample(c.nic_tx_ns);
+                        self.nic_tx[self.node[proc] as usize].acquire(now, dur)
                     } else {
                         now
                     };
-                    let wire = self
-                        .noise
-                        .sample(lc.wire_ns + (bytes as f64 * lc.ns_per_byte).round() as Time);
-                    self.schedule(
-                        after_tx + wire,
-                        EventKind::Arrive {
-                            dst,
-                            src: proc,
-                            class,
-                        },
-                    );
+                    let wire_ns = if bytes == 0 {
+                        c.wire_ns // skip the f64 bandwidth term for signals
+                    } else {
+                        c.wire_ns + (bytes as f64 * c.ns_per_byte).round() as Time
+                    };
+                    let wire = self.noise.sample(wire_ns);
+                    self.schedule(after_tx + wire, payload(TAG_ARRIVE, dst, proc));
                 }
             }
         }
@@ -420,21 +734,20 @@ mod tests {
     use crate::program::Program;
     use hbar_topo::machine::MachineSpec;
 
-    fn engine_for(machine: &MachineSpec, flat_cores: &[usize], programs: Vec<Program>) -> Engine {
+    fn engine_for(machine: &MachineSpec, flat_cores: &[usize]) -> Engine {
         let cores: Vec<CoreId> = flat_cores.iter().map(|&c| machine.core(c)).collect();
-        Engine::new(
-            programs,
-            cores,
-            machine.ground_truth.clone(),
-            NoiseState::new(NoiseModel::none(), 0),
-        )
+        Engine::new(cores, machine.ground_truth.clone())
+    }
+
+    fn exact() -> NoiseState {
+        NoiseState::new(NoiseModel::none(), 0)
     }
 
     #[test]
     fn empty_programs_finish_at_zero() {
         let m = MachineSpec::new(1, 1, 2);
-        let res = engine_for(&m, &[0, 1], vec![Program::new(), Program::new()])
-            .run()
+        let res = engine_for(&m, &[0, 1])
+            .run(&[Program::new(), Program::new()], exact())
             .unwrap();
         assert_eq!(res.finish, vec![0, 0]);
     }
@@ -445,7 +758,7 @@ mod tests {
         let gt = &m.ground_truth;
         let p0 = Program::new().issend(1).wait_all();
         let p1 = Program::new().irecv(0).wait_all();
-        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        let res = engine_for(&m, &[0, 1]).run(&[p0, p1], exact()).unwrap();
         let c = gt.link(LinkClass::SameSocket);
         // Receiver done: inject + wire + cpu_recv (recv pre-posted at call_overhead).
         let inject = gt.call_overhead_ns + c.cpu_send_ns;
@@ -461,7 +774,7 @@ mod tests {
         let gt = m.ground_truth.clone();
         let p0 = Program::new().issend(1).wait_all();
         let p1 = Program::new().irecv(0).wait_all();
-        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        let res = engine_for(&m, &[0, 1]).run(&[p0, p1], exact()).unwrap();
         let c = gt.link(LinkClass::InterNode);
         let recv_done = gt.call_overhead_ns
             + c.cpu_send_ns
@@ -480,7 +793,7 @@ mod tests {
         let bytes = 1 << 16;
         let p0 = Program::new().issend_bytes(1, bytes).wait_all();
         let p1 = Program::new().irecv(0).wait_all();
-        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        let res = engine_for(&m, &[0, 1]).run(&[p0, p1], exact()).unwrap();
         let c = gt.link(LinkClass::InterNode);
         let extra = (bytes as f64 * c.ns_per_byte).round() as Time;
         let expect = gt.call_overhead_ns
@@ -502,7 +815,7 @@ mod tests {
         let delay = 1_000_000;
         let p0 = Program::new().issend(1).wait_all();
         let p1 = Program::new().delay(delay).irecv(0).wait_all();
-        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        let res = engine_for(&m, &[0, 1]).run(&[p0, p1], exact()).unwrap();
         let post = delay + gt.call_overhead_ns;
         assert_eq!(res.finish[1], post + c.cpu_recv_ns);
         assert_eq!(res.finish[0], post + c.cpu_recv_ns + c.wire_ns);
@@ -516,7 +829,7 @@ mod tests {
         let delay = 5_000_000;
         let p0 = Program::new().issend(1).wait_all().mark("sent");
         let p1 = Program::new().delay(delay).irecv(0).wait_all();
-        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        let res = engine_for(&m, &[0, 1]).run(&[p0, p1], exact()).unwrap();
         assert!(res.finish[0] > delay);
     }
 
@@ -528,7 +841,9 @@ mod tests {
         let p0 = Program::new().issend(1).issend(2).wait_all();
         let p1 = Program::new().irecv(0).wait_all();
         let p2 = Program::new().irecv(0).wait_all();
-        let res = engine_for(&m, &[0, 1, 2], vec![p0, p1, p2]).run().unwrap();
+        let res = engine_for(&m, &[0, 1, 2])
+            .run(&[p0, p1, p2], exact())
+            .unwrap();
         let same = *gt.link(LinkClass::SameSocket);
         let cross = *gt.link(LinkClass::CrossSocket);
         let inj1 = gt.call_overhead_ns + same.cpu_send_ns;
@@ -551,7 +866,7 @@ mod tests {
             Program::new().irecv(0).wait_all(),
             Program::new().irecv(1).wait_all(),
         ];
-        let res = engine_for(&m, &[0, 1, 2, 3], progs).run().unwrap();
+        let res = engine_for(&m, &[0, 1, 2, 3]).run(&progs, exact()).unwrap();
         let first = gt.call_overhead_ns
             + c.cpu_send_ns
             + c.nic_tx_ns
@@ -572,7 +887,7 @@ mod tests {
         let m = MachineSpec::new(1, 1, 2);
         let p0 = Program::new().issend(1).issend(1).wait_all();
         let p1 = Program::new().irecv(0).irecv(0).wait_all();
-        let res = engine_for(&m, &[0, 1], vec![p0, p1]).run().unwrap();
+        let res = engine_for(&m, &[0, 1]).run(&[p0, p1], exact()).unwrap();
         assert!(res.finish[0] > 0 && res.finish[1] > 0);
     }
 
@@ -581,8 +896,8 @@ mod tests {
         let m = MachineSpec::new(1, 1, 2);
         // Receive that never gets a message.
         let p0 = Program::new().irecv(1).wait_all();
-        let err = engine_for(&m, &[0, 1], vec![p0, Program::new()])
-            .run()
+        let err = engine_for(&m, &[0, 1])
+            .run(&[p0, Program::new()], exact())
             .unwrap_err();
         assert_eq!(err.stuck.len(), 1);
         assert_eq!(err.stuck[0].0, 0);
@@ -593,8 +908,8 @@ mod tests {
     fn marks_record_virtual_times() {
         let m = MachineSpec::new(1, 1, 2);
         let p0 = Program::new().mark("start").delay(500).mark("end");
-        let res = engine_for(&m, &[0, 1], vec![p0, Program::new()])
-            .run()
+        let res = engine_for(&m, &[0, 1])
+            .run(&[p0, Program::new()], exact())
             .unwrap();
         assert_eq!(res.marks[0][0], ("start".into(), 0));
         assert_eq!(res.marks[0][1], ("end".into(), 500));
@@ -605,33 +920,86 @@ mod tests {
     fn self_send_rejected() {
         let m = MachineSpec::new(1, 1, 2);
         let p0 = Program::new().issend(0);
-        engine_for(&m, &[0, 1], vec![p0, Program::new()]);
+        let _ = engine_for(&m, &[0, 1]).run(&[p0, Program::new()], exact());
     }
 
     #[test]
     fn determinism_across_runs() {
         let m = MachineSpec::new(2, 1, 2);
-        let mk = || {
-            vec![
-                Program::new().issend(2).irecv(3).wait_all(),
-                Program::new().issend(3).irecv(2).wait_all(),
-                Program::new()
-                    .issend(3)
-                    .irecv(0)
-                    .wait_all()
-                    .issend(1)
-                    .wait_all(),
-                Program::new()
-                    .irecv(1)
-                    .irecv(2)
-                    .wait_all()
-                    .issend(0)
-                    .wait_all(),
-            ]
-        };
-        let r1 = engine_for(&m, &[0, 1, 2, 3], mk()).run().unwrap();
-        let r2 = engine_for(&m, &[0, 1, 2, 3], mk()).run().unwrap();
+        let progs = vec![
+            Program::new().issend(2).irecv(3).wait_all(),
+            Program::new().issend(3).irecv(2).wait_all(),
+            Program::new()
+                .issend(3)
+                .irecv(0)
+                .wait_all()
+                .issend(1)
+                .wait_all(),
+            Program::new()
+                .irecv(1)
+                .irecv(2)
+                .wait_all()
+                .issend(0)
+                .wait_all(),
+        ];
+        let r1 = engine_for(&m, &[0, 1, 2, 3]).run(&progs, exact()).unwrap();
+        let r2 = engine_for(&m, &[0, 1, 2, 3]).run(&progs, exact()).unwrap();
         assert_eq!(r1.finish, r2.finish);
         assert_eq!(r1.events, r2.events);
+    }
+
+    #[test]
+    fn reused_engine_matches_fresh_engine() {
+        // The reuse contract: reset + run on one engine is bit-identical
+        // to constructing a fresh engine per run, including under noise
+        // and after a deadlocked run left state behind.
+        let m = MachineSpec::new(2, 1, 2);
+        let progs = vec![
+            Program::new().issend(2).wait_all().irecv(2).wait_all(),
+            Program::new().issend(3).wait_all(),
+            Program::new()
+                .irecv(0)
+                .wait_all()
+                .issend(0)
+                .wait_all()
+                .mark("ack"),
+            Program::new().irecv(1).wait_all(),
+        ];
+        let noise = NoiseModel::realistic(41);
+        let mut reused = engine_for(&m, &[0, 1, 2, 3]);
+        // Poison the reused engine with a deadlocked run first.
+        let deadlocked: Vec<Program> = vec![
+            Program::new().irecv(1).wait_all(),
+            Program::new(),
+            Program::new(),
+            Program::new(),
+        ];
+        assert!(reused.run(&deadlocked, NoiseState::new(noise, 0)).is_err());
+        for salt in 0..4 {
+            let a = reused.run(&progs, NoiseState::new(noise, salt)).unwrap();
+            let mut fresh = engine_for(&m, &[0, 1, 2, 3]);
+            let b = fresh.run(&progs, NoiseState::new(noise, salt)).unwrap();
+            assert_eq!(a.finish, b.finish, "salt {salt}");
+            assert_eq!(a.events, b.events, "salt {salt}");
+            assert_eq!(a.marks, b.marks, "salt {salt}");
+        }
+    }
+
+    #[test]
+    fn trace_is_per_run_and_cleared_on_reuse() {
+        let m = MachineSpec::new(1, 1, 2);
+        let progs = vec![
+            Program::new().issend(1).wait_all(),
+            Program::new().irecv(0).wait_all(),
+        ];
+        let mut eng = engine_for(&m, &[0, 1]);
+        eng.enable_trace();
+        let traced = eng.run(&progs, exact()).unwrap();
+        let trace = traced.trace.expect("trace enabled");
+        assert_eq!(trace.injected_messages(), 1);
+        // The next run is untraced and otherwise identical.
+        let untraced = eng.run(&progs, exact()).unwrap();
+        assert!(untraced.trace.is_none());
+        assert_eq!(untraced.finish, traced.finish);
     }
 }

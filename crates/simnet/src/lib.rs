@@ -32,7 +32,7 @@ pub mod program;
 pub mod trace;
 pub mod world;
 
-pub use noise::NoiseModel;
+pub use noise::{NoiseModel, NoiseState};
 pub use program::{Instr, Program};
 pub use world::{SimConfig, SimResult, SimWorld};
 

@@ -10,7 +10,7 @@
 //! Pairs are measured in parallel with rayon — sound because the paper's
 //! pairwise tests are themselves independent experiments.
 
-use crate::benchprog::{measure_burst, measure_noop, measure_one_way};
+use crate::benchprog::PairBench;
 use crate::noise::NoiseModel;
 use crate::world::{SimConfig, SimWorld};
 use hbar_matrix::DenseMatrix;
@@ -26,12 +26,14 @@ use rayon::prelude::*;
 pub struct ProfilingConfig {
     /// Ping-pong payload sizes for the `O_ij` regression.
     pub sizes: Vec<usize>,
-    /// Repetitions averaged per ping-pong sample point (paper: 25).
+    /// Independent runs per ping-pong sample point, summarized by their
+    /// median (paper: 25).
     pub reps: usize,
     /// Largest simultaneous-message count for the `L_ij` regression
     /// (paper: 32).
     pub max_messages: usize,
-    /// Repetitions averaged per burst sample point (paper: 25).
+    /// Independent runs per burst sample point, summarized by their
+    /// median (paper: 25).
     pub burst_reps: usize,
     /// Transmission-free calls averaged for `O_ii` (paper: |P|).
     pub noop_calls: usize,
@@ -97,21 +99,9 @@ pub fn measure_profile(
     let measured: Vec<(usize, usize, f64, f64)> = directed_pairs
         .par_iter()
         .map(|&(i, j)| {
-            let mut world = pair_world(machine, cores[i], cores[j], noise, (i * p + j) as u64);
-            let o_points: Vec<(f64, f64)> = cfg
-                .sizes
-                .iter()
-                .map(|&s| (s as f64, measure_one_way(&mut world, s, cfg.reps)))
-                .collect();
-            let l_points: Vec<(f64, f64)> = (1..=cfg.max_messages)
-                .map(|k| (k as f64, measure_burst(&mut world, k, cfg.burst_reps)))
-                .collect();
-            (
-                i,
-                j,
-                hockney_intercept(&o_points),
-                latency_gradient(&l_points),
-            )
+            let mut bench = pair_bench(machine, cores[i], cores[j], noise, (i * p + j) as u64);
+            let (o, l) = measure_pair(&mut bench, cfg);
+            (i, j, o, l)
         })
         .collect();
 
@@ -119,8 +109,8 @@ pub fn measure_profile(
         .into_par_iter()
         .map(|i| {
             let partner = cores[(i + 1) % p];
-            let mut world = pair_world(machine, cores[i], partner, noise, (p * p + i) as u64);
-            measure_noop(&mut world, cfg.noop_calls)
+            let mut bench = pair_bench(machine, cores[i], partner, noise, (p * p + i) as u64);
+            bench.noop(cfg.noop_calls)
         })
         .collect();
 
@@ -197,17 +187,8 @@ pub fn measure_profile_replicated(
         o_diag: 0.0,
     };
     for (class, (i, j)) in rep_pair {
-        let mut world = pair_world(machine, cores[i], cores[j], noise, (i * p + j) as u64);
-        let o_points: Vec<(f64, f64)> = cfg
-            .sizes
-            .iter()
-            .map(|&s| (s as f64, measure_one_way(&mut world, s, cfg.reps)))
-            .collect();
-        let l_points: Vec<(f64, f64)> = (1..=cfg.max_messages)
-            .map(|k| (k as f64, measure_burst(&mut world, k, cfg.burst_reps)))
-            .collect();
-        let o = hockney_intercept(&o_points);
-        let l = latency_gradient(&l_points);
+        let mut bench = pair_bench(machine, cores[i], cores[j], noise, (i * p + j) as u64);
+        let (o, l) = measure_pair(&mut bench, cfg);
         match class {
             LinkClass::SameSocket => {
                 reps.o_same_socket = o;
@@ -224,8 +205,8 @@ pub fn measure_profile_replicated(
         }
     }
     // One O_ii measurement, replicated along the diagonal.
-    let mut world = pair_world(machine, cores[0], cores[1 % p], noise, (p * p) as u64);
-    reps.o_diag = measure_noop(&mut world, cfg.noop_calls);
+    let mut bench = pair_bench(machine, cores[0], cores[1 % p], noise, (p * p) as u64);
+    reps.o_diag = bench.noop(cfg.noop_calls);
 
     TopologyProfile {
         machine: machine.clone(),
@@ -235,15 +216,32 @@ pub fn measure_profile_replicated(
     }
 }
 
-/// Builds a two-rank world with local rank 0 on `core_a` and local rank 1
-/// on `core_b`.
-fn pair_world(
+/// Runs one pair's full §IV-A measurement schedule — the ping-pong size
+/// sweep then the burst-count sweep, in the fixed order both drivers
+/// promise — and regresses out `(O_ij, L_ij)`. Shared by
+/// [`measure_profile`] and [`measure_profile_replicated`], amortizing one
+/// engine and one pair of program buffers across every sample point.
+fn measure_pair(bench: &mut PairBench, cfg: &ProfilingConfig) -> (f64, f64) {
+    let o_points: Vec<(f64, f64)> = cfg
+        .sizes
+        .iter()
+        .map(|&s| (s as f64, bench.one_way(s, cfg.reps)))
+        .collect();
+    let l_points: Vec<(f64, f64)> = (1..=cfg.max_messages)
+        .map(|k| (k as f64, bench.burst(k, cfg.burst_reps)))
+        .collect();
+    (hockney_intercept(&o_points), latency_gradient(&l_points))
+}
+
+/// Builds an amortized two-rank benchmark scratch with local rank 0 on
+/// `core_a` and local rank 1 on `core_b`.
+fn pair_bench(
     machine: &MachineSpec,
     core_a: usize,
     core_b: usize,
     noise: NoiseModel,
     salt: u64,
-) -> SimWorld {
+) -> PairBench {
     let per_pair_noise = NoiseModel {
         seed: noise
             .seed
@@ -255,7 +253,7 @@ fn pair_world(
         mapping: RankMapping::Custom(vec![core_a, core_b]),
         noise: per_pair_noise,
     };
-    SimWorld::new(cfg, 2)
+    PairBench::new(SimWorld::new(cfg, 2))
 }
 
 #[cfg(test)]

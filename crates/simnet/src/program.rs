@@ -5,12 +5,19 @@
 //! simulator (nonblocking synchronized sends, nonblocking receives, and a
 //! completion wait per stage), plus the pieces its benchmarks need
 //! (payload sends, compute delays, transmission-free calls).
+//!
+//! `Instr` is `Copy`: mark labels are interned into a per-program label
+//! table and referenced by [`LabelId`], so the engine's interpreter loop
+//! can read instructions by value without touching the heap.
 
 use crate::Time;
 use serde::{Deserialize, Serialize};
 
+/// Index into a program's interned label table (see [`Program::label`]).
+pub type LabelId = u32;
+
 /// One instruction of a simulated process.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Instr {
     /// Nonblocking synchronous send of `bytes` payload to `dst`; completes
     /// only after the receiver has processed the message (`MPI_Issend`).
@@ -26,14 +33,16 @@ pub enum Instr {
     /// A communication call that causes no transmission — the workload of
     /// the paper's `O_ii` benchmark.
     NoOpCall,
-    /// Records the current virtual time under a label.
-    Mark { label: String },
+    /// Records the current virtual time under an interned label.
+    Mark { label: LabelId },
 }
 
 /// A straight-line program for one simulated process.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Program {
     pub instrs: Vec<Instr>,
+    /// Interned `Mark` label strings, indexed by [`LabelId`].
+    pub labels: Vec<String>,
 }
 
 impl Program {
@@ -42,47 +51,121 @@ impl Program {
         Self::default()
     }
 
+    /// An empty program with instruction capacity reserved up front, so
+    /// bulk builders (25-rep × 32-message bursts) never reallocate per
+    /// instruction.
+    pub fn with_capacity(instrs: usize) -> Self {
+        Program {
+            instrs: Vec::with_capacity(instrs),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more instructions.
+    pub fn reserve(&mut self, additional: usize) {
+        self.instrs.reserve(additional);
+    }
+
+    /// Removes all instructions and labels, retaining capacity — the
+    /// reuse hook for benchmark scratch buffers.
+    pub fn clear(&mut self) {
+        self.instrs.clear();
+        self.labels.clear();
+    }
+
     /// Appends a synchronous zero-byte signal send.
-    pub fn issend(mut self, dst: usize) -> Self {
+    pub fn push_issend(&mut self, dst: usize) {
         self.instrs.push(Instr::Issend { dst, bytes: 0 });
-        self
     }
 
     /// Appends a synchronous payload send.
-    pub fn issend_bytes(mut self, dst: usize, bytes: usize) -> Self {
+    pub fn push_issend_bytes(&mut self, dst: usize, bytes: usize) {
         self.instrs.push(Instr::Issend { dst, bytes });
-        self
     }
 
     /// Appends a nonblocking receive.
-    pub fn irecv(mut self, src: usize) -> Self {
+    pub fn push_irecv(&mut self, src: usize) {
         self.instrs.push(Instr::Irecv { src });
-        self
     }
 
     /// Appends a completion wait.
-    pub fn wait_all(mut self) -> Self {
+    pub fn push_wait_all(&mut self) {
         self.instrs.push(Instr::WaitAll);
-        self
     }
 
     /// Appends a compute delay.
-    pub fn delay(mut self, ns: Time) -> Self {
+    pub fn push_delay(&mut self, ns: Time) {
         self.instrs.push(Instr::Delay { ns });
-        self
     }
 
     /// Appends a transmission-free call.
-    pub fn noop_call(mut self) -> Self {
+    pub fn push_noop_call(&mut self) {
         self.instrs.push(Instr::NoOpCall);
+    }
+
+    /// Appends a timestamp mark, interning the label.
+    pub fn push_mark(&mut self, label: &str) {
+        let id = self.intern(label);
+        self.instrs.push(Instr::Mark { label: id });
+    }
+
+    /// Interns a label string, returning its id (labels are few, so a
+    /// linear scan beats a hash map).
+    pub fn intern(&mut self, label: &str) -> LabelId {
+        if let Some(id) = self.labels.iter().position(|l| l == label) {
+            return id as LabelId;
+        }
+        self.labels.push(label.to_string());
+        (self.labels.len() - 1) as LabelId
+    }
+
+    /// Resolves an interned label id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this program's interner.
+    pub fn label(&self, id: LabelId) -> &str {
+        &self.labels[id as usize]
+    }
+
+    /// Appends a synchronous zero-byte signal send (by-value chaining).
+    pub fn issend(mut self, dst: usize) -> Self {
+        self.push_issend(dst);
         self
     }
 
-    /// Appends a timestamp mark.
+    /// Appends a synchronous payload send (by-value chaining).
+    pub fn issend_bytes(mut self, dst: usize, bytes: usize) -> Self {
+        self.push_issend_bytes(dst, bytes);
+        self
+    }
+
+    /// Appends a nonblocking receive (by-value chaining).
+    pub fn irecv(mut self, src: usize) -> Self {
+        self.push_irecv(src);
+        self
+    }
+
+    /// Appends a completion wait (by-value chaining).
+    pub fn wait_all(mut self) -> Self {
+        self.push_wait_all();
+        self
+    }
+
+    /// Appends a compute delay (by-value chaining).
+    pub fn delay(mut self, ns: Time) -> Self {
+        self.push_delay(ns);
+        self
+    }
+
+    /// Appends a transmission-free call (by-value chaining).
+    pub fn noop_call(mut self) -> Self {
+        self.push_noop_call();
+        self
+    }
+
+    /// Appends a timestamp mark (by-value chaining).
     pub fn mark(mut self, label: &str) -> Self {
-        self.instrs.push(Instr::Mark {
-            label: label.into(),
-        });
+        self.push_mark(label);
         self
     }
 
@@ -130,12 +213,8 @@ mod tests {
         assert_eq!(p.send_count(), 1);
         assert_eq!(p.recv_count(), 1);
         assert_eq!(p.instrs[0], Instr::Delay { ns: 100 });
-        assert_eq!(
-            p.instrs[4],
-            Instr::Mark {
-                label: "done".into()
-            }
-        );
+        assert_eq!(p.instrs[4], Instr::Mark { label: 0 });
+        assert_eq!(p.label(0), "done");
     }
 
     #[test]
@@ -155,5 +234,57 @@ mod tests {
         let p = Program::new();
         assert!(p.is_empty());
         assert_eq!(p.send_count(), 0);
+    }
+
+    #[test]
+    fn mut_builders_match_chaining() {
+        let chained = Program::new().irecv(0).issend(1).wait_all().mark("x");
+        let mut pushed = Program::with_capacity(4);
+        pushed.push_irecv(0);
+        pushed.push_issend(1);
+        pushed.push_wait_all();
+        pushed.push_mark("x");
+        assert_eq!(chained, pushed);
+    }
+
+    #[test]
+    fn with_capacity_does_not_reallocate() {
+        let n = 25 * 33;
+        let mut p = Program::with_capacity(n);
+        let cap = p.instrs.capacity();
+        assert!(cap >= n);
+        for _ in 0..n {
+            p.push_issend(1);
+        }
+        assert_eq!(p.instrs.capacity(), cap, "no reallocation during build");
+    }
+
+    #[test]
+    fn labels_are_interned_and_deduplicated() {
+        let mut p = Program::new();
+        p.push_mark("enter");
+        p.push_mark("exit");
+        p.push_mark("enter");
+        assert_eq!(p.labels, vec!["enter".to_string(), "exit".to_string()]);
+        assert_eq!(p.instrs[0], Instr::Mark { label: 0 });
+        assert_eq!(p.instrs[2], Instr::Mark { label: 0 });
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut p = Program::with_capacity(64);
+        for _ in 0..64 {
+            p.push_noop_call();
+        }
+        let cap = p.instrs.capacity();
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.instrs.capacity(), cap);
+    }
+
+    #[test]
+    fn instr_is_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Instr>();
     }
 }

@@ -46,12 +46,14 @@ impl SimResult {
 
 /// A world of `p` ranks pinned to cores, ready to run programs.
 ///
-/// Each [`run`](Self::run) constructs a fresh engine; noise draws are
-/// decorrelated across runs via an internal run counter, so repeated runs
-/// model repeated benchmark executions.
+/// The world owns **one** [`Engine`] whose arenas are built at
+/// construction and reused by every [`run`](Self::run): programs are
+/// borrowed per run, no ground truth or core list is cloned, and noise
+/// draws are decorrelated across runs via an internal run counter, so
+/// repeated runs model repeated benchmark executions at amortized cost.
 pub struct SimWorld {
     config: SimConfig,
-    cores: Vec<CoreId>,
+    engine: Engine,
     run_counter: u64,
 }
 
@@ -62,21 +64,22 @@ impl SimWorld {
     /// Panics if the mapping cannot place `p` ranks on the machine.
     pub fn new(config: SimConfig, p: usize) -> Self {
         let cores = config.mapping.cores(&config.machine, p);
+        let engine = Engine::new(cores, config.machine.ground_truth.clone());
         SimWorld {
             config,
-            cores,
+            engine,
             run_counter: 0,
         }
     }
 
     /// Number of ranks.
     pub fn p(&self) -> usize {
-        self.cores.len()
+        self.engine.p()
     }
 
     /// The physical placement of each rank.
     pub fn cores(&self) -> &[CoreId] {
-        &self.cores
+        self.engine.cores()
     }
 
     /// The machine this world simulates.
@@ -84,11 +87,11 @@ impl SimWorld {
         &self.config.machine
     }
 
-    /// Runs one program per rank to completion.
+    /// Runs one program per rank to completion on the reused engine.
     ///
     /// # Panics
     /// Panics if the number of programs differs from the rank count.
-    pub fn run(&mut self, programs: Vec<Program>) -> Result<SimResult, SimDeadlock> {
+    pub fn run(&mut self, programs: &[Program]) -> Result<SimResult, SimDeadlock> {
         self.run_inner(programs, false).map(|(result, _)| result)
     }
 
@@ -97,30 +100,47 @@ impl SimWorld {
     /// paper assumes for incremental cost updates at run time.
     pub fn run_traced(
         &mut self,
-        programs: Vec<Program>,
+        programs: &[Program],
     ) -> Result<(SimResult, crate::trace::Trace), SimDeadlock> {
         self.run_inner(programs, true)
             .map(|(result, trace)| (result, trace.expect("trace was enabled")))
     }
 
+    /// Lean run for benchmark loops: advances the run counter and executes
+    /// like [`run`](Self::run), but returns only rank 0's finish time so
+    /// the per-run path performs no result-vector allocation.
+    pub(crate) fn run_finish0(&mut self, programs: &[Program]) -> Result<Time, SimDeadlock> {
+        assert_eq!(programs.len(), self.p(), "one program per rank required");
+        self.run_counter += 1;
+        let noise = NoiseState::new(self.config.noise, self.run_counter);
+        self.engine.execute(programs, noise)?;
+        Ok(self.engine.finish_of(0))
+    }
+
+    /// Like [`run_finish0`](Self::run_finish0) but returns the span from
+    /// rank 0's first recorded `Mark` to its finish — the simulated
+    /// analogue of reading `MPI_Wtime` after a synchronizing handshake,
+    /// so program setup stays out of the measured interval.
+    pub(crate) fn run_span0(&mut self, programs: &[Program]) -> Result<Time, SimDeadlock> {
+        assert_eq!(programs.len(), self.p(), "one program per rank required");
+        self.run_counter += 1;
+        let noise = NoiseState::new(self.config.noise, self.run_counter);
+        self.engine.execute(programs, noise)?;
+        Ok(self.engine.finish_of(0) - self.engine.first_mark_of(0))
+    }
+
     fn run_inner(
         &mut self,
-        programs: Vec<Program>,
+        programs: &[Program],
         traced: bool,
     ) -> Result<(SimResult, Option<crate::trace::Trace>), SimDeadlock> {
         assert_eq!(programs.len(), self.p(), "one program per rank required");
         self.run_counter += 1;
         let noise = NoiseState::new(self.config.noise, self.run_counter);
-        let mut engine = Engine::new(
-            programs,
-            self.cores.clone(),
-            self.config.machine.ground_truth.clone(),
-            noise,
-        );
         if traced {
-            engine.enable_trace();
+            self.engine.enable_trace();
         }
-        engine.run().map(
+        self.engine.run(programs, noise).map(
             |EngineResult {
                  finish,
                  marks,
@@ -158,16 +178,14 @@ mod tests {
     fn deterministic_world_repeats_exactly() {
         let cfg = SimConfig::exact(MachineSpec::new(2, 1, 2), RankMapping::Block);
         let mut world = SimWorld::new(cfg, 4);
-        let mk = || {
-            vec![
-                Program::new().issend(2).wait_all(),
-                Program::new().issend(3).wait_all(),
-                Program::new().irecv(0).wait_all(),
-                Program::new().irecv(1).wait_all(),
-            ]
-        };
-        let a = world.run(mk()).unwrap();
-        let b = world.run(mk()).unwrap();
+        let programs = vec![
+            Program::new().issend(2).wait_all(),
+            Program::new().issend(3).wait_all(),
+            Program::new().irecv(0).wait_all(),
+            Program::new().irecv(1).wait_all(),
+        ];
+        let a = world.run(&programs).unwrap();
+        let b = world.run(&programs).unwrap();
         assert_eq!(a.finish, b.finish);
         assert!(a.makespan() > 0);
     }
@@ -179,20 +197,18 @@ mod tests {
             mapping: RankMapping::Block,
             noise: NoiseModel::realistic(11),
         };
-        let mk = || {
-            vec![
-                Program::new().issend(2).wait_all(),
-                Program::new().issend(3).wait_all(),
-                Program::new().irecv(0).wait_all(),
-                Program::new().irecv(1).wait_all(),
-            ]
-        };
+        let programs = vec![
+            Program::new().issend(2).wait_all(),
+            Program::new().issend(3).wait_all(),
+            Program::new().irecv(0).wait_all(),
+            Program::new().irecv(1).wait_all(),
+        ];
         let mut w1 = SimWorld::new(cfg.clone(), 4);
-        let a = w1.run(mk()).unwrap();
-        let b = w1.run(mk()).unwrap();
+        let a = w1.run(&programs).unwrap();
+        let b = w1.run(&programs).unwrap();
         assert_ne!(a.finish, b.finish, "noise must vary across runs");
         let mut w2 = SimWorld::new(cfg, 4);
-        let a2 = w2.run(mk()).unwrap();
+        let a2 = w2.run(&programs).unwrap();
         assert_eq!(a.finish, a2.finish, "same seed and run index must repeat");
     }
 
@@ -204,7 +220,7 @@ mod tests {
             Program::new().issend(1).wait_all(),
             Program::new().irecv(0).wait_all(),
         ];
-        let (result, trace) = world.run_traced(programs).unwrap();
+        let (result, trace) = world.run_traced(&programs).unwrap();
         assert_eq!(trace.injected_messages(), 1);
         assert_eq!(trace.completed_messages(), 1);
         let pl = trace.pair_latencies();
@@ -215,11 +231,7 @@ mod tests {
         assert!(pl[0].latencies[0] > 0);
         assert!(pl[0].latencies[0] <= result.makespan());
         // The untraced path reports no trace but identical times.
-        let programs = vec![
-            Program::new().issend(1).wait_all(),
-            Program::new().irecv(0).wait_all(),
-        ];
-        let again = world.run(programs).unwrap();
+        let again = world.run(&programs).unwrap();
         assert_eq!(again.finish, result.finish);
     }
 
@@ -232,7 +244,7 @@ mod tests {
         let sched = Algorithm::Dissemination.full_schedule(p, &members);
         let mut world = SimWorld::new(SimConfig::exact(machine, RankMapping::RoundRobin), p);
         let programs = crate::barrier::schedule_programs(&sched, 1);
-        let (_, trace) = world.run_traced(programs).unwrap();
+        let (_, trace) = world.run_traced(&programs).unwrap();
         assert_eq!(trace.injected_messages(), sched.total_signals());
         assert_eq!(trace.completed_messages(), sched.total_signals());
     }
@@ -242,6 +254,6 @@ mod tests {
     fn wrong_program_count_panics() {
         let cfg = SimConfig::exact(MachineSpec::new(1, 1, 2), RankMapping::Block);
         let mut world = SimWorld::new(cfg, 2);
-        let _ = world.run(vec![Program::new()]);
+        let _ = world.run(&[Program::new()]);
     }
 }

@@ -2,9 +2,10 @@
 
 use hbar_core::algorithms::Algorithm;
 use hbar_simnet::barrier::{measure_schedule, staggered_delay_check};
+use hbar_simnet::engine::Engine;
 use hbar_simnet::program::Program;
 use hbar_simnet::world::{SimConfig, SimWorld};
-use hbar_simnet::NoiseModel;
+use hbar_simnet::{NoiseModel, NoiseState};
 use hbar_topo::machine::MachineSpec;
 use hbar_topo::mapping::RankMapping;
 use proptest::prelude::*;
@@ -62,10 +63,11 @@ proptest! {
             programs.into_iter().map(|pr| pr.wait_all()).collect::<Vec<_>>()
         };
         let cfg = SimConfig::exact(machine, RankMapping::Block);
+        let programs = mk(p, &pairs);
         let mut w1 = SimWorld::new(cfg.clone(), p);
-        let r1 = w1.run(mk(p, &pairs)).expect("matched pattern completes");
+        let r1 = w1.run(&programs).expect("matched pattern completes");
         let mut w2 = SimWorld::new(cfg, p);
-        let r2 = w2.run(mk(p, &pairs)).expect("matched pattern completes");
+        let r2 = w2.run(&programs).expect("matched pattern completes");
         prop_assert_eq!(r1.finish, r2.finish);
     }
 
@@ -80,21 +82,23 @@ proptest! {
         let programs = hbar_simnet::barrier::schedule_programs(&sched, 1);
         let cfg = SimConfig::exact(machine, RankMapping::RoundRobin);
         let mut world = SimWorld::new(cfg, p);
-        let base = world.run(programs.clone()).expect("runs").finish;
+        let base = world.run(&programs).expect("runs").finish;
         let delayed_programs: Vec<Program> = programs
             .iter()
             .enumerate()
             .map(|(r, pr)| {
                 if r == delayed {
-                    let mut d = Program::new().delay(delay_ms * 1_000_000);
-                    d.instrs.extend(pr.instrs.iter().cloned());
+                    let mut d = Program::with_capacity(pr.len() + 1);
+                    d.push_delay(delay_ms * 1_000_000);
+                    d.instrs.extend_from_slice(&pr.instrs);
+                    d.labels = pr.labels.clone();
                     d
                 } else {
                     pr.clone()
                 }
             })
             .collect();
-        let slow = world.run(delayed_programs).expect("runs").finish;
+        let slow = world.run(&delayed_programs).expect("runs").finish;
         for r in 0..p {
             prop_assert!(slow[r] >= base[r], "rank {r}: {} < {}", slow[r], base[r]);
         }
@@ -122,6 +126,46 @@ proptest! {
         );
         let t_noisy = measure_schedule(&mut noisy, &sched, 1);
         prop_assert!(t_noisy >= t_exact * 0.999, "{t_noisy} < {t_exact}");
+    }
+
+    /// A reused engine (`reset` + `run` three times) is observationally
+    /// identical to three freshly constructed engines: same finish times
+    /// and same event counts under realistic noise, for random matched
+    /// communication patterns. This is the arena-reuse correctness
+    /// contract — no state may leak between runs.
+    #[test]
+    fn reused_engine_is_indistinguishable_from_fresh(
+        machine in arb_machine(),
+        pairs in prop::collection::vec((0usize..12, 0usize..12), 1..10),
+        seed in 0u64..100,
+    ) {
+        let p = machine.total_cores();
+        prop_assume!(p >= 2);
+        let mut programs: Vec<Program> = (0..p).map(|_| Program::new()).collect();
+        for &(a, b) in &pairs {
+            let (a, b) = (a % p, b % p);
+            if a == b {
+                continue;
+            }
+            programs[a].push_issend(b);
+            programs[b].push_irecv(a);
+        }
+        for pr in &mut programs {
+            pr.push_wait_all();
+        }
+        let model = NoiseModel::realistic(seed);
+        let cores = RankMapping::RoundRobin.cores(&machine, p);
+        let mut reused = Engine::new(cores.clone(), machine.ground_truth.clone());
+        for salt in 1..=3u64 {
+            let fresh_result = Engine::new(cores.clone(), machine.ground_truth.clone())
+                .run(&programs, NoiseState::new(model, salt))
+                .expect("matched pattern completes");
+            let reused_result = reused
+                .run(&programs, NoiseState::new(model, salt))
+                .expect("matched pattern completes");
+            prop_assert_eq!(fresh_result.finish, reused_result.finish);
+            prop_assert_eq!(fresh_result.events, reused_result.events);
+        }
     }
 
     /// The §VI staggered-delay check holds for every paper algorithm on

@@ -49,7 +49,7 @@ fn trace_driven_retuning_loop() {
     let mut trace_costs = profile.cost.clone();
     for _ in 0..4 {
         let programs = schedule_programs(controller.schedule(), 1);
-        let (result, trace) = busy_world.run_traced(programs).expect("barrier runs");
+        let (result, trace) = busy_world.run_traced(&programs).expect("barrier runs");
         controller.observe(ns_to_sec(result.makespan()));
         // Blend the observed per-message latencies into the cost model —
         // the paper's "incremental cost updates at run time".
@@ -102,8 +102,8 @@ fn trace_driven_retuning_loop() {
     // *actual* congested conditions.
     let programs_old = schedule_programs(&old_schedule, 5);
     let programs_new = schedule_programs(controller.schedule(), 5);
-    let t_old = busy_world.run(programs_old).expect("runs").finish;
-    let t_new = busy_world.run(programs_new).expect("runs").finish;
+    let t_old = busy_world.run(&programs_old).expect("runs").finish;
+    let t_new = busy_world.run(&programs_new).expect("runs").finish;
     let (m_old, m_new) = (
         *t_old.iter().max().unwrap() as f64,
         *t_new.iter().max().unwrap() as f64,

@@ -21,6 +21,7 @@
 pub mod ablation;
 pub mod baseline;
 pub mod baseline_engine;
+pub mod baseline_model;
 pub mod construction;
 pub mod context;
 pub mod data;

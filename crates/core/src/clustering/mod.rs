@@ -10,5 +10,8 @@
 mod sss;
 mod tree;
 
-pub use sss::{sss_clusters, SSS_DEFAULT_SPARSENESS};
-pub use tree::{build_cluster_tree, ClusterNode};
+pub use sss::{
+    sss_clusters, try_sss_clusters, try_sss_clusters_with, ClusterError, SssScratch,
+    SSS_DEFAULT_SPARSENESS,
+};
+pub use tree::{build_cluster_tree, try_build_cluster_tree, ClusterNode};

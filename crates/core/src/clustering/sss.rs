@@ -9,9 +9,46 @@
 //! which yields node-level granularity on both of its test systems.
 
 use hbar_topo::metric::DistanceMetric;
+use std::fmt;
 
 /// The paper's sparseness parameter: 35 % of the point-set diameter.
 pub const SSS_DEFAULT_SPARSENESS: f64 = 0.35;
+
+/// Typed failure of SSS clustering over an invalid metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterError {
+    /// A distance consulted during seeding was NaN or infinite. The
+    /// admission comparison is meaningless for such metrics (and the
+    /// reference `min_by` formulation panicked on NaN mid-scan).
+    NonFiniteDistance { from: usize, to: usize, value: f64 },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NonFiniteDistance { from, to, value } => write!(
+                f,
+                "non-finite distance {value} between ranks {from} and {to}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Reusable scratch for [`try_sss_clusters_with`]: the maintained
+/// nearest-center arrays. One instance threaded through a tune amortizes
+/// the allocations across every level of the cluster tree.
+#[derive(Clone, Debug, Default)]
+pub struct SssScratch {
+    /// Per point (by position in `members`): distance to its nearest
+    /// admitted center so far.
+    min_dist: Vec<f64>,
+    /// Per point: cluster index of that nearest center. Stored as `f64`
+    /// so the absorb scan updates both arrays with uniform-width selects
+    /// (the index is always an exactly representable small integer).
+    nearest: Vec<f64>,
+}
 
 /// Clusters `members` (global ranks) by SSS over `metric`.
 ///
@@ -25,37 +62,141 @@ pub const SSS_DEFAULT_SPARSENESS: f64 = 0.35;
 /// exactly `members` (order within a cluster follows the input order).
 ///
 /// # Panics
-/// Panics if `members` is empty or `sparseness` is not in `(0, 1]`.
+/// Panics if `members` is empty, if `sparseness` is not in `(0, 1]`, or if
+/// the metric yields a non-finite distance (use [`try_sss_clusters`] for a
+/// typed error instead).
 pub fn sss_clusters(
     metric: &DistanceMetric,
     members: &[usize],
     sparseness: f64,
     diameter: f64,
 ) -> Vec<Vec<usize>> {
+    try_sss_clusters(metric, members, sparseness, diameter).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`sss_clusters`] with metric validation: non-finite distances surface
+/// as a [`ClusterError`] instead of a panic.
+pub fn try_sss_clusters(
+    metric: &DistanceMetric,
+    members: &[usize],
+    sparseness: f64,
+    diameter: f64,
+) -> Result<Vec<Vec<usize>>, ClusterError> {
+    try_sss_clusters_with(
+        metric,
+        members,
+        sparseness,
+        diameter,
+        &mut SssScratch::default(),
+    )
+}
+
+/// [`try_sss_clusters`] against caller-owned scratch.
+///
+/// The classic SSS scan recomputes the distance from each point to every
+/// existing center — O(P·k) *distance evaluations per point*. Maintaining
+/// each point's nearest admitted center instead makes admission a single
+/// array lookup, and each admitted center costs one contiguous metric-row
+/// scan over the points after it: O(P·k) work overall for k centers.
+pub fn try_sss_clusters_with(
+    metric: &DistanceMetric,
+    members: &[usize],
+    sparseness: f64,
+    diameter: f64,
+    scratch: &mut SssScratch,
+) -> Result<Vec<Vec<usize>>, ClusterError> {
     assert!(!members.is_empty(), "cannot cluster zero members");
     assert!(
         sparseness > 0.0 && sparseness <= 1.0,
         "sparseness must be in (0, 1], got {sparseness}"
     );
     let threshold = sparseness * diameter;
-    let mut centers: Vec<usize> = vec![members[0]];
+    let m = members.len();
+    scratch.min_dist.clear();
+    scratch.min_dist.resize(m, f64::INFINITY);
+    scratch.nearest.clear();
+    scratch.nearest.resize(m, 0.0);
+    // Consecutive-rank member sets (the whole machine, block clusters) let
+    // the absorb scan walk the metric row as a plain slice.
+    let consecutive = members.windows(2).all(|w| w[1] == w[0] + 1);
     let mut clusters: Vec<Vec<usize>> = vec![vec![members[0]]];
-    for &m in &members[1..] {
-        // Nearest existing center.
-        let (best_idx, best_dist) = centers
-            .iter()
-            .enumerate()
-            .map(|(ci, &c)| (ci, metric.dist(c, m)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-            .expect("at least one center");
-        if best_dist > threshold {
-            centers.push(m);
-            clusters.push(vec![m]);
+    absorb_center(metric, members, consecutive, 0, 0, scratch)?;
+    for idx in 1..m {
+        if scratch.min_dist[idx] > threshold {
+            clusters.push(vec![members[idx]]);
+            absorb_center(
+                metric,
+                members,
+                consecutive,
+                idx,
+                clusters.len() - 1,
+                scratch,
+            )?;
         } else {
-            clusters[best_idx].push(m);
+            clusters[scratch.nearest[idx] as usize].push(members[idx]);
         }
     }
-    clusters
+    Ok(clusters)
+}
+
+/// Folds a newly admitted center into the nearest-center arrays: one
+/// contiguous metric-row scan over the points after it.
+///
+/// The update is branchless (compare + two same-width selects) so the
+/// compiler can vectorize it; non-finite distances are detected by OR-ing
+/// the raw exponent bits and located by a cold re-scan only when the
+/// all-ones exponent pattern appeared. `<=` in the select keeps a later
+/// center on ties, matching `Iterator::min_by` (which keeps the last
+/// minimal element) in the reference scan.
+fn absorb_center(
+    metric: &DistanceMetric,
+    members: &[usize],
+    consecutive: bool,
+    center_pos: usize,
+    cluster_idx: usize,
+    scratch: &mut SssScratch,
+) -> Result<(), ClusterError> {
+    let center = members[center_pos];
+    let row = metric.row(center);
+    let tail = &members[center_pos + 1..];
+    let min_dist = &mut scratch.min_dist[center_pos + 1..];
+    let nearest = &mut scratch.nearest[center_pos + 1..];
+    let ci = cluster_idx as f64;
+    // NaN/±inf carry an all-ones exponent; OR-ing the raw bits keeps the
+    // check off the critical path (a false positive — finite distances
+    // whose exponents only OR to all-ones — merely triggers the re-scan).
+    let mut bits_or = 0u64;
+    if consecutive && !tail.is_empty() {
+        let r = &row[tail[0]..tail[0] + tail.len()];
+        for ((&d, md), ne) in r.iter().zip(min_dist.iter_mut()).zip(nearest.iter_mut()) {
+            bits_or |= d.to_bits();
+            let closer = d <= *md;
+            *md = if closer { d } else { *md };
+            *ne = if closer { ci } else { *ne };
+        }
+    } else {
+        for ((&p, md), ne) in tail.iter().zip(min_dist.iter_mut()).zip(nearest.iter_mut()) {
+            let d = row[p];
+            bits_or |= d.to_bits();
+            let closer = d <= *md;
+            *md = if closer { d } else { *md };
+            *ne = if closer { ci } else { *ne };
+        }
+    }
+    if bits_or >> 52 & 0x7ff == 0x7ff {
+        // Cold path: locate the first offending pair in scan order.
+        for &p in tail {
+            let d = row[p];
+            if !d.is_finite() {
+                return Err(ClusterError::NonFiniteDistance {
+                    from: center,
+                    to: p,
+                    value: d,
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -159,5 +300,47 @@ mod tests {
     fn invalid_sparseness_panics() {
         let metric = hbar_topo::metric::DistanceMetric::from_matrix(DenseMatrix::new(2));
         sss_clusters(&metric, &[0, 1], 0.0, 1.0);
+    }
+
+    #[test]
+    fn non_finite_distance_is_a_typed_error() {
+        // Regression: the min_by formulation panicked with a bare
+        // "finite distances" expect on NaN. Both NaN and inf must now
+        // surface as ClusterError, naming the offending pair.
+        for bad in [f64::NAN, f64::INFINITY] {
+            let mut d = DenseMatrix::filled(3, 1.0);
+            d[(0, 2)] = bad;
+            d[(2, 0)] = bad;
+            let metric = hbar_topo::metric::DistanceMetric::from_matrix(d);
+            let err = try_sss_clusters(&metric, &[0, 1, 2], 0.35, 1.0)
+                .expect_err("non-finite distance must not cluster");
+            let ClusterError::NonFiniteDistance { from, to, value } = err;
+            assert_eq!((from, to), (0, 2));
+            assert!(!value.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite distance")]
+    fn panicking_wrapper_reports_non_finite() {
+        let mut d = DenseMatrix::filled(2, 1.0);
+        d[(0, 1)] = f64::NAN;
+        d[(1, 0)] = f64::NAN;
+        let metric = hbar_topo::metric::DistanceMetric::from_matrix(d);
+        sss_clusters(&metric, &[0, 1], 0.35, 1.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let machine = MachineSpec::dual_quad_cluster(4);
+        let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::RoundRobin);
+        let metric = DistanceMetric::from_costs(&prof.cost);
+        let mut scratch = SssScratch::default();
+        for p in [5, 32, 17, 32] {
+            let members: Vec<usize> = (0..p).collect();
+            let dia = metric.diameter_of(&members);
+            let reused = try_sss_clusters_with(&metric, &members, 0.35, dia, &mut scratch).unwrap();
+            assert_eq!(reused, sss_clusters(&metric, &members, 0.35, dia));
+        }
     }
 }

@@ -15,7 +15,7 @@
 //! floor hides socket-level differences; with a noise-free metric we keep
 //! the extra level, and the composer works "with any number of levels".
 
-use super::sss::sss_clusters;
+use super::sss::{try_sss_clusters_with, ClusterError, SssScratch};
 use hbar_topo::metric::DistanceMetric;
 
 /// A node of the cluster tree. The representative of any cluster is its
@@ -97,36 +97,60 @@ impl ClusterNode {
 /// set further, when a cluster is a single rank, or at `max_depth`.
 ///
 /// # Panics
-/// Panics if `members` is empty.
+/// Panics if `members` is empty or the metric yields a non-finite
+/// distance (use [`try_build_cluster_tree`] for a typed error).
 pub fn build_cluster_tree(
     metric: &DistanceMetric,
     members: &[usize],
     sparseness: f64,
     max_depth: usize,
 ) -> ClusterNode {
+    try_build_cluster_tree(metric, members, sparseness, max_depth).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`build_cluster_tree`] with metric validation. One SSS scratch is
+/// threaded through the whole recursion, so the tree build allocates the
+/// nearest-center arrays once regardless of depth.
+pub fn try_build_cluster_tree(
+    metric: &DistanceMetric,
+    members: &[usize],
+    sparseness: f64,
+    max_depth: usize,
+) -> Result<ClusterNode, ClusterError> {
+    let mut scratch = SssScratch::default();
+    build_level(metric, members, sparseness, max_depth, &mut scratch)
+}
+
+fn build_level(
+    metric: &DistanceMetric,
+    members: &[usize],
+    sparseness: f64,
+    max_depth: usize,
+    scratch: &mut SssScratch,
+) -> Result<ClusterNode, ClusterError> {
     assert!(!members.is_empty(), "cannot build a tree over zero members");
     let mut root = ClusterNode {
         members: members.to_vec(),
         children: Vec::new(),
     };
     if members.len() == 1 || max_depth == 0 {
-        return root;
+        return Ok(root);
     }
     let diameter = metric.diameter_of(members);
     if diameter <= 0.0 {
-        return root;
+        return Ok(root);
     }
-    let clusters = sss_clusters(metric, members, sparseness, diameter);
+    let clusters = try_sss_clusters_with(metric, members, sparseness, diameter, scratch)?;
     if clusters.len() <= 1 || clusters.len() == members.len() {
         // No split, or a uniform set degenerating into all-singletons:
         // either way there is no cluster structure to exploit.
-        return root;
+        return Ok(root);
     }
     root.children = clusters
         .into_iter()
-        .map(|cl| build_cluster_tree(metric, &cl, sparseness, max_depth - 1))
-        .collect();
-    root
+        .map(|cl| build_level(metric, &cl, sparseness, max_depth - 1, scratch))
+        .collect::<Result<_, _>>()?;
+    Ok(root)
 }
 
 #[cfg(test)]

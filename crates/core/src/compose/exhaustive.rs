@@ -174,6 +174,7 @@ pub fn search_optimal_barrier(
                     expansions: 0,
                     dominance: HashMap::new(),
                     truncated: false,
+                    targets: Vec::new(),
                 };
                 searcher.try_stage(&k0, &ready0, &mut Vec::new(), stage.clone());
                 BranchOutcome {
@@ -292,6 +293,9 @@ struct Searcher<'a> {
     /// Per knowledge-state: the cheapest ready-vectors seen (pareto set).
     dominance: HashMap<Vec<u64>, Vec<Vec<f64>>>,
     truncated: bool,
+    /// Scratch for per-sender target lists; reused across every candidate
+    /// stage instead of collecting a fresh `Vec` per row per stage.
+    targets: Vec<usize>,
 }
 
 impl Searcher<'_> {
@@ -360,11 +364,15 @@ impl Searcher<'_> {
         stages: &mut Vec<BoolMatrix>,
         stage: BoolMatrix,
     ) {
-        // Apply the cost recurrence for this single stage.
+        // Apply the cost recurrence for this single stage. `next_ready` and
+        // `inbound` stay live across the recursive `expand` below, so they
+        // cannot share one scratch; the target list can, taken for the
+        // duration of the non-recursive part.
         let mut next_ready = ready.to_vec();
         let mut inbound: Vec<Vec<(f64, usize)>> = vec![Vec::new(); self.p];
+        let mut targets = std::mem::take(&mut self.targets);
         for i in 0..self.p {
-            let targets: Vec<usize> = stage.row_iter(i).collect();
+            stage.row_targets_into(i, &mut targets);
             if targets.is_empty() {
                 continue;
             }
@@ -374,6 +382,7 @@ impl Searcher<'_> {
                 inbound[j].push((at, i));
             }
         }
+        self.targets = targets;
         for (j, mut msgs) in inbound.into_iter().enumerate() {
             if msgs.is_empty() {
                 continue;
@@ -394,9 +403,10 @@ impl Searcher<'_> {
         if frontier >= self.best_cost {
             return;
         }
-        // Knowledge update (Eq. 3).
+        // Knowledge update (Eq. 3): clone K and accumulate the flow on
+        // top, instead of materializing the product separately.
         let mut next_k = k.clone();
-        next_k.or_assign(&k.and_or_product(&stage));
+        k.and_or_accumulate_into(&stage, &mut next_k);
         if next_k == *k {
             return; // useless stage (shouldn't happen given choice pruning)
         }

@@ -1,11 +1,11 @@
 //! The greedy tuner implementation.
 
 use crate::algorithms::Algorithm;
-use crate::clustering::{build_cluster_tree, ClusterNode, SSS_DEFAULT_SPARSENESS};
+use crate::clustering::{ClusterNode, SSS_DEFAULT_SPARSENESS};
 use crate::cost::{member_set_hash, CostEvaluator, CostParams, ScoreKey};
-use crate::schedule::{BarrierSchedule, Stage};
+use crate::schedule::BarrierSchedule;
+use hbar_matrix::{BoolMatrix, DenseMatrix};
 use hbar_topo::cost::CostMatrices;
-use hbar_topo::metric::DistanceMetric;
 use hbar_topo::profile::TopologyProfile;
 use rayon::prelude::*;
 
@@ -33,8 +33,9 @@ pub struct TunerConfig {
     /// cost overestimates the cheaper Eq. 2 departure); this is one of
     /// the paper's future-work generalizations.
     pub score_exact: bool,
-    /// Compose the root's child clusters on worker threads (only kicks
-    /// in past an internal cluster-size threshold, where the work
+    /// Plan the root's child clusters on worker threads (only kicks in
+    /// past an internal cluster-size threshold and when a thread pool
+    /// with more than one worker exists, where the scoring work
     /// amortizes thread startup). The parallel reduction preserves child
     /// index order and candidate order, so the tuned schedule, choices
     /// and prediction are bit-identical to a sequential run (see
@@ -173,11 +174,17 @@ pub fn tune_hybrid_costs_with(
         "evaluator and tuner disagree on cost-model params"
     );
     eval.rebind(cost);
-    let metric = DistanceMetric::from_costs(cost);
-    let tree = build_cluster_tree(&metric, members, cfg.sparseness, cfg.max_depth);
+    let tree = eval.cluster_tree(cost, members, cfg.sparseness, cfg.max_depth);
     let n = cost.p();
+    let plan = plan_node(&tree, 0, cost, cfg, eval);
+    let root_level = plan.choice.map(|(algorithm, _)| RootLevel {
+        algorithm,
+        stage_count: plan.local_stages.len(),
+    });
+    let mut arrival = BarrierSchedule::new(n);
+    emit(&plan, &mut arrival, 0, cfg.merge_late);
     let mut choices = Vec::new();
-    let (arrival, root_level) = compose(&tree, 0, n, cost, cfg, &mut choices, eval);
+    collect_choices(plan, 0, &mut choices);
 
     let skip = match &root_level {
         Some(level) if !level.algorithm.needs_departure() => level.stage_count,
@@ -185,11 +192,11 @@ pub fn tune_hybrid_costs_with(
     };
     let departure = arrival.departure_reversed(skip);
     let mut schedule = arrival;
-    schedule.append(&departure);
+    schedule.append_owned(departure);
     schedule.strip_noop_stages();
 
     debug_assert!(
-        crate::verify::synchronizes_subset(&schedule, members),
+        eval.synchronizes_subset(&schedule, members),
         "composed schedule fails verification:\n{schedule}"
     );
 
@@ -208,123 +215,137 @@ struct RootLevel {
     stage_count: usize,
 }
 
-/// Recursively composes the arrival sequence for `node`'s members.
-/// Minimum cluster size before root-sibling composition forks to worker
+/// Minimum cluster size before root-sibling planning forks to worker
 /// threads. Below this the whole tune runs in well under a millisecond
 /// and thread startup costs more than it saves.
 const PARALLEL_MEMBER_THRESHOLD: usize = 256;
 
-/// Returns the arrival schedule (embedded in the `n`-rank space) and, for
-/// the root invocation, the level description needed for the departure
-/// rule.
-fn compose(
+/// One planned cluster level: the algorithm is selected and its local
+/// stage matrices generated, but nothing is embedded into the global
+/// rank space yet. Splitting planning from emission keeps the entire
+/// selection pass in cluster-local index spaces; full-width `n × n`
+/// matrices exist only in the single shared schedule that [`emit`]
+/// writes, never per node. (The previous composer built an embedded
+/// schedule per tree node and OR-merged children upward — at P = 1024
+/// that allocated and scanned hundreds of 128 KiB stage matrices.)
+struct PlanNode {
+    /// Level participants (leaf members or child representatives), in
+    /// the tree's discovery order; empty for singleton levels, which
+    /// contribute no stages.
+    participants: Vec<usize>,
+    /// The greedy selection and its score; `None` for singleton levels.
+    choice: Option<(Algorithm, f64)>,
+    /// The selection's arrival stages over local ranks `0..m`.
+    local_stages: Vec<BoolMatrix>,
+    /// Child plans, in cluster order.
+    children: Vec<PlanNode>,
+    /// Arrival stages this subtree spans: the deepest child span plus
+    /// this level's own stages.
+    len: usize,
+}
+
+/// Recursively selects algorithms for `node`'s subtree.
+fn plan_node(
     node: &ClusterNode,
     depth: usize,
-    n: usize,
     cost: &CostMatrices,
     cfg: &TunerConfig,
-    choices: &mut Vec<LevelChoice>,
     eval: &mut CostEvaluator,
-) -> (BarrierSchedule, Option<RootLevel>) {
-    let mut merged = BarrierSchedule::new(n);
-    // Representatives storage for non-leaf nodes; leaves borrow their
-    // member list instead of cloning it.
-    let representatives: Vec<usize>;
-    let participants: &[usize] = if node.is_leaf() {
-        &node.members
+) -> PlanNode {
+    let children: Vec<PlanNode> = if node.is_leaf() {
+        Vec::new()
     } else {
-        // Compose children first; merge their arrival sequences, aligned
-        // at their first stage (or last, for the merge-late ablation).
-        // Forking only pays once the subtree carries enough scoring work
-        // to amortize thread startup; below the threshold the sequential
-        // path is faster outright. The outputs are bit-identical either
-        // way, so the cutoff is purely a latency heuristic.
+        // Forking only pays when worker threads exist and the subtree
+        // carries enough scoring work to amortize thread startup; the
+        // outputs are bit-identical either way (scores are pure
+        // functions of (cost, members, algorithm), so private memos
+        // change nothing and results return in child index order), so
+        // the cutoff is purely a latency heuristic.
         let fork = cfg.parallel
             && depth == 0
             && node.children.len() > 1
-            && node.members.len() >= PARALLEL_MEMBER_THRESHOLD;
-        let child_schedules: Vec<BarrierSchedule> = if fork {
-            // Root siblings compose on worker threads, each with a
-            // private evaluator (scores are pure functions of
-            // (cost, members, algorithm), so private memos change
-            // nothing). Results come back in child index order, and
-            // each child's choice list is appended in that same
-            // order — exactly the sequential traversal order.
-            let results: Vec<(BarrierSchedule, Vec<LevelChoice>)> = node
-                .children
+            && node.members.len() >= PARALLEL_MEMBER_THRESHOLD
+            && rayon::current_num_threads() > 1;
+        if fork {
+            node.children
                 .par_iter()
                 .map(|c| {
                     let mut child_eval = CostEvaluator::new(cfg.cost_params);
-                    let mut child_choices = Vec::new();
-                    let (sched, _) = compose(
-                        c,
-                        depth + 1,
-                        n,
-                        cost,
-                        cfg,
-                        &mut child_choices,
-                        &mut child_eval,
-                    );
-                    (sched, child_choices)
-                })
-                .collect();
-            results
-                .into_iter()
-                .map(|(sched, child_choices)| {
-                    choices.extend(child_choices);
-                    sched
+                    plan_node(c, depth + 1, cost, cfg, &mut child_eval)
                 })
                 .collect()
         } else {
             node.children
                 .iter()
-                .map(|c| compose(c, depth + 1, n, cost, cfg, choices, eval).0)
+                .map(|c| plan_node(c, depth + 1, cost, cfg, eval))
                 .collect()
-        };
-        let longest = child_schedules
-            .iter()
-            .map(BarrierSchedule::len)
-            .max()
-            .unwrap_or(0);
-        for cs in &child_schedules {
-            let offset = if cfg.merge_late {
-                longest - cs.len()
-            } else {
-                0
-            };
-            merged.merge_overlay(cs, offset);
         }
-        representatives = node
-            .children
+    };
+    let participants: Vec<usize> = if node.is_leaf() {
+        node.members.clone()
+    } else {
+        node.children
             .iter()
             .map(ClusterNode::representative)
-            .collect();
-        &representatives
+            .collect()
     };
-
+    let child_span = children.iter().map(|c| c.len).max().unwrap_or(0);
     if participants.len() < 2 {
         // A singleton level contributes no signals.
-        return (merged, None);
+        return PlanNode {
+            participants: Vec::new(),
+            choice: None,
+            local_stages: Vec::new(),
+            children,
+            len: child_span,
+        };
     }
-
-    let (algorithm, score) = select_algorithm(participants, depth == 0, cost, cfg, eval);
-    choices.push(LevelChoice {
-        participants: participants.to_vec(),
-        depth,
-        algorithm,
-        score,
-    });
-
-    let level_stages = algorithm.arrival_embedded(n, participants);
-    let stage_count = level_stages.len();
-    for m in level_stages {
-        merged.push(Stage::arrival(m));
+    let (algorithm, score) = select_algorithm(&participants, depth == 0, cost, cfg, eval);
+    let local_stages = algorithm.arrival_local(participants.len());
+    let len = child_span + local_stages.len();
+    PlanNode {
+        participants,
+        choice: Some((algorithm, score)),
+        local_stages,
+        children,
+        len,
     }
-    let root_level = (depth == 0).then_some(RootLevel {
-        algorithm,
-        stage_count,
-    });
-    (merged, root_level)
+}
+
+/// Writes a plan's arrival stages into `sched` starting at `offset`:
+/// children merge concurrently — aligned at their first stage, or at
+/// their last for the merge-late ablation — and the node's own level
+/// follows the deepest child (§VII-B's "merge shorter sequences with
+/// longer ones as early as possible").
+fn emit(plan: &PlanNode, sched: &mut BarrierSchedule, offset: usize, merge_late: bool) {
+    let child_span = plan.children.iter().map(|c| c.len).max().unwrap_or(0);
+    for c in &plan.children {
+        let off = if merge_late {
+            offset + (child_span - c.len)
+        } else {
+            offset
+        };
+        emit(c, sched, off, merge_late);
+    }
+    for (k, local) in plan.local_stages.iter().enumerate() {
+        sched.or_embed_arrival(offset + child_span + k, local, &plan.participants);
+    }
+}
+
+/// Flattens the plan into the per-level choice list, children before
+/// their parent — the traversal order the composer has always reported.
+fn collect_choices(plan: PlanNode, depth: usize, out: &mut Vec<LevelChoice>) {
+    for c in plan.children {
+        collect_choices(c, depth + 1, out);
+    }
+    if let Some((algorithm, score)) = plan.choice {
+        out.push(LevelChoice {
+            participants: plan.participants,
+            depth,
+            algorithm,
+            score,
+        });
+    }
 }
 
 /// Greedy candidate selection for one cluster level: lowest arrival-phase
@@ -338,6 +359,9 @@ fn select_algorithm(
     eval: &mut CostEvaluator,
 ) -> (Algorithm, f64) {
     let members_hash = member_set_hash(participants);
+    // Extracted lazily on the first memo miss, shared by all candidates.
+    let subspace_ok = is_ascending(participants);
+    let mut local: Option<CostMatrices> = None;
     let mut best: Option<(Algorithm, f64)> = None;
     for &alg in &cfg.candidates {
         if !alg.applicable(participants.len()) {
@@ -353,7 +377,11 @@ fn select_algorithm(
         let score = match eval.cached_score(&key) {
             Some(hit) => hit,
             None => {
-                let fresh = score_candidate(alg, participants, is_root, cost, cfg, eval);
+                if subspace_ok && local.is_none() {
+                    local = Some(local_costs(cost, participants));
+                }
+                let fresh =
+                    score_candidate(alg, participants, is_root, cost, local.as_ref(), cfg, eval);
                 eval.store_score(key, fresh);
                 fresh
             }
@@ -370,36 +398,73 @@ fn select_algorithm(
     })
 }
 
+/// True when `ranks` is strictly ascending — the order the composer
+/// always produces (clusters keep the input scan order, and the tuner's
+/// public entry points receive ascending member lists).
+fn is_ascending(ranks: &[usize]) -> bool {
+    ranks.windows(2).all(|w| w[0] < w[1])
+}
+
+/// The participants' pairwise costs re-indexed into the local `0..m`
+/// space that `Algorithm::arrival_local` generates over.
+fn local_costs(cost: &CostMatrices, participants: &[usize]) -> CostMatrices {
+    let m = participants.len();
+    CostMatrices {
+        o: DenseMatrix::from_fn(m, |a, b| cost.o[(participants[a], participants[b])]),
+        l: DenseMatrix::from_fn(m, |a, b| cost.l[(participants[a], participants[b])]),
+    }
+}
+
 /// Prices one candidate algorithm for one cluster level.
+///
+/// When `local` is given (the [`local_costs`] submatrix, available
+/// whenever the participants are in ascending rank order), the candidate
+/// is predicted in the participants-only subspace: an `m`-rank schedule
+/// against the `m × m` cost slice. Ranks outside the cluster neither
+/// send nor receive in a candidate's stages — their `ready` stays at the
+/// zero time origin, which positive signal costs can never undercut —
+/// so they only pad the embedded prediction's max/fold with zeros.
+/// Ascending participants make local index order coincide with global
+/// rank order, hence every sum, max and tie-break runs over the same
+/// values in the same sequence and the local score is *bit-identical*
+/// to the embedded one. It is also what makes tuning at P ≥ 1024
+/// tractable: scoring drops from O(levels · candidates · n²) to
+/// O(levels · candidates · m²) with m = cluster size.
 fn score_candidate(
     alg: Algorithm,
     participants: &[usize],
     is_root: bool,
     cost: &CostMatrices,
+    local: Option<&CostMatrices>,
     cfg: &TunerConfig,
     eval: &mut CostEvaluator,
 ) -> f64 {
-    let n = cost.p();
+    let (w, cmat, arrival) = match local {
+        Some(sub) => (
+            participants.len(),
+            sub,
+            alg.arrival_local(participants.len()),
+        ),
+        None => (cost.p(), cost, alg.arrival_embedded(cost.p(), participants)),
+    };
     if cfg.score_exact {
         // Extension: predict the full local schedule, with the real
         // Eq. 2 departure (omitted entirely for fully synchronizing
         // algorithms at the root).
-        let mut local =
-            BarrierSchedule::from_arrival_matrices(n, alg.arrival_embedded(n, participants));
+        let mut sched = BarrierSchedule::from_arrival_matrices(w, arrival);
         // Non-root levels always pay the transposed departure in the
         // composed hierarchy — even dissemination (paper §VII-B).
         let skip_departure = is_root && !alg.needs_departure();
         if !skip_departure {
-            let dep = local.departure_reversed(0);
-            local.append(&dep);
+            let dep = sched.departure_reversed(0);
+            sched.append(&dep);
         }
-        eval.barrier_cost(&local, cost, None)
+        eval.barrier_cost(&sched, cmat, None)
     } else {
         // The paper's rule: arrival critical path × 2, except ×1 for
         // dissemination-class algorithms at the root.
-        let arrival =
-            BarrierSchedule::from_arrival_matrices(n, alg.arrival_embedded(n, participants));
-        let base = eval.barrier_cost(&arrival, cost, None);
+        let sched = BarrierSchedule::from_arrival_matrices(w, arrival);
+        let base = eval.barrier_cost(&sched, cmat, None);
         let multiplier = if is_root && !alg.needs_departure() {
             1.0
         } else {
@@ -551,7 +616,6 @@ mod tests {
         // A ring of 12 ranks: cost grows with ring distance — no cluster
         // hierarchy at all. `tune_hybrid_costs` needs no machine
         // metadata and must still emit a valid, predicted barrier.
-        use hbar_matrix::DenseMatrix;
         let p = 12;
         let ring_dist = |i: usize, j: usize| {
             let d = i.abs_diff(j);
@@ -659,6 +723,75 @@ mod tests {
         let tuned = tune_hybrid_for(&prof, &members, &TunerConfig::default());
         assert!(verify::synchronizes_subset(&tuned.schedule, &members));
         assert!(!verify::is_barrier(&tuned.schedule));
+    }
+
+    #[test]
+    fn local_subspace_scores_match_embedded_scores() {
+        // The guard behind the P >= 1024 scoring fast path: pricing a
+        // candidate in the participants-only subspace must be
+        // bit-identical to pricing it embedded in the full rank space.
+        let machine = MachineSpec::dual_quad_cluster(2);
+        let prof = profile(&machine, &RankMapping::Block, 16);
+        let participants = vec![1, 3, 5, 9, 11, 13];
+        assert!(is_ascending(&participants));
+        let local = local_costs(&prof.cost, &participants);
+        for exact in [false, true] {
+            let cfg = TunerConfig {
+                score_exact: exact,
+                ..TunerConfig::default()
+            };
+            let mut eval = CostEvaluator::new(cfg.cost_params);
+            eval.rebind(&prof.cost);
+            for &alg in &cfg.candidates {
+                if !alg.applicable(participants.len()) {
+                    continue;
+                }
+                for is_root in [false, true] {
+                    let fast = score_candidate(
+                        alg,
+                        &participants,
+                        is_root,
+                        &prof.cost,
+                        Some(&local),
+                        &cfg,
+                        &mut eval,
+                    );
+                    let slow = score_candidate(
+                        alg,
+                        &participants,
+                        is_root,
+                        &prof.cost,
+                        None,
+                        &cfg,
+                        &mut eval,
+                    );
+                    assert_eq!(
+                        fast.to_bits(),
+                        slow.to_bits(),
+                        "{alg:?} is_root={is_root} exact={exact}: local {fast} vs embedded {slow}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_members_use_fallback_and_stay_deterministic() {
+        // A non-ascending member list disables the subspace fast path;
+        // the embedded fallback must still tune a valid subset barrier,
+        // and reusing a warm evaluator must not change the result.
+        let machine = MachineSpec::dual_quad_cluster(2);
+        let prof = profile(&machine, &RankMapping::Block, 16);
+        let shuffled = vec![13, 1, 9, 5, 3, 11];
+        let cfg = TunerConfig::default();
+        let cold = tune_hybrid_costs(&prof.cost, &shuffled, &cfg);
+        assert!(verify::synchronizes_subset(&cold.schedule, &shuffled));
+        let mut eval = CostEvaluator::new(cfg.cost_params);
+        let first = tune_hybrid_costs_with(&prof.cost, &shuffled, &cfg, &mut eval);
+        let warm = tune_hybrid_costs_with(&prof.cost, &shuffled, &cfg, &mut eval);
+        assert_eq!(cold.schedule.stages(), first.schedule.stages());
+        assert_eq!(first.schedule.stages(), warm.schedule.stages());
+        assert_eq!(cold.predicted_cost.to_bits(), warm.predicted_cost.to_bits());
     }
 
     #[test]

@@ -27,8 +27,11 @@
 //!   `ready` value.
 
 use crate::algorithms::Algorithm;
+use crate::clustering::{build_cluster_tree, ClusterNode};
 use crate::schedule::BarrierSchedule;
+use hbar_matrix::ClosureWorkspace;
 use hbar_topo::cost::{CostMatrices, SendMode};
+use hbar_topo::metric::DistanceMetric;
 use std::collections::HashMap;
 
 /// Options for the prediction model.
@@ -210,6 +213,32 @@ pub struct CostEvaluator {
     // Memoized greedy scores, valid for `bound_fingerprint`.
     memo: HashMap<ScoreKey, f64>,
     bound_fingerprint: Option<u64>,
+    // Memoized derived topology (metric + cluster trees), same validity.
+    derived: Option<DerivedTopology>,
+    // Knowledge-closure scratch for allocation-free verification.
+    closure: ClosureWorkspace,
+}
+
+/// Structures the tuner derives deterministically from the bound cost
+/// matrices, cached across tunes while [`CostEvaluator::rebind`] keeps
+/// seeing the same fingerprint. The adaptive re-tuning loop re-tunes on
+/// a fixed cadence but its measured costs usually haven't drifted; at
+/// P ≥ 1024 the O(P²) metric symmetrization and the cluster tree are the
+/// bulk of such a no-change tune.
+#[derive(Clone, Debug)]
+struct DerivedTopology {
+    metric: DistanceMetric,
+    trees: HashMap<TreeKey, ClusterNode>,
+}
+
+/// Key of one cached cluster tree: the member set (hashed as in
+/// [`member_set_hash`]) plus the clustering knobs that shape the tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct TreeKey {
+    members_hash: u64,
+    members_len: usize,
+    sparseness_bits: u64,
+    max_depth: usize,
 }
 
 impl CostEvaluator {
@@ -225,7 +254,22 @@ impl CostEvaluator {
             entries: Vec::new(),
             memo: HashMap::new(),
             bound_fingerprint: None,
+            derived: None,
+            closure: ClosureWorkspace::new(),
         }
+    }
+
+    /// Verifies `schedule` synchronizes all ranks (Eq. 3) against the
+    /// evaluator's closure scratch: allocation-free after warm-up, with
+    /// early exit on row saturation.
+    pub fn is_barrier(&mut self, schedule: &BarrierSchedule) -> bool {
+        crate::verify::is_barrier_with(schedule, &mut self.closure)
+    }
+
+    /// Subset-synchronization check against the evaluator's closure
+    /// scratch (see [`crate::verify::synchronizes_subset`]).
+    pub fn synchronizes_subset(&mut self, schedule: &BarrierSchedule, members: &[usize]) -> bool {
+        crate::verify::synchronizes_subset_with(schedule, members, &mut self.closure)
     }
 
     /// The model options this evaluator applies.
@@ -240,8 +284,42 @@ impl CostEvaluator {
         let fp = cost_fingerprint(cost);
         if self.bound_fingerprint != Some(fp) {
             self.memo.clear();
+            self.derived = None;
             self.bound_fingerprint = Some(fp);
         }
+    }
+
+    /// The SSS cluster tree for `members` under the bound cost matrices,
+    /// served from the evaluator's derived-topology cache when the same
+    /// clustering was already built since the last fingerprint change.
+    /// Both the metric and the tree are deterministic functions of
+    /// `(cost, members, sparseness, max_depth)`, so a hit returns the
+    /// identical tree a fresh build would.
+    ///
+    /// As with [`Self::cached_score`], callers must have
+    /// [`Self::rebind`]-ed to `cost` first.
+    pub fn cluster_tree(
+        &mut self,
+        cost: &CostMatrices,
+        members: &[usize],
+        sparseness: f64,
+        max_depth: usize,
+    ) -> ClusterNode {
+        let derived = self.derived.get_or_insert_with(|| DerivedTopology {
+            metric: DistanceMetric::from_costs(cost),
+            trees: HashMap::new(),
+        });
+        let key = TreeKey {
+            members_hash: member_set_hash(members),
+            members_len: members.len(),
+            sparseness_bits: sparseness.to_bits(),
+            max_depth,
+        };
+        derived
+            .trees
+            .entry(key)
+            .or_insert_with(|| build_cluster_tree(&derived.metric, members, sparseness, max_depth))
+            .clone()
     }
 
     /// Number of memoized scores (for tests/telemetry).
@@ -408,19 +486,36 @@ impl CostEvaluator {
 
 /// FNV-1a over the raw bits of both cost matrices: the memo guard used
 /// by [`CostEvaluator::rebind`].
+///
+/// Runs four independent FNV lanes over interleaved words and folds them
+/// at the end: a single lane is a serial xor-multiply chain whose
+/// multiply latency caps throughput at one word per ~3 cycles, which at
+/// P = 1024 (2 M words) made the fingerprint itself a measurable slice
+/// of every tune. Any changed word still changes its lane and therefore
+/// the fold.
 fn cost_fingerprint(cost: &CostMatrices) -> u64 {
-    let p = cost.p();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mix = |h: &mut u64, x: u64| {
-        *h ^= x;
-        *h = h.wrapping_mul(0x0100_0000_01b3);
-    };
-    mix(&mut h, p as u64);
-    for i in 0..p {
-        for j in 0..p {
-            mix(&mut h, cost.o[(i, j)].to_bits());
-            mix(&mut h, cost.l[(i, j)].to_bits());
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0100_0000_01b3;
+    fn absorb(lanes: &mut [u64; 4], data: &[f64]) {
+        let mut chunks = data.chunks_exact(4);
+        for c in &mut chunks {
+            for (lane, v) in lanes.iter_mut().zip(c) {
+                *lane ^= v.to_bits();
+                *lane = lane.wrapping_mul(PRIME);
+            }
         }
+        for (lane, v) in lanes.iter_mut().zip(chunks.remainder()) {
+            *lane ^= v.to_bits();
+            *lane = lane.wrapping_mul(PRIME);
+        }
+    }
+    let mut lanes = [OFFSET ^ 1, OFFSET ^ 2, OFFSET ^ 3, OFFSET ^ 4];
+    absorb(&mut lanes, cost.o.as_slice());
+    absorb(&mut lanes, cost.l.as_slice());
+    let mut h = OFFSET;
+    for v in [cost.p() as u64, lanes[0], lanes[1], lanes[2], lanes[3]] {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
     }
     h
 }
@@ -700,6 +795,35 @@ mod tests {
         eval.rebind(&other);
         assert_eq!(eval.cached_score(&key), None);
         assert_eq!(eval.cached_scores(), 0);
+    }
+
+    #[test]
+    fn cluster_tree_cache_matches_fresh_build_and_invalidates() {
+        let machine = MachineSpec::dual_quad_cluster(3);
+        let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::RoundRobin);
+        let members: Vec<usize> = (0..prof.p).collect();
+        let metric = DistanceMetric::from_costs(&prof.cost);
+        let fresh = build_cluster_tree(&metric, &members, 0.35, 8);
+        let mut eval = CostEvaluator::new(CostParams::default());
+        eval.rebind(&prof.cost);
+        let first = eval.cluster_tree(&prof.cost, &members, 0.35, 8);
+        let hit = eval.cluster_tree(&prof.cost, &members, 0.35, 8);
+        assert_eq!(first, fresh);
+        assert_eq!(hit, fresh);
+        // Different knobs key separately.
+        let shallow = eval.cluster_tree(&prof.cost, &members, 0.35, 1);
+        assert!(shallow.cluster_count() <= fresh.cluster_count());
+        // A rebind to different costs drops the cache; the rebuilt tree
+        // reflects the new matrices rather than any stale entry.
+        let mut other = prof.cost.clone();
+        for j in 1..other.p() {
+            other.o[(0, j)] *= 3.0;
+            other.o[(j, 0)] *= 3.0;
+        }
+        eval.rebind(&other);
+        let other_metric = DistanceMetric::from_costs(&other);
+        let other_fresh = build_cluster_tree(&other_metric, &members, 0.35, 8);
+        assert_eq!(eval.cluster_tree(&other, &members, 0.35, 8), other_fresh);
     }
 
     #[test]

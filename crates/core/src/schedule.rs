@@ -213,8 +213,8 @@ impl BarrierSchedule {
     /// Panics on dimension mismatch or if any process signals itself.
     pub fn push(&mut self, stage: Stage) {
         assert_eq!(stage.matrix.n(), self.n, "stage dimension mismatch");
-        for i in 0..self.n {
-            assert!(!stage.matrix.get(i, i), "rank {i} signals itself");
+        if let Some(i) = stage.matrix.first_self_loop() {
+            panic!("rank {i} signals itself");
         }
         self.compiled.take();
         self.stages.push(stage);
@@ -227,6 +227,14 @@ impl BarrierSchedule {
         for s in &other.stages {
             self.stages.push(s.clone());
         }
+    }
+
+    /// Appends all stages of `other`, taking ownership — [`Self::append`]
+    /// without cloning each stage matrix.
+    pub fn append_owned(&mut self, other: BarrierSchedule) {
+        assert_eq!(other.n, self.n, "schedule dimension mismatch");
+        self.compiled.take();
+        self.stages.extend(other.stages);
     }
 
     /// Total number of signals across all stages.
@@ -296,13 +304,66 @@ impl BarrierSchedule {
         }
     }
 
+    /// ORs an arrival stage given over local ranks `0..members.len()`
+    /// into stage `idx`, mapping local rank `a` to global rank
+    /// `members[a]` and extending the schedule with empty arrival stages
+    /// as needed. Equivalent to [`Self::merge_overlay`] of a schedule
+    /// holding `local.embed(n, members)`, but writes only the embedded
+    /// signals — the hierarchical composer's stages are zero outside one
+    /// cluster's rows, so materializing and scanning the full `n × n`
+    /// embedding per tree node dominated tuning at large P.
+    ///
+    /// # Panics
+    /// Panics if stage `idx` exists with departure mode, if `members`
+    /// maps two local ranks to one global rank (a rank would signal
+    /// itself), or if an index is out of range.
+    pub fn or_embed_arrival(&mut self, idx: usize, local: &BoolMatrix, members: &[usize]) {
+        assert_eq!(local.n(), members.len(), "local stage / member mismatch");
+        self.compiled.take();
+        while self.stages.len() <= idx {
+            self.stages.push(Stage::arrival(BoolMatrix::zeros(self.n)));
+        }
+        let stage = &mut self.stages[idx];
+        assert_eq!(
+            stage.mode,
+            SendMode::General,
+            "arrival signals merged into a departure stage {idx}"
+        );
+        for a in 0..local.n() {
+            let src = members[a];
+            for b in local.row_iter(a) {
+                let dst = members[b];
+                assert_ne!(src, dst, "rank {src} signals itself");
+                stage.matrix.set(src, dst, true);
+            }
+        }
+    }
+
     /// The ranks that participate (send or receive) in any stage.
     pub fn participants(&self) -> Vec<usize> {
         let mut active = vec![false; self.n];
+        // Receivers of a stage are the union of its rows; OR the rows into
+        // one scratch row instead of walking individual edges.
+        let mut union: Vec<u64> = Vec::new();
         for s in &self.stages {
-            for (i, j) in s.matrix.edges() {
-                active[i] = true;
-                active[j] = true;
+            union.clear();
+            union.resize(self.n.div_ceil(64).max(1), 0);
+            for (i, is_active) in active.iter_mut().enumerate() {
+                let row = s.matrix.row(i);
+                if row.iter().any(|&w| w != 0) {
+                    *is_active = true;
+                    for (u, &w) in union.iter_mut().zip(row) {
+                        *u |= w;
+                    }
+                }
+            }
+            for (w_idx, &word) in union.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let j = w_idx * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    active[j] = true;
+                }
             }
         }
         (0..self.n).filter(|&r| active[r]).collect()
@@ -461,6 +522,56 @@ mod tests {
         let mut b = BarrierSchedule::new(3);
         b.push(Stage::departure(BoolMatrix::from_edges(3, &[(2, 0)])));
         a.merge_overlay(&b, 0);
+    }
+
+    #[test]
+    fn or_embed_arrival_matches_merge_overlay_of_embed() {
+        // A 3-rank local tree stage lifted onto global ranks {1, 4, 5} of
+        // an 8-rank system, at offset 2 — via both the materializing path
+        // and the direct-write path.
+        let members = [1usize, 4, 5];
+        let local = BoolMatrix::from_edges(3, &[(1, 0), (2, 0)]);
+        let mut via_overlay = BarrierSchedule::new(8);
+        let mut embedded = BarrierSchedule::new(8);
+        embedded.push(Stage::arrival(local.embed(8, &members)));
+        via_overlay.merge_overlay(&embedded, 2);
+        let mut direct = BarrierSchedule::new(8);
+        direct.or_embed_arrival(2, &local, &members);
+        assert_eq!(direct.len(), 3);
+        for (a, b) in direct.stages().iter().zip(via_overlay.stages()) {
+            assert_eq!(a, b);
+        }
+        // ORing into an existing stage unions rather than replaces.
+        direct.or_embed_arrival(2, &BoolMatrix::from_edges(2, &[(1, 0)]), &[6, 7]);
+        assert!(direct.stages()[2].matrix.get(7, 6));
+        assert!(direct.stages()[2].matrix.get(4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "departure stage")]
+    fn or_embed_arrival_rejects_departure_stage() {
+        let mut sched = BarrierSchedule::new(4);
+        sched.push(Stage::departure(BoolMatrix::from_edges(4, &[(0, 1)])));
+        sched.or_embed_arrival(0, &BoolMatrix::from_edges(2, &[(1, 0)]), &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "signals itself")]
+    fn or_embed_arrival_rejects_duplicate_members() {
+        let mut sched = BarrierSchedule::new(4);
+        sched.or_embed_arrival(0, &BoolMatrix::from_edges(2, &[(1, 0)]), &[2, 2]);
+    }
+
+    #[test]
+    fn append_owned_matches_append() {
+        let mut a = linear(4);
+        let mut b = a.clone();
+        let extra =
+            BarrierSchedule::from_arrival_matrices(4, vec![BoolMatrix::from_edges(4, &[(3, 1)])]);
+        a.append(&extra);
+        b.append_owned(extra.clone());
+        assert_eq!(a.stages(), b.stages());
+        assert_eq!(a.len(), 3);
     }
 
     #[test]

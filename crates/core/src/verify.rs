@@ -5,17 +5,33 @@
 //! `K_a = K_{a-1} + K_{a-1} · S_a` starting from the identity.
 
 use crate::schedule::BarrierSchedule;
-use hbar_matrix::{knowledge_steps, BoolMatrix, KnowledgeTrace};
+#[cfg(test)]
+use hbar_matrix::BoolMatrix;
+use hbar_matrix::{ClosureWorkspace, KnowledgeTrace};
 
 /// True iff `schedule` synchronizes all of its processes.
 pub fn is_barrier(schedule: &BarrierSchedule) -> bool {
-    trace(schedule).is_barrier()
+    is_barrier_with(schedule, &mut ClosureWorkspace::new())
+}
+
+/// Allocation-free [`is_barrier`] against a caller-owned workspace, with
+/// early exit once every row of the knowledge matrix saturates.
+pub fn is_barrier_with(schedule: &BarrierSchedule, ws: &mut ClosureWorkspace) -> bool {
+    ws.is_barrier(schedule.n(), schedule.stages().iter().map(|s| &s.matrix))
 }
 
 /// The full per-stage knowledge trace of a schedule.
 pub fn trace(schedule: &BarrierSchedule) -> KnowledgeTrace {
-    let matrices: Vec<BoolMatrix> = schedule.stages().iter().map(|s| s.matrix.clone()).collect();
-    knowledge_steps(schedule.n(), &matrices)
+    let mut t = KnowledgeTrace::new();
+    trace_into(schedule, &mut t);
+    t
+}
+
+/// Reusable-buffer mode of [`trace`]: recomputes the trace into `t`,
+/// reusing every state matrix a previous trace left behind (and never
+/// cloning the schedule's stage matrices).
+pub fn trace_into(schedule: &BarrierSchedule, t: &mut KnowledgeTrace) {
+    t.recompute(schedule.n(), schedule.stages().iter().map(|s| &s.matrix));
 }
 
 /// A human-readable explanation of why a schedule fails to be a barrier:
@@ -40,8 +56,17 @@ pub fn missing_knowledge(schedule: &BarrierSchedule) -> Vec<(usize, usize)> {
 /// untouched). Used to validate local barriers over clusters before they
 /// are composed into a full-system pattern.
 pub fn synchronizes_subset(schedule: &BarrierSchedule, members: &[usize]) -> bool {
-    let k = trace(schedule);
-    let last = k.last();
+    synchronizes_subset_with(schedule, members, &mut ClosureWorkspace::new())
+}
+
+/// Allocation-free [`synchronizes_subset`] against a caller-owned
+/// workspace.
+pub fn synchronizes_subset_with(
+    schedule: &BarrierSchedule,
+    members: &[usize],
+    ws: &mut ClosureWorkspace,
+) -> bool {
+    let last = ws.closure(schedule.n(), schedule.stages().iter().map(|s| &s.matrix));
     members
         .iter()
         .all(|&i| members.iter().all(|&j| last.get(i, j)))
@@ -53,7 +78,7 @@ pub fn active_stage_count(schedule: &BarrierSchedule, rank: usize) -> usize {
     schedule
         .stages()
         .iter()
-        .filter(|s| s.matrix.row_popcount(rank) > 0 || s.matrix.col_iter(rank).next().is_some())
+        .filter(|s| s.matrix.row_popcount(rank) > 0 || s.matrix.col_any(rank))
         .count()
 }
 
@@ -134,5 +159,28 @@ mod tests {
     fn empty_schedule_is_barrier_only_for_single_rank() {
         assert!(is_barrier(&BarrierSchedule::new(1)));
         assert!(!is_barrier(&BarrierSchedule::new(2)));
+    }
+
+    #[test]
+    fn workspace_variants_match_plain_ones() {
+        let mut ws = ClosureWorkspace::new();
+        let mut t = KnowledgeTrace::new();
+        for n in [2, 8, 60, 120] {
+            let full = dissemination(n);
+            let mut truncated = BarrierSchedule::new(n);
+            for s in &full.stages()[..full.len() - 1] {
+                truncated.push(s.clone());
+            }
+            for sched in [&full, &truncated] {
+                assert_eq!(is_barrier_with(sched, &mut ws), is_barrier(sched));
+                trace_into(sched, &mut t);
+                assert_eq!(t.last(), trace(sched).last());
+                let members: Vec<usize> = (0..n).step_by(3).collect();
+                assert_eq!(
+                    synchronizes_subset_with(sched, &members, &mut ws),
+                    synchronizes_subset(sched, &members)
+                );
+            }
+        }
     }
 }

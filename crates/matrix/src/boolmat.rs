@@ -119,7 +119,17 @@ impl BoolMatrix {
     /// signal-pattern sequence to constitute a barrier (all processes know
     /// of all arrivals).
     pub fn is_all_true(&self) -> bool {
-        (0..self.n).all(|i| self.row_popcount(i) == self.n)
+        (0..self.n).all(|i| self.row_is_full(i))
+    }
+
+    /// Returns true if every entry of row `i` is set, comparing whole
+    /// words against the all-ones pattern instead of popcounting.
+    #[inline]
+    pub fn row_is_full(&self, i: usize) -> bool {
+        let row = self.row(i);
+        let full_words = self.n / 64;
+        row[..full_words].iter().all(|&w| w == !0)
+            && (self.n.is_multiple_of(64) || row[full_words] == (1u64 << (self.n % 64)) - 1)
     }
 
     /// Returns true if no entry is set (a no-op stage).
@@ -169,9 +179,28 @@ impl BoolMatrix {
         }
     }
 
-    /// Iterator over set rows of column `j` (in-neighbours of `j`), ascending.
+    /// Iterator over set rows of column `j` (in-neighbours of `j`),
+    /// ascending. Strides directly over the column's word in each row, so
+    /// advancing costs one shift-and-test per row instead of a bounds-checked
+    /// `get`.
     pub fn col_iter(&self, j: usize) -> impl Iterator<Item = usize> + '_ {
-        (0..self.n).filter(move |&i| self.get(i, j))
+        assert!(j < self.n, "column {j} out of range {}", self.n);
+        let jb = (j % 64) as u32;
+        self.bits[j / 64..]
+            .iter()
+            .step_by(self.words_per_row)
+            .enumerate()
+            .filter_map(move |(i, &w)| (w >> jb & 1 == 1).then_some(i))
+    }
+
+    /// True if column `j` has any set bit (any in-neighbour).
+    pub fn col_any(&self, j: usize) -> bool {
+        assert!(j < self.n, "column {j} out of range {}", self.n);
+        let jb = (j % 64) as u32;
+        self.bits[j / 64..]
+            .iter()
+            .step_by(self.words_per_row)
+            .any(|&w| w >> jb & 1 == 1)
     }
 
     /// Iterator over all set `(row, col)` pairs in row-major order.
@@ -181,10 +210,37 @@ impl BoolMatrix {
 
     /// Transpose. Barrier departure phases are the transposed arrival
     /// matrices applied in reverse order (paper §V-B).
+    ///
+    /// Works on 64×64 bit tiles: gather one word-column of up to 64 rows,
+    /// transpose the tile in registers, scatter it to one word-column of
+    /// the result. All-zero tiles (the common case for sparse stage
+    /// matrices) are skipped after the gather.
     pub fn transpose(&self) -> Self {
         let mut t = Self::zeros(self.n);
-        for (i, j) in self.edges() {
-            t.set(j, i, true);
+        let wpr = self.words_per_row;
+        let word_blocks = self.n.div_ceil(64);
+        let mut tile = [0u64; 64];
+        for bi in 0..word_blocks {
+            let rows = (self.n - bi * 64).min(64);
+            for bj in 0..word_blocks {
+                let mut any = 0u64;
+                for (r, slot) in tile[..rows].iter_mut().enumerate() {
+                    let w = self.bits[(bi * 64 + r) * wpr + bj];
+                    *slot = w;
+                    any |= w;
+                }
+                if any == 0 {
+                    continue;
+                }
+                tile[rows..].fill(0);
+                transpose64(&mut tile);
+                let cols = (self.n - bj * 64).min(64);
+                for (c, &w) in tile[..cols].iter().enumerate() {
+                    if w != 0 {
+                        t.bits[(bj * 64 + c) * wpr + bi] = w;
+                    }
+                }
+            }
         }
         t
     }
@@ -211,8 +267,21 @@ impl BoolMatrix {
             "dimension mismatch {} vs {}",
             self.n, other.n
         );
-        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
-            *a |= b;
+        // Row-skip: stage matrices merged during hierarchical composition
+        // are zero outside one small cluster's rows, so most destination
+        // rows need neither the read-modify-write nor the dirty cache
+        // line. The source-row scan touches memory that the OR would have
+        // read anyway, so the dense case loses nothing.
+        for (dst, src) in self
+            .bits
+            .chunks_exact_mut(self.words_per_row)
+            .zip(other.bits.chunks_exact(self.words_per_row))
+        {
+            if src.iter().any(|&w| w != 0) {
+                for (a, b) in dst.iter_mut().zip(src) {
+                    *a |= b;
+                }
+            }
         }
     }
 
@@ -236,29 +305,134 @@ impl BoolMatrix {
     /// `self[i][k] ∧ other[k][j]` — i.e. knowledge held at `i` flows to `j`
     /// through a stage-`other` signal from `k`.
     pub fn and_or_product(&self, other: &Self) -> Self {
+        let mut out = Self::zeros(self.n);
+        self.and_or_product_into(other, &mut out);
+        out
+    }
+
+    /// [`BoolMatrix::and_or_product`] into a caller-provided matrix whose
+    /// storage is reused (it is resized and cleared first).
+    pub fn and_or_product_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(
             self.n, other.n,
             "dimension mismatch {} vs {}",
             self.n, other.n
         );
-        let mut out = Self::zeros(self.n);
-        for i in 0..self.n {
-            // OR together the rows of `other` selected by row i of `self`.
-            for k in self.row_iter(i) {
-                let src_range = other.row_range(k);
-                let dst_range = out.row_range(i);
-                let (dst, src) = (dst_range.start, src_range.start);
-                for w in 0..self.words_per_row {
-                    out.bits[dst + w] |= other.bits[src + w];
+        out.reset_zeros(self.n);
+        self.accumulate_product(other, out);
+    }
+
+    /// Accumulating product: `out |= self · other` without clearing `out`.
+    ///
+    /// The Eq. 3 update `K_a = K_{a-1} + K_{a-1}·S_a` becomes a single
+    /// allocation-free call with `out` holding a copy of `K_{a-1}` and
+    /// `self` the snapshot it was copied from.
+    pub fn and_or_accumulate_into(&self, other: &Self, out: &mut Self) {
+        assert_eq!(
+            self.n, other.n,
+            "dimension mismatch {} vs {}",
+            self.n, other.n
+        );
+        assert_eq!(self.n, out.n, "dimension mismatch {} vs {}", self.n, out.n);
+        self.accumulate_product(other, out);
+    }
+
+    /// Cache-blocked kernel behind the product entry points.
+    ///
+    /// The naive loop visits `other`'s rows in whatever order row `i` of
+    /// `self` selects them; at P = 1024 those rows span a 128 KiB matrix
+    /// and most ORs miss L1. Blocking over bands of 256 source rows (one
+    /// 32 KiB slab at 16 words/row) keeps a band resident while every
+    /// output row streams through it once.
+    fn accumulate_product(&self, other: &Self, out: &mut Self) {
+        const BAND_WORDS: usize = 4;
+        let n = self.n;
+        let wpr = self.words_per_row;
+        let mut band = 0;
+        while band < wpr {
+            let band_end = (band + BAND_WORDS).min(wpr);
+            for i in 0..n {
+                let row_start = i * wpr;
+                let sel = &self.bits[row_start + band..row_start + band_end];
+                if sel.iter().all(|&w| w == 0) {
+                    continue;
+                }
+                for (w_idx, &word) in sel.iter().enumerate() {
+                    let mut w = word;
+                    while w != 0 {
+                        let k = (band + w_idx) * 64 + w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        debug_assert!(k < n, "padding bit set in row {i}");
+                        let src = other.row(k);
+                        let dst = &mut out.bits[row_start..row_start + wpr];
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d |= s;
+                        }
+                    }
                 }
             }
+            band = band_end;
         }
-        out
     }
 
     /// Returns the set of rows with at least one set entry (active senders).
     pub fn active_rows(&self) -> Vec<usize> {
-        (0..self.n).filter(|&i| self.row_popcount(i) > 0).collect()
+        let mut out = Vec::new();
+        self.active_rows_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`BoolMatrix::active_rows`]: fills `out` (cleared
+    /// first) with every row that has a set entry, scanning whole words.
+    pub fn active_rows_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        for i in 0..self.n {
+            if self.row(i).iter().any(|&w| w != 0) {
+                out.push(i);
+            }
+        }
+    }
+
+    /// First row whose diagonal entry is set, touching one word per row.
+    pub fn first_self_loop(&self) -> Option<usize> {
+        (0..self.n).find(|&i| self.bits[i * self.words_per_row + i / 64] >> (i % 64) & 1 == 1)
+    }
+
+    /// Overwrites `self` with a copy of `src`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.n = src.n;
+        self.words_per_row = src.words_per_row;
+        self.bits.clear();
+        self.bits.extend_from_slice(&src.bits);
+    }
+
+    /// Resets to the `n × n` zero matrix, reusing the allocation.
+    pub fn reset_zeros(&mut self, n: usize) {
+        self.n = n;
+        self.words_per_row = n.div_ceil(64).max(1);
+        self.bits.clear();
+        self.bits.resize(self.words_per_row * n, 0);
+    }
+
+    /// Resets to the `n × n` identity, reusing the allocation.
+    pub fn reset_identity(&mut self, n: usize) {
+        self.reset_zeros(n);
+        for i in 0..n {
+            self.bits[i * self.words_per_row + i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    /// Words-per-row stride of the packed representation.
+    #[inline]
+    pub(crate) fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Mutable borrow of row `i`'s words.
+    #[inline]
+    pub(crate) fn row_mut(&mut self, i: usize) -> &mut [u64] {
+        let r = self.row_range(i);
+        &mut self.bits[r]
     }
 
     /// Embeds this matrix into a larger `m × m` matrix, mapping local index
@@ -279,8 +453,19 @@ impl BoolMatrix {
             seen[g] = true;
         }
         let mut out = Self::zeros(m);
-        for (i, j) in self.edges() {
-            out.set(index_map[i], index_map[j], true);
+        // Maximal runs of consecutive locals mapping to consecutive globals
+        // move as funnel-shifted word copies instead of one set() per bit.
+        let runs = ascending_runs(index_map);
+        for (li, &gi) in index_map.iter().enumerate() {
+            let src = self.row(li);
+            if src.iter().all(|&w| w == 0) {
+                continue;
+            }
+            let dst_start = gi * out.words_per_row;
+            let dst = &mut out.bits[dst_start..dst_start + out.words_per_row];
+            for &(start, len) in &runs {
+                or_bit_run(src, start, dst, index_map[start], len);
+            }
         }
         out
     }
@@ -290,15 +475,74 @@ impl BoolMatrix {
     /// # Panics
     /// Panics if any index is out of range.
     pub fn submatrix(&self, indices: &[usize]) -> Self {
+        for &g in indices {
+            assert!(g < self.n, "index {g} out of range {}", self.n);
+        }
         let mut out = Self::zeros(indices.len());
+        let runs = ascending_runs(indices);
         for (li, &gi) in indices.iter().enumerate() {
-            for (lj, &gj) in indices.iter().enumerate() {
-                if self.get(gi, gj) {
-                    out.set(li, lj, true);
-                }
+            let src = self.row(gi);
+            if src.iter().all(|&w| w == 0) {
+                continue;
+            }
+            let dst_start = li * out.words_per_row;
+            let dst = &mut out.bits[dst_start..dst_start + out.words_per_row];
+            for &(start, len) in &runs {
+                or_bit_run(src, indices[start], dst, start, len);
             }
         }
         out
+    }
+}
+
+/// In-place transpose of a 64×64 bit tile stored as 64 words, bit `c` of
+/// word `r` holding element `(r, c)` (LSB-first, matching [`BoolMatrix`]).
+///
+/// Classic recursive block-swap: at each level, the quadrant with row bit
+/// `j` clear / column bit `j` set trades places with its mirror.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k] ^= t << j;
+            a[k | j] ^= t;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Decomposes `map` into maximal runs of consecutive ascending values,
+/// as `(start_position, length)` pairs covering `map` left to right.
+fn ascending_runs(map: &[usize]) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut s = 0;
+    while s < map.len() {
+        let mut e = s + 1;
+        while e < map.len() && map[e] == map[e - 1] + 1 {
+            e += 1;
+        }
+        runs.push((s, e - s));
+        s = e;
+    }
+    runs
+}
+
+/// ORs the bit range `src_off..src_off + len` of `src` into `dst` starting
+/// at bit `dst_off`, moving up to a whole word per step via funnel shifts.
+fn or_bit_run(src: &[u64], src_off: usize, dst: &mut [u64], dst_off: usize, len: usize) {
+    let mut done = 0;
+    while done < len {
+        let (sw, sb) = ((src_off + done) / 64, (src_off + done) % 64);
+        let (dw, db) = ((dst_off + done) / 64, (dst_off + done) % 64);
+        let take = (64 - sb).min(64 - db).min(len - done);
+        let mask = if take == 64 { !0 } else { (1u64 << take) - 1 };
+        dst[dw] |= ((src[sw] >> sb) & mask) << db;
+        done += take;
     }
 }
 
@@ -546,5 +790,121 @@ mod tests {
         // An empty matrix vacuously satisfies "all true".
         assert!(m.is_all_true());
         assert_eq!(m.edges().count(), 0);
+    }
+
+    /// Deterministic pseudo-random edge set, dense enough to exercise every
+    /// word of every row at the given size.
+    fn scrambled(n: usize, seed: u64) -> BoolMatrix {
+        let mut m = BoolMatrix::zeros(n);
+        let mut x = seed | 1;
+        for i in 0..n {
+            for j in 0..n {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if x >> 61 == 0 {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn transpose_matches_get_swap_across_word_boundaries() {
+        for n in [1, 5, 63, 64, 65, 128, 130] {
+            let m = scrambled(n, n as u64);
+            let t = m.transpose();
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(m.get(i, j), t.get(j, i), "n={n} at ({i},{j})");
+                }
+            }
+            assert_eq!(t.transpose(), m, "involution failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn product_into_matches_product_and_reuses_buffer() {
+        let a = scrambled(130, 7);
+        let b = scrambled(130, 9);
+        let mut out = BoolMatrix::zeros(3); // wrong size: must be resized
+        a.and_or_product_into(&b, &mut out);
+        assert_eq!(out, a.and_or_product(&b));
+        // A second call with a different pair reuses the storage.
+        let c = scrambled(130, 11);
+        a.and_or_product_into(&c, &mut out);
+        assert_eq!(out, a.and_or_product(&c));
+    }
+
+    #[test]
+    fn accumulate_into_is_eq3_update() {
+        let k = scrambled(97, 3);
+        let s = scrambled(97, 5);
+        let mut acc = k.clone();
+        k.and_or_accumulate_into(&s, &mut acc);
+        assert_eq!(acc, k.or(&k.and_or_product(&s)));
+    }
+
+    #[test]
+    fn embed_scattered_map_crosses_words() {
+        let local = scrambled(70, 13);
+        // Mix of runs and jumps, straddling the 64-bit boundary of the host.
+        let map: Vec<usize> = (0..70)
+            .map(|k| if k < 35 { k * 2 } else { 29 + k * 2 })
+            .collect();
+        let global = local.embed(200, &map);
+        let mut expected = BoolMatrix::zeros(200);
+        for (i, j) in local.edges() {
+            expected.set(map[i], map[j], true);
+        }
+        assert_eq!(global, expected);
+        assert_eq!(global.submatrix(&map), local);
+    }
+
+    #[test]
+    fn row_is_full_checks_tail_word() {
+        for n in [1, 64, 65, 130] {
+            let mut m = BoolMatrix::zeros(n);
+            for j in 0..n {
+                m.set(0, j, true);
+            }
+            assert!(m.row_is_full(0), "n={n}");
+            m.set(0, n - 1, false);
+            assert!(!m.row_is_full(0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn col_any_and_active_rows_into() {
+        let m = BoolMatrix::from_edges(130, &[(1, 0), (3, 0), (3, 128)]);
+        assert!(m.col_any(0));
+        assert!(m.col_any(128));
+        assert!(!m.col_any(64));
+        let mut rows = vec![42]; // stale contents must be discarded
+        m.active_rows_into(&mut rows);
+        assert_eq!(rows, m.active_rows());
+        assert_eq!(rows, vec![1, 3]);
+    }
+
+    #[test]
+    fn first_self_loop_finds_diagonal() {
+        let mut m = BoolMatrix::zeros(100);
+        assert_eq!(m.first_self_loop(), None);
+        m.set(70, 70, true);
+        m.set(90, 90, true);
+        assert_eq!(m.first_self_loop(), Some(70));
+    }
+
+    #[test]
+    fn reset_and_copy_reuse_storage() {
+        let mut m = BoolMatrix::zeros(130);
+        m.reset_identity(70);
+        assert_eq!(m, BoolMatrix::identity(70));
+        m.reset_zeros(5);
+        assert_eq!(m, BoolMatrix::zeros(5));
+        let src = scrambled(97, 17);
+        m.copy_from(&src);
+        assert_eq!(m, src);
     }
 }

@@ -24,4 +24,4 @@ pub mod reach;
 
 pub use boolmat::BoolMatrix;
 pub use dense::DenseMatrix;
-pub use reach::{knowledge_closure, knowledge_steps, KnowledgeTrace};
+pub use reach::{knowledge_closure, knowledge_steps, ClosureWorkspace, KnowledgeTrace};

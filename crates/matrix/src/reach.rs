@@ -23,6 +23,12 @@ pub struct KnowledgeTrace {
 }
 
 impl KnowledgeTrace {
+    /// Creates an empty trace; populate it with
+    /// [`KnowledgeTrace::recompute`].
+    pub fn new() -> Self {
+        KnowledgeTrace { states: Vec::new() }
+    }
+
     /// Final knowledge matrix after all stages.
     pub fn last(&self) -> &BoolMatrix {
         self.states
@@ -40,32 +46,221 @@ impl KnowledgeTrace {
     pub fn first_complete_stage(&self) -> Option<usize> {
         self.states.iter().skip(1).position(|k| k.is_all_true())
     }
+
+    /// Recomputes the trace over `stages` in place — the reusable-buffer
+    /// mode. Every state matrix recorded by a previous call is reused, so a
+    /// tuner tracing many candidate schedules of similar depth allocates
+    /// only on its first trace.
+    pub fn recompute<'a, I>(&mut self, n: usize, stages: I)
+    where
+        I: IntoIterator<Item = &'a BoolMatrix>,
+    {
+        let mut len = 1;
+        self.slot(0).reset_identity(n);
+        for s in stages {
+            assert_eq!(s.n(), n, "stage dimension {} != {}", s.n(), n);
+            self.slot(len);
+            // The previous state doubles as the Eq. 3 snapshot: copy it
+            // into the next slot and accumulate the flow on top.
+            let (prev, next) = self.states.split_at_mut(len);
+            let (k, out) = (&prev[len - 1], &mut next[0]);
+            out.copy_from(k);
+            k.and_or_accumulate_into(s, out);
+            len += 1;
+        }
+        self.states.truncate(len);
+    }
+
+    fn slot(&mut self, idx: usize) -> &mut BoolMatrix {
+        if self.states.len() <= idx {
+            self.states.push(BoolMatrix::zeros(0));
+        }
+        &mut self.states[idx]
+    }
+}
+
+impl Default for KnowledgeTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reusable scratch for allocation-free knowledge closures.
+///
+/// Owns the evolving `K`, the per-stage snapshot of its previous value, a
+/// CSR image of the current stage, and per-row saturation flags; after the
+/// first run on a given size, closures never touch the allocator.
+///
+/// Two properties of Eq. 3 drive the fast paths:
+///
+/// - Row `i` of `K_a` depends only on row `i` of `K_{a-1}` (a signal
+///   `k → j` forwards what its *sender* knows about arrival `i`), so a row
+///   that is already all-ones can be skipped for every remaining stage —
+///   and when every row is saturated the closure exits early.
+/// - Stage matrices are sparse (a rank signals one or two peers), so for
+///   low out-degree senders scattering the individual target bits beats
+///   OR-ing whole `words_per_row`-sized rows.
+#[derive(Clone, Debug)]
+pub struct ClosureWorkspace {
+    k: BoolMatrix,
+    prev: BoolMatrix,
+    /// CSR of the current stage: row `r` signals
+    /// `targets[offsets[r]..offsets[r + 1]]`.
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    saturated: Vec<bool>,
+}
+
+impl ClosureWorkspace {
+    pub fn new() -> Self {
+        ClosureWorkspace {
+            k: BoolMatrix::zeros(0),
+            prev: BoolMatrix::zeros(0),
+            offsets: Vec::new(),
+            targets: Vec::new(),
+            saturated: Vec::new(),
+        }
+    }
+
+    /// Runs the Eq. 3 closure over `stages`; the returned reference borrows
+    /// the workspace's internal `K` buffer.
+    pub fn closure<'a, I>(&mut self, n: usize, stages: I) -> &BoolMatrix
+    where
+        I: IntoIterator<Item = &'a BoolMatrix>,
+    {
+        self.run(n, stages);
+        &self.k
+    }
+
+    /// Early-exit barrier test: true iff the closure saturates every row.
+    /// Stops consuming stages as soon as knowledge is complete.
+    pub fn is_barrier<'a, I>(&mut self, n: usize, stages: I) -> bool
+    where
+        I: IntoIterator<Item = &'a BoolMatrix>,
+    {
+        self.run(n, stages) == n
+    }
+
+    /// Executes the closure, returning the number of saturated rows.
+    fn run<'a, I>(&mut self, n: usize, stages: I) -> usize
+    where
+        I: IntoIterator<Item = &'a BoolMatrix>,
+    {
+        self.k.reset_identity(n);
+        self.saturated.clear();
+        self.saturated.resize(n, false);
+        let mut saturated_rows = 0;
+        for i in 0..n {
+            // Only n == 1 starts saturated, but stay generic.
+            if self.k.row_is_full(i) {
+                self.saturated[i] = true;
+                saturated_rows += 1;
+            }
+        }
+        for s in stages {
+            assert_eq!(s.n(), n, "stage dimension {} != {}", s.n(), n);
+            if saturated_rows == n {
+                break; // all-ones is a fixed point of Eq. 3
+            }
+            self.prev.copy_from(&self.k);
+            self.compile_stage(s);
+            saturated_rows += self.apply_stage(s);
+        }
+        saturated_rows
+    }
+
+    /// Snapshots stage `s` as CSR so the scatter path can walk a sender's
+    /// targets without re-scanning its words per known arrival.
+    fn compile_stage(&mut self, s: &BoolMatrix) {
+        let n = s.n();
+        self.offsets.clear();
+        self.targets.clear();
+        self.offsets.reserve(n + 1);
+        self.offsets.push(0);
+        for r in 0..n {
+            for t in s.row_iter(r) {
+                self.targets.push(t as u32);
+            }
+            self.offsets.push(self.targets.len() as u32);
+        }
+    }
+
+    /// One Eq. 3 update `K |= K·S`, skipping saturated rows. Scatters
+    /// single bits for sparse senders and falls back to whole-row ORs for
+    /// dense ones. Returns the number of rows newly saturated.
+    fn apply_stage(&mut self, s: &BoolMatrix) -> usize {
+        let n = s.n();
+        let wpr = self.k.words_per_row();
+        // A row OR costs `wpr` word ops; a scatter costs ~2 per target.
+        let scatter_max = (wpr / 2) as u32;
+        let mut newly = 0;
+        for i in 0..n {
+            if self.saturated[i] {
+                continue;
+            }
+            let dst = self.k.row_mut(i);
+            for (w_idx, &word) in self.prev.row(i).iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let sender = w_idx * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let (t0, t1) = (
+                        self.offsets[sender] as usize,
+                        self.offsets[sender + 1] as usize,
+                    );
+                    if t1 - t0 == 0 {
+                        continue;
+                    }
+                    if (t1 - t0) as u32 <= scatter_max {
+                        for &t in &self.targets[t0..t1] {
+                            dst[t as usize / 64] |= 1u64 << (t % 64);
+                        }
+                    } else {
+                        for (d, sw) in dst.iter_mut().zip(s.row(sender)) {
+                            *d |= sw;
+                        }
+                    }
+                }
+            }
+            if self.k.row_is_full(i) {
+                self.saturated[i] = true;
+                newly += 1;
+            }
+        }
+        newly
+    }
+}
+
+impl Default for ClosureWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Runs Eq. 3 over `stages` and returns only the final knowledge matrix.
-pub fn knowledge_closure(n: usize, stages: &[BoolMatrix]) -> BoolMatrix {
+pub fn knowledge_closure<'a, I>(n: usize, stages: I) -> BoolMatrix
+where
+    I: IntoIterator<Item = &'a BoolMatrix>,
+{
     let mut k = BoolMatrix::identity(n);
+    let mut prev = BoolMatrix::zeros(n);
     for s in stages {
         assert_eq!(s.n(), n, "stage dimension {} != {}", s.n(), n);
-        let flow = k.and_or_product(s);
-        k.or_assign(&flow);
+        prev.copy_from(&k);
+        prev.and_or_accumulate_into(s, &mut k);
     }
     k
 }
 
 /// Runs Eq. 3 over `stages`, recording the knowledge matrix after every
 /// stage (plus the initial identity).
-pub fn knowledge_steps(n: usize, stages: &[BoolMatrix]) -> KnowledgeTrace {
-    let mut states = Vec::with_capacity(stages.len() + 1);
-    let mut k = BoolMatrix::identity(n);
-    states.push(k.clone());
-    for s in stages {
-        assert_eq!(s.n(), n, "stage dimension {} != {}", s.n(), n);
-        let flow = k.and_or_product(s);
-        k.or_assign(&flow);
-        states.push(k.clone());
-    }
-    KnowledgeTrace { states }
+pub fn knowledge_steps<'a, I>(n: usize, stages: I) -> KnowledgeTrace
+where
+    I: IntoIterator<Item = &'a BoolMatrix>,
+{
+    let mut trace = KnowledgeTrace::new();
+    trace.recompute(n, stages);
+    trace
 }
 
 #[cfg(test)]
@@ -160,5 +355,89 @@ mod tests {
     #[should_panic(expected = "stage dimension")]
     fn dimension_mismatch_panics() {
         knowledge_closure(3, &[BoolMatrix::zeros(4)]);
+    }
+
+    fn dissemination_stages(n: usize) -> Vec<BoolMatrix> {
+        let mut stages = Vec::new();
+        let mut step = 1;
+        while step < n {
+            let mut s = BoolMatrix::zeros(n);
+            for i in 0..n {
+                s.set(i, (i + step) % n, true);
+            }
+            stages.push(s);
+            step *= 2;
+        }
+        stages
+    }
+
+    #[test]
+    fn workspace_closure_matches_free_function() {
+        let mut ws = ClosureWorkspace::new();
+        for n in [1, 2, 6, 64, 65, 130] {
+            for stages in [linear_stages(n), dissemination_stages(n)] {
+                let expected = knowledge_closure(n, &stages);
+                // The same workspace is reused across sizes on purpose.
+                assert_eq!(ws.closure(n, &stages), &expected, "n={n}");
+                assert_eq!(ws.is_barrier(n, &stages), expected.is_all_true());
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_closure_on_incomplete_sequences() {
+        let mut ws = ClosureWorkspace::new();
+        let stages = linear_stages(9);
+        let arrival_only = &stages[..1];
+        assert_eq!(
+            ws.closure(9, arrival_only),
+            &knowledge_closure(9, arrival_only)
+        );
+        assert!(!ws.is_barrier(9, arrival_only));
+        assert_eq!(ws.closure(9, &[]), &BoolMatrix::identity(9));
+    }
+
+    #[test]
+    fn workspace_mixed_degree_stage_takes_both_paths() {
+        // A departure-style stage: rank 0 signals everyone (dense row,
+        // word-OR path) while all others are silent; preceded by a sparse
+        // arrival so the scatter path runs too.
+        let n = 200;
+        let stages = linear_stages(n);
+        let mut ws = ClosureWorkspace::new();
+        assert!(ws.is_barrier(n, &stages));
+        assert_eq!(
+            ws.closure(n, &stages[..1]),
+            &knowledge_closure(n, &stages[..1])
+        );
+    }
+
+    #[test]
+    fn workspace_early_exit_ignores_trailing_stages() {
+        let n = 8;
+        let mut stages = dissemination_stages(n);
+        // Append a stage of the wrong flavour after saturation: the early
+        // exit must not change the outcome.
+        stages.push(BoolMatrix::identity(n));
+        stages.push(BoolMatrix::zeros(n));
+        let mut ws = ClosureWorkspace::new();
+        assert!(ws.is_barrier(n, &stages));
+        assert!(ws.closure(n, &stages).is_all_true());
+    }
+
+    #[test]
+    fn trace_recompute_reuses_states() {
+        let mut trace = KnowledgeTrace::new();
+        trace.recompute(6, &linear_stages(6));
+        let fresh = knowledge_steps(6, &linear_stages(6));
+        assert_eq!(trace.states.len(), fresh.states.len());
+        for (a, b) in trace.states.iter().zip(&fresh.states) {
+            assert_eq!(a, b);
+        }
+        // Recomputing a shorter sequence shrinks the trace.
+        trace.recompute(4, &linear_stages(4)[..1]);
+        assert_eq!(trace.states.len(), 2);
+        assert_eq!(trace.states[0], BoolMatrix::identity(4));
+        assert!(!trace.is_barrier());
     }
 }

@@ -75,6 +75,54 @@ proptest! {
         prop_assert_eq!(k1, k2);
     }
 
+    /// Transpose is an involution and swaps coordinates, across sizes that
+    /// straddle the 64-bit word boundary (the blocked kernel's tile edges).
+    #[test]
+    fn transpose_involution_and_swap(n in 1usize..=130,
+                                     edges in prop::collection::vec((0usize..130, 0usize..130), 0..400)) {
+        let edges: Vec<(usize, usize)> = edges.into_iter().filter(|(i, j)| *i < n && *j < n).collect();
+        let m = BoolMatrix::from_edges(n, &edges);
+        let t = m.transpose();
+        prop_assert_eq!(t.transpose(), m.clone());
+        for &(i, j) in &edges {
+            prop_assert_eq!(m.get(i, j), t.get(j, i));
+        }
+        // Spot-check zero entries too, not just the set ones.
+        for i in (0..n).step_by(7) {
+            for j in (0..n).step_by(5) {
+                prop_assert_eq!(m.get(i, j), t.get(j, i), "at ({}, {})", i, j);
+            }
+        }
+    }
+
+    /// Embedding a submatrix back through its index map preserves every
+    /// edge: `embed` then `submatrix` is the identity for random masks.
+    #[test]
+    fn embed_submatrix_roundtrip(n in 1usize..=130,
+                                 host_pad in 0usize..40,
+                                 mask_bits in prop::collection::vec(any::<bool>(), 130),
+                                 edges in prop::collection::vec((0usize..130, 0usize..130), 0..300)) {
+        // Random mask over a host of n + pad ranks, guaranteed non-empty.
+        let host_n = n + host_pad;
+        let mut map: Vec<usize> = (0..n).filter(|&k| mask_bits[k]).collect();
+        if map.is_empty() {
+            map.push(n - 1);
+        }
+        let local_n = map.len();
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(i, j)| (i % local_n, j % local_n))
+            .collect();
+        let local = BoolMatrix::from_edges(local_n, &edges);
+        let global = local.embed(host_n, &map);
+        // Every local edge lands exactly where the map says, and nothing else.
+        prop_assert_eq!(global.popcount(), local.popcount());
+        for &(i, j) in &edges {
+            prop_assert!(global.get(map[i], map[j]));
+        }
+        prop_assert_eq!(global.submatrix(&map), local);
+    }
+
     /// Dense symmetrize is idempotent and commutes with transpose.
     #[test]
     fn symmetrize_idempotent(n in 1usize..12, vals in prop::collection::vec(-100.0f64..100.0, 144)) {

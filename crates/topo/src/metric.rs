@@ -35,16 +35,35 @@ pub enum MetricViolation {
 
 impl DistanceMetric {
     /// Builds the metric from cost matrices, symmetrizing `O` off-diagonals.
+    ///
+    /// Processed in square tiles so both the `O_ij` read and the
+    /// transposed `O_ji` read stay cache-resident; the naive row-major
+    /// `from_fn` pairs every row element with a full-column stride and
+    /// was the single largest cost of tuning at P ≥ 1024. Each distance
+    /// is written to `(i, j)` and `(j, i)` at once — IEEE addition is
+    /// commutative, so the result is bit-identical to evaluating the
+    /// two symmetric entries independently.
     pub fn from_costs(cost: &CostMatrices) -> Self {
+        const TILE: usize = 64;
         let p = cost.p();
-        let d = DenseMatrix::from_fn(p, |i, j| {
-            if i == j {
-                0.0
-            } else {
-                (cost.o[(i, j)] + cost.o[(j, i)]) / 2.0
+        let o = cost.o.as_slice();
+        let mut data = vec![0.0f64; p * p];
+        for bi in (0..p).step_by(TILE) {
+            for bj in (bi..p).step_by(TILE) {
+                let ei = (bi + TILE).min(p);
+                let ej = (bj + TILE).min(p);
+                for i in bi..ei {
+                    for j in bj.max(i + 1)..ej {
+                        let v = (o[i * p + j] + o[j * p + i]) / 2.0;
+                        data[i * p + j] = v;
+                        data[j * p + i] = v;
+                    }
+                }
             }
-        });
-        DistanceMetric { d }
+        }
+        DistanceMetric {
+            d: DenseMatrix::from_vec(p, data),
+        }
     }
 
     /// Builds directly from a symmetric distance matrix (diagonal forced
@@ -68,6 +87,13 @@ impl DistanceMetric {
         self.d[(i, j)]
     }
 
+    /// All distances from rank `i`, as one contiguous row — the cache-
+    /// friendly access pattern for clustering scans over a fixed center.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.d.row(i)
+    }
+
     /// The diameter: maximum pairwise distance (0 for fewer than 2 points).
     pub fn diameter(&self) -> f64 {
         self.d.max_off_diagonal().unwrap_or(0.0)
@@ -77,8 +103,9 @@ impl DistanceMetric {
     pub fn diameter_of(&self, members: &[usize]) -> f64 {
         let mut max = 0.0f64;
         for (a, &i) in members.iter().enumerate() {
+            let row = self.row(i);
             for &j in &members[a + 1..] {
-                max = max.max(self.dist(i, j));
+                max = max.max(row[j]);
             }
         }
         max

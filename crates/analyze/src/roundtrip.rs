@@ -1,0 +1,477 @@
+//! Codegen round-trip verification: parse the emitted Rust and C barrier
+//! sources back into abstract rank programs and structurally diff them
+//! against the `compile_schedule` output, so codegen drift is a static
+//! failure instead of a runtime surprise.
+//!
+//! The parsers are deliberately strict: they accept exactly the shape the
+//! emitters produce (receives posted before sends, request indices dense,
+//! one wait per step) and report anything else as a parse failure. A
+//! "cleverer" parser would hide precisely the drift this pass exists to
+//! catch.
+
+use crate::diag::{Code, Diagnostic, Severity};
+use hbar_core::codegen::{c_source, rust_source, RankProgram, RankStep};
+
+/// Which emitted language a parsed source came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lang {
+    Rust,
+    C,
+}
+
+impl Lang {
+    fn drift_code(self) -> Code {
+        match self {
+            Lang::Rust => Code::RustDrift,
+            Lang::C => Code::CDrift,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Lang::Rust => "Rust",
+            Lang::C => "C",
+        }
+    }
+}
+
+/// Emits both sources for `programs` and verifies each parses back to the
+/// exact same abstract programs. Appends findings to `out`.
+pub(crate) fn check_roundtrip(programs: &[RankProgram], name: &str, out: &mut Vec<Diagnostic>) {
+    match rust_source(name, programs) {
+        Ok(src) => out.extend(source_drift(programs, &src, Lang::Rust)),
+        Err(e) => out.push(Diagnostic::new(
+            Code::EmitterFailure,
+            Severity::Error,
+            format!("Rust emitter failed: {e}"),
+        )),
+    }
+    match c_source(name, programs) {
+        Ok(src) => out.extend(source_drift(programs, &src, Lang::C)),
+        Err(e) => out.push(Diagnostic::new(
+            Code::EmitterFailure,
+            Severity::Error,
+            format!("C emitter failed: {e}"),
+        )),
+    }
+}
+
+/// Parses `source` as emitted `lang` text and structurally diffs it
+/// against `expected`. Returns all findings (empty = faithful).
+pub fn source_drift(expected: &[RankProgram], source: &str, lang: Lang) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let parsed = match lang {
+        Lang::Rust => parse_rust_source(source),
+        Lang::C => parse_c_source(source).map(|c| {
+            let widest = c
+                .programs
+                .iter()
+                .flat_map(|p| p.steps.iter())
+                .map(|s| s.recvs.len() + s.sends.len())
+                .max()
+                .unwrap_or(0)
+                .max(1);
+            if c.declared_requests != widest {
+                out.push(Diagnostic::new(
+                    Code::CDrift,
+                    Severity::Error,
+                    format!(
+                        "request array holds {} slot(s) but the widest step posts {widest}",
+                        c.declared_requests
+                    ),
+                ));
+            }
+            c.programs
+        }),
+    };
+    let parsed = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            out.push(Diagnostic::new(
+                Code::EmitterFailure,
+                Severity::Error,
+                format!("emitted {} source does not parse: {e}", lang.name()),
+            ));
+            return out;
+        }
+    };
+    diff_programs(expected, &parsed, lang, &mut out);
+    out
+}
+
+/// Structural diff: the emitted source must encode exactly the non-empty
+/// rank programs, in rank order, step for step.
+fn diff_programs(
+    expected: &[RankProgram],
+    parsed: &[RankProgram],
+    lang: Lang,
+    out: &mut Vec<Diagnostic>,
+) {
+    let want: Vec<&RankProgram> = expected.iter().filter(|p| !p.steps.is_empty()).collect();
+    if want.len() != parsed.len() {
+        out.push(Diagnostic::new(
+            lang.drift_code(),
+            Severity::Error,
+            format!(
+                "{} source encodes {} rank arm(s); programs require {}",
+                lang.name(),
+                parsed.len(),
+                want.len()
+            ),
+        ));
+        return;
+    }
+    for (exp, got) in want.iter().zip(parsed) {
+        if exp.rank != got.rank {
+            out.push(
+                Diagnostic::new(
+                    lang.drift_code(),
+                    Severity::Error,
+                    format!(
+                        "arm order drift: expected rank {}, found {}",
+                        exp.rank, got.rank
+                    ),
+                )
+                .with_rank(exp.rank),
+            );
+            return;
+        }
+        if exp.steps == got.steps {
+            continue;
+        }
+        let detail = if exp.steps.len() != got.steps.len() {
+            format!(
+                "{} step(s) emitted, {} compiled",
+                got.steps.len(),
+                exp.steps.len()
+            )
+        } else {
+            let si = exp
+                .steps
+                .iter()
+                .zip(&got.steps)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            format!(
+                "step {si} drifted: emitted recv{:?} send{:?}, compiled recv{:?} send{:?}",
+                got.steps[si].recvs, got.steps[si].sends, exp.steps[si].recvs, exp.steps[si].sends
+            )
+        };
+        out.push(
+            Diagnostic::new(
+                lang.drift_code(),
+                Severity::Error,
+                format!("rank {} program drift: {detail}", exp.rank),
+            )
+            .with_rank(exp.rank),
+        );
+    }
+}
+
+/// A parsed C source: the abstract programs plus the declared request
+/// array capacity (checked against the widest step separately).
+pub struct CParse {
+    pub programs: Vec<RankProgram>,
+    pub declared_requests: usize,
+}
+
+fn parse_num(text: &str, what: &str) -> Result<usize, String> {
+    text.trim()
+        .parse::<usize>()
+        .map_err(|_| format!("cannot read {what} from `{text}`"))
+}
+
+/// Parses the output of [`rust_source`] back into rank programs.
+///
+/// # Errors
+/// Fails on any line shape the emitter cannot have produced, including
+/// receives posted after sends or requests left without a `wait_all`.
+pub fn parse_rust_source(src: &str) -> Result<Vec<RankProgram>, String> {
+    let mut programs: Vec<RankProgram> = Vec::new();
+    let mut arm: Option<RankProgram> = None;
+    let mut step = RankStep::default();
+    for (ln, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let ctx = |msg: &str| format!("line {}: {msg}", ln + 1);
+        if let Some(prog) = arm.as_mut() {
+            if let Some(inner) = line
+                .strip_prefix("t.irecv(")
+                .and_then(|r| r.strip_suffix(");"))
+            {
+                if !step.sends.is_empty() {
+                    return Err(ctx("receive posted after a send in the same step"));
+                }
+                step.recvs.push(parse_num(inner, "source rank")?);
+            } else if let Some(inner) = line
+                .strip_prefix("t.issend(")
+                .and_then(|r| r.strip_suffix(");"))
+            {
+                step.sends.push(parse_num(inner, "destination rank")?);
+            } else if line == "t.wait_all();" {
+                if step.is_empty() {
+                    return Err(ctx("wait_all with no posted requests"));
+                }
+                prog.steps.push(std::mem::take(&mut step));
+            } else if line == "}" {
+                if !step.is_empty() {
+                    return Err(ctx("requests posted without a closing wait_all"));
+                }
+                if prog.steps.is_empty() {
+                    return Err(ctx("empty match arm"));
+                }
+                programs.push(arm.take().expect("inside arm"));
+            } else {
+                return Err(ctx("unrecognized statement inside a rank arm"));
+            }
+        } else if let Some(head) = line.strip_suffix(" => {") {
+            if head != "_" {
+                arm = Some(RankProgram {
+                    rank: parse_num(head, "rank")?,
+                    steps: Vec::new(),
+                });
+            }
+        }
+        // Everything outside arms (fn header, match header, braces,
+        // comments, the `_ => {}` arm) carries no program content.
+    }
+    if arm.is_some() {
+        return Err("source ends inside a rank arm".to_string());
+    }
+    Ok(programs)
+}
+
+/// Parses the output of [`c_source`] back into rank programs plus the
+/// declared `MPI_Request` array size.
+///
+/// # Errors
+/// Fails on any line shape the emitter cannot have produced, including
+/// out-of-order step comments, non-dense request indices, or a
+/// `MPI_Waitall` count that disagrees with the posted requests.
+pub fn parse_c_source(src: &str) -> Result<CParse, String> {
+    let mut programs: Vec<RankProgram> = Vec::new();
+    let mut declared_requests: Option<usize> = None;
+    let mut arm: Option<RankProgram> = None;
+    let mut step = RankStep::default();
+    for (ln, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let ctx = |msg: String| format!("line {}: {msg}", ln + 1);
+        if let Some(inner) = line
+            .strip_prefix("MPI_Request req[")
+            .and_then(|r| r.strip_suffix("];"))
+        {
+            if declared_requests.is_some() {
+                return Err(ctx("duplicate request array declaration".into()));
+            }
+            declared_requests = Some(parse_num(inner, "request array size")?);
+            continue;
+        }
+        if let Some(prog) = arm.as_mut() {
+            let posted = step.recvs.len() + step.sends.len();
+            if let Some(inner) = line
+                .strip_prefix("/* step ")
+                .and_then(|r| r.strip_suffix(" */"))
+            {
+                if parse_num(inner, "step index")? != prog.steps.len() {
+                    return Err(ctx(format!(
+                        "step comment `{line}` out of order (expected step {})",
+                        prog.steps.len()
+                    )));
+                }
+            } else if let Some(inner) = line
+                .strip_prefix("MPI_Irecv(0, 0, MPI_BYTE, ")
+                .and_then(|r| r.strip_suffix("]);"))
+            {
+                let (src_rank, req) = split_partner_req(inner)?;
+                if !step.sends.is_empty() {
+                    return Err(ctx("receive posted after a send in the same step".into()));
+                }
+                if req != posted {
+                    return Err(ctx(format!("request index {req}, expected {posted}")));
+                }
+                step.recvs.push(src_rank);
+            } else if let Some(inner) = line
+                .strip_prefix("MPI_Issend(0, 0, MPI_BYTE, ")
+                .and_then(|r| r.strip_suffix("]);"))
+            {
+                let (dst, req) = split_partner_req(inner)?;
+                if req != posted {
+                    return Err(ctx(format!("request index {req}, expected {posted}")));
+                }
+                step.sends.push(dst);
+            } else if let Some(inner) = line
+                .strip_prefix("MPI_Waitall(")
+                .and_then(|r| r.strip_suffix(", req, MPI_STATUSES_IGNORE);"))
+            {
+                let count = parse_num(inner, "waitall count")?;
+                if count != posted || posted == 0 {
+                    return Err(ctx(format!("MPI_Waitall({count}) after {posted} post(s)")));
+                }
+                prog.steps.push(std::mem::take(&mut step));
+            } else if line == "break;" {
+                if !step.is_empty() {
+                    return Err(ctx("requests posted without a closing MPI_Waitall".into()));
+                }
+                if prog.steps.is_empty() {
+                    return Err(ctx("empty case arm".into()));
+                }
+                programs.push(arm.take().expect("inside arm"));
+            } else {
+                return Err(ctx(format!(
+                    "unrecognized statement `{line}` inside a case"
+                )));
+            }
+        } else if let Some(head) = line.strip_prefix("case ").and_then(|r| r.strip_suffix(":")) {
+            arm = Some(RankProgram {
+                rank: parse_num(head, "case rank")?,
+                steps: Vec::new(),
+            });
+        }
+        // Prologue lines and the default arm carry no program content.
+    }
+    if arm.is_some() {
+        return Err("source ends inside a case arm".to_string());
+    }
+    Ok(CParse {
+        programs,
+        declared_requests: declared_requests.ok_or("no MPI_Request array declared")?,
+    })
+}
+
+/// Splits `"<partner>, 0, comm, &req[<idx>"` (the middle of an Irecv or
+/// Issend argument list) into the partner rank and request index.
+fn split_partner_req(inner: &str) -> Result<(usize, usize), String> {
+    let (partner, req) = inner
+        .split_once(", 0, comm, &req[")
+        .ok_or_else(|| format!("malformed argument list `{inner}`"))?;
+    Ok((
+        parse_num(partner, "partner rank")?,
+        parse_num(req, "request index")?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbar_core::algorithms::Algorithm;
+    use hbar_core::codegen::compile_schedule;
+
+    fn programs(alg: Algorithm, p: usize) -> Vec<RankProgram> {
+        let members: Vec<usize> = (0..p).collect();
+        compile_schedule(&alg.full_schedule(p, &members)).unwrap()
+    }
+
+    fn roundtrip(progs: &[RankProgram]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check_roundtrip(progs, "b", &mut out);
+        out
+    }
+
+    #[test]
+    fn emitted_sources_roundtrip_exactly() {
+        for (alg, p) in [
+            (Algorithm::Linear, 6),
+            (Algorithm::Tree, 11),
+            (Algorithm::Dissemination, 8),
+            (Algorithm::Butterfly, 16),
+        ] {
+            let progs = programs(alg, p);
+            assert!(roundtrip(&progs).is_empty(), "{alg} at {p}");
+        }
+    }
+
+    #[test]
+    fn rust_parser_recovers_programs() {
+        let progs = programs(Algorithm::Tree, 7);
+        let src = rust_source("t7", &progs).unwrap();
+        let parsed = parse_rust_source(&src).unwrap();
+        let nonempty: Vec<&RankProgram> = progs.iter().filter(|p| !p.steps.is_empty()).collect();
+        assert_eq!(parsed.len(), nonempty.len());
+        for (exp, got) in nonempty.iter().zip(&parsed) {
+            assert_eq!(exp.rank, got.rank);
+            assert_eq!(exp.steps, got.steps);
+        }
+    }
+
+    #[test]
+    fn c_parser_recovers_programs_and_request_bound() {
+        let progs = programs(Algorithm::Linear, 5);
+        let src = c_source("l5", &progs).unwrap();
+        let parsed = parse_c_source(&src).unwrap();
+        assert_eq!(parsed.declared_requests, 4, "master gathers 4 signals");
+        assert_eq!(parsed.programs.len(), 5);
+        assert_eq!(parsed.programs[0].steps[0].recvs, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tampered_partner_is_drift() {
+        let progs = programs(Algorithm::Dissemination, 4);
+        let src = rust_source("d4", &progs).unwrap();
+        let tampered = src.replacen("t.issend(1);", "t.issend(2);", 1);
+        let diags = source_drift(&progs, &tampered, Lang::Rust);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::RustDrift);
+        assert!(diags[0].message.contains("drift"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn deleted_waitall_is_a_parse_failure() {
+        let progs = programs(Algorithm::Tree, 4);
+        let src = c_source("t4", &progs).unwrap();
+        let idx = src.find("        MPI_Waitall").unwrap();
+        let end = src[idx..].find('\n').unwrap() + idx + 1;
+        let tampered = format!("{}{}", &src[..idx], &src[end..]);
+        let diags = source_drift(&progs, &tampered, Lang::C);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::EmitterFailure);
+    }
+
+    #[test]
+    fn undersized_request_array_is_drift() {
+        let progs = programs(Algorithm::Linear, 4);
+        let src = c_source("l4", &progs).unwrap();
+        let tampered = src.replace("MPI_Request req[3];", "MPI_Request req[2];");
+        let diags = source_drift(&progs, &tampered, Lang::C);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::CDrift && d.message.contains("request array")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_arm_is_drift() {
+        let progs = programs(Algorithm::Dissemination, 3);
+        let src = rust_source("d3", &progs).unwrap();
+        let start = src.find("        2 => {").unwrap();
+        let end = src[start..].find("        }\n").unwrap() + start + "        }\n".len();
+        let tampered = format!("{}{}", &src[..start], &src[end..]);
+        let diags = source_drift(&progs, &tampered, Lang::Rust);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("rank arm"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn dropped_receive_statement_is_drift() {
+        let progs = programs(Algorithm::Linear, 3);
+        let src = rust_source("l3", &progs).unwrap();
+        let tampered = src.replacen("            t.irecv(1);\n", "", 1);
+        let diags = source_drift(&progs, &tampered, Lang::Rust);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::RustDrift);
+        assert_eq!(diags[0].rank, Some(0));
+    }
+
+    #[test]
+    fn invalid_name_reports_emitter_failure() {
+        let progs = programs(Algorithm::Linear, 3);
+        let mut out = Vec::new();
+        check_roundtrip(&progs, "not a name", &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|d| d.code == Code::EmitterFailure));
+    }
+}

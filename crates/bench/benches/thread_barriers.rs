@@ -32,7 +32,7 @@ fn bench_thread_barriers(c: &mut Criterion) {
             BenchmarkId::new("schedule", alg.tag()),
             &sched,
             |b, sched| {
-                let mut ex = ThreadExecutor::new(compile_schedule(sched));
+                let mut ex = ThreadExecutor::new(compile_schedule(sched).unwrap());
                 b.iter(|| black_box(ex.time_barrier(ITERS_PER_SAMPLE)));
             },
         );
@@ -43,7 +43,7 @@ fn bench_thread_barriers(c: &mut Criterion) {
     let profile = TopologyProfile::from_ground_truth(&machine, &RankMapping::Block);
     let tuned = tune_hybrid(&profile, &TunerConfig::default());
     group.bench_function("schedule/hybrid", |b| {
-        let mut ex = ThreadExecutor::new(compile_schedule(&tuned.schedule));
+        let mut ex = ThreadExecutor::new(compile_schedule(&tuned.schedule).unwrap());
         b.iter(|| black_box(ex.time_barrier(ITERS_PER_SAMPLE)));
     });
 

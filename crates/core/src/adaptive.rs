@@ -327,9 +327,8 @@ mod tests {
         );
         ab.observe(ab.current().predicted_cost * 50.0);
         ab.observe(ab.current().predicted_cost * 50.0);
-        let updated = cost.clone();
-        let low = ab.evaluate_retune(&updated, 1.0);
-        let high = ab.evaluate_retune(&updated, 1e7);
+        let low = ab.evaluate_retune(&cost, 1.0);
+        let high = ab.evaluate_retune(&cost, 1e7);
         assert!(low.projected_net_saving < high.projected_net_saving);
     }
 }

@@ -5,13 +5,17 @@
 //! `MPI_Issend` request batches with one `MPI_Waitall` per step, switched
 //! on the calling rank.
 
-use super::program::RankProgram;
+use super::program::{validate_name, CodegenError, RankProgram};
 use std::fmt::Write;
 
 /// Emits a self-contained C function `name` implementing the compiled
 /// barrier over `MPI_COMM_WORLD` signal semantics (zero-byte synchronous
 /// sends, matching the paper's measurement programs).
-pub fn c_source(name: &str, programs: &[RankProgram]) -> String {
+///
+/// # Errors
+/// Fails if `name` is not a valid identifier.
+pub fn c_source(name: &str, programs: &[RankProgram]) -> Result<String, CodegenError> {
+    validate_name(name)?;
     let max_requests = programs
         .iter()
         .flat_map(|p| p.steps.iter())
@@ -63,7 +67,7 @@ pub fn c_source(name: &str, programs: &[RankProgram]) -> String {
     let _ = writeln!(out, "        break;");
     let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "}}");
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -74,12 +78,12 @@ mod tests {
 
     fn linear4() -> Vec<RankProgram> {
         let members: Vec<usize> = (0..4).collect();
-        compile_schedule(&Algorithm::Linear.full_schedule(4, &members))
+        compile_schedule(&Algorithm::Linear.full_schedule(4, &members)).unwrap()
     }
 
     #[test]
     fn emits_switch_per_rank() {
-        let src = c_source("hybrid_barrier", &linear4());
+        let src = c_source("hybrid_barrier", &linear4()).unwrap();
         assert!(src.contains("void hybrid_barrier(MPI_Comm comm)"));
         for r in 0..4 {
             assert!(src.contains(&format!("case {r}:")), "{src}");
@@ -88,7 +92,7 @@ mod tests {
 
     #[test]
     fn master_receives_then_sends() {
-        let src = c_source("b", &linear4());
+        let src = c_source("b", &linear4()).unwrap();
         let case0 = src
             .split("case 0:")
             .nth(1)
@@ -106,7 +110,7 @@ mod tests {
 
     #[test]
     fn request_array_sized_to_widest_step() {
-        let src = c_source("b", &linear4());
+        let src = c_source("b", &linear4()).unwrap();
         // Master posts 3 requests in one step: array of 3.
         assert!(src.contains("MPI_Request req[3];"), "{src}");
     }
@@ -117,7 +121,7 @@ mod tests {
             rank: 0,
             steps: vec![],
         }];
-        let src = c_source("noop", &progs);
+        let src = c_source("noop", &progs).unwrap();
         assert!(!src.contains("case 0:"));
         assert!(src.contains("default:"));
         assert!(src.contains("MPI_Request req[1];"));
@@ -126,12 +130,22 @@ mod tests {
     #[test]
     fn uses_synchronous_sends_only() {
         let members: Vec<usize> = (0..8).collect();
-        let progs = compile_schedule(&Algorithm::Dissemination.full_schedule(8, &members));
-        let src = c_source("d8", &progs);
+        let progs = compile_schedule(&Algorithm::Dissemination.full_schedule(8, &members)).unwrap();
+        let src = c_source("d8", &progs).unwrap();
         assert!(src.contains("MPI_Issend"));
         assert!(
             !src.contains("MPI_Isend("),
             "only synchronous sends are emitted"
+        );
+    }
+
+    #[test]
+    fn bad_function_names_are_rejected() {
+        assert_eq!(
+            c_source("int main(void)", &[]),
+            Err(CodegenError::InvalidName {
+                name: "int main(void)".into()
+            })
         );
     }
 }

@@ -19,5 +19,5 @@ mod program;
 mod rust_src;
 
 pub use c_src::c_source;
-pub use program::{compile_schedule, RankProgram, RankStep};
+pub use program::{compile_schedule, CodegenError, RankProgram, RankStep};
 pub use rust_src::rust_source;

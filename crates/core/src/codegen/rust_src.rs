@@ -5,7 +5,7 @@
 //! synchronous point-to-point signals (the trait mirrors what
 //! `hbar-threadrun` implements natively).
 
-use super::program::RankProgram;
+use super::program::{validate_name, CodegenError, RankProgram};
 use std::fmt::Write;
 
 /// Emits a Rust function `name` implementing the compiled barrier.
@@ -14,7 +14,11 @@ use std::fmt::Write;
 /// `fn issend(&self, dst: usize)`, `fn irecv(&self, src: usize)` and
 /// `fn wait_all(&self)` — nonblocking posts plus a completion barrier,
 /// matching the paper's execution model.
-pub fn rust_source(name: &str, programs: &[RankProgram]) -> String {
+///
+/// # Errors
+/// Fails if `name` is not a valid identifier.
+pub fn rust_source(name: &str, programs: &[RankProgram]) -> Result<String, CodegenError> {
+    validate_name(name)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -42,7 +46,7 @@ pub fn rust_source(name: &str, programs: &[RankProgram]) -> String {
     let _ = writeln!(out, "        _ => {{}}");
     let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "}}");
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -54,8 +58,8 @@ mod tests {
     #[test]
     fn emits_match_arms() {
         let members: Vec<usize> = (0..4).collect();
-        let progs = compile_schedule(&Algorithm::Tree.full_schedule(4, &members));
-        let src = rust_source("tree4", &progs);
+        let progs = compile_schedule(&Algorithm::Tree.full_schedule(4, &members)).unwrap();
+        let src = rust_source("tree4", &progs).unwrap();
         assert!(src.contains("pub fn tree4<T: Transport>(rank: usize, t: &T)"));
         assert!(src.contains("0 => {"));
         assert!(src.contains("t.issend(0);"));
@@ -66,8 +70,8 @@ mod tests {
     #[test]
     fn wait_all_count_equals_total_steps() {
         let members: Vec<usize> = (0..9).collect();
-        let progs = compile_schedule(&Algorithm::Dissemination.full_schedule(9, &members));
-        let src = rust_source("d9", &progs);
+        let progs = compile_schedule(&Algorithm::Dissemination.full_schedule(9, &members)).unwrap();
+        let src = rust_source("d9", &progs).unwrap();
         let total_steps: usize = progs.iter().map(|p| p.steps.len()).sum();
         assert_eq!(src.matches("t.wait_all();").count(), total_steps);
     }
@@ -75,11 +79,23 @@ mod tests {
     #[test]
     fn generated_code_balance() {
         let members: Vec<usize> = (0..6).collect();
-        let progs = compile_schedule(&Algorithm::Linear.full_schedule(6, &members));
-        let src = rust_source("l6", &progs);
+        let progs = compile_schedule(&Algorithm::Linear.full_schedule(6, &members)).unwrap();
+        let src = rust_source("l6", &progs).unwrap();
         assert_eq!(
             src.matches("t.issend(").count(),
             src.matches("t.irecv(").count()
         );
+    }
+
+    #[test]
+    fn bad_function_names_are_rejected() {
+        for name in ["", "9lives", "has space", "uni-code", "semi;colon"] {
+            assert_eq!(
+                rust_source(name, &[]),
+                Err(CodegenError::InvalidName { name: name.into() }),
+                "{name:?}"
+            );
+        }
+        assert!(rust_source("_ok_2", &[]).is_ok());
     }
 }

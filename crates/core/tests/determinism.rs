@@ -103,7 +103,7 @@ proptest! {
         };
         let seq = SearchConfig {
             parallel: false,
-            ..par.clone()
+            ..par
         };
         let a = search_optimal_barrier(&cost, &par, None);
         let b = search_optimal_barrier(&cost, &seq, None);

@@ -128,7 +128,27 @@ impl ClosureWorkspace {
     where
         I: IntoIterator<Item = &'a BoolMatrix>,
     {
-        self.run(n, stages);
+        self.run(n, stages, None);
+        &self.k
+    }
+
+    /// Closure delta support: runs the Eq. 3 closure as if the single
+    /// signal `edge = (src, dst)` of stage `skip_stage` were absent,
+    /// without materializing a modified stage matrix. Comparing the result
+    /// against [`Self::closure`] of the unmodified sequence decides whether
+    /// that signal carries any knowledge the rest of the schedule does not
+    /// already deliver (a *dead* signal).
+    pub fn closure_excluding<'a, I>(
+        &mut self,
+        n: usize,
+        stages: I,
+        skip_stage: usize,
+        edge: (usize, usize),
+    ) -> &BoolMatrix
+    where
+        I: IntoIterator<Item = &'a BoolMatrix>,
+    {
+        self.run(n, stages, Some((skip_stage, edge.0, edge.1)));
         &self.k
     }
 
@@ -138,11 +158,13 @@ impl ClosureWorkspace {
     where
         I: IntoIterator<Item = &'a BoolMatrix>,
     {
-        self.run(n, stages) == n
+        self.run(n, stages, None) == n
     }
 
     /// Executes the closure, returning the number of saturated rows.
-    fn run<'a, I>(&mut self, n: usize, stages: I) -> usize
+    /// `skip`, if set, is `(stage_idx, src, dst)`: that one signal is
+    /// treated as absent from its stage.
+    fn run<'a, I>(&mut self, n: usize, stages: I, skip: Option<(usize, usize, usize)>) -> usize
     where
         I: IntoIterator<Item = &'a BoolMatrix>,
     {
@@ -157,21 +179,26 @@ impl ClosureWorkspace {
                 saturated_rows += 1;
             }
         }
-        for s in stages {
+        for (idx, s) in stages.into_iter().enumerate() {
             assert_eq!(s.n(), n, "stage dimension {} != {}", s.n(), n);
             if saturated_rows == n {
                 break; // all-ones is a fixed point of Eq. 3
             }
+            let stage_skip = match skip {
+                Some((si, src, dst)) if si == idx => Some((src, dst)),
+                _ => None,
+            };
             self.prev.copy_from(&self.k);
-            self.compile_stage(s);
-            saturated_rows += self.apply_stage(s);
+            self.compile_stage(s, stage_skip);
+            saturated_rows += self.apply_stage(s, stage_skip);
         }
         saturated_rows
     }
 
     /// Snapshots stage `s` as CSR so the scatter path can walk a sender's
-    /// targets without re-scanning its words per known arrival.
-    fn compile_stage(&mut self, s: &BoolMatrix) {
+    /// targets without re-scanning its words per known arrival. `skip`,
+    /// if set, is a `(src, dst)` signal to leave out of the image.
+    fn compile_stage(&mut self, s: &BoolMatrix, skip: Option<(usize, usize)>) {
         let n = s.n();
         self.offsets.clear();
         self.targets.clear();
@@ -179,6 +206,9 @@ impl ClosureWorkspace {
         self.offsets.push(0);
         for r in 0..n {
             for t in s.row_iter(r) {
+                if skip == Some((r, t)) {
+                    continue;
+                }
                 self.targets.push(t as u32);
             }
             self.offsets.push(self.targets.len() as u32);
@@ -187,12 +217,15 @@ impl ClosureWorkspace {
 
     /// One Eq. 3 update `K |= K·S`, skipping saturated rows. Scatters
     /// single bits for sparse senders and falls back to whole-row ORs for
-    /// dense ones. Returns the number of rows newly saturated.
-    fn apply_stage(&mut self, s: &BoolMatrix) -> usize {
+    /// dense ones. Returns the number of rows newly saturated. A sender
+    /// with a masked-out signal (`skip`) always takes the scatter path,
+    /// whose CSR image already excludes the signal.
+    fn apply_stage(&mut self, s: &BoolMatrix, skip: Option<(usize, usize)>) -> usize {
         let n = s.n();
         let wpr = self.k.words_per_row();
         // A row OR costs `wpr` word ops; a scatter costs ~2 per target.
         let scatter_max = (wpr / 2) as u32;
+        let skip_src = skip.map(|(src, _)| src);
         let mut newly = 0;
         for i in 0..n {
             if self.saturated[i] {
@@ -211,7 +244,7 @@ impl ClosureWorkspace {
                     if t1 - t0 == 0 {
                         continue;
                     }
-                    if (t1 - t0) as u32 <= scatter_max {
+                    if (t1 - t0) as u32 <= scatter_max || skip_src == Some(sender) {
                         for &t in &self.targets[t0..t1] {
                             dst[t as usize / 64] |= 1u64 << (t % 64);
                         }
@@ -423,6 +456,51 @@ mod tests {
         let mut ws = ClosureWorkspace::new();
         assert!(ws.is_barrier(n, &stages));
         assert!(ws.closure(n, &stages).is_all_true());
+    }
+
+    #[test]
+    fn closure_excluding_matches_materialized_removal() {
+        let mut ws = ClosureWorkspace::new();
+        for n in [3usize, 6, 9, 70] {
+            let stages = dissemination_stages(n);
+            for (si, s) in stages.iter().enumerate() {
+                for (src, dst) in s.edges().take(6) {
+                    // Reference: clone the stage matrix and clear the bit.
+                    let mut modified: Vec<BoolMatrix> = stages.clone();
+                    modified[si].set(src, dst, false);
+                    let expected = knowledge_closure(n, &modified);
+                    let got = ws.closure_excluding(n, &stages, si, (src, dst));
+                    assert_eq!(got, &expected, "n={n} stage={si} edge=({src},{dst})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closure_excluding_dense_sender_takes_scatter_path() {
+        // Linear departure: rank 0 signals every other rank (dense row, the
+        // word-OR fallback) — masking one of its signals must force the
+        // scatter path and leave exactly that target short of knowledge.
+        let n = 130;
+        let stages = linear_stages(n);
+        let mut ws = ClosureWorkspace::new();
+        assert!(ws.closure(n, &stages).is_all_true());
+        let masked = ws.closure_excluding(n, &stages, 1, (0, 77));
+        assert!(!masked.is_all_true());
+        assert!(!masked.get(1, 77), "77 must not learn of rank 1's arrival");
+        assert!(masked.get(1, 76));
+    }
+
+    #[test]
+    fn closure_excluding_nonexistent_edge_is_identity_operation() {
+        let n = 8;
+        let stages = dissemination_stages(n);
+        let mut ws = ClosureWorkspace::new();
+        let expected = knowledge_closure(n, &stages);
+        // (0, 3) is not a signal of stage 0 (stage 0 is i -> i+1).
+        assert_eq!(ws.closure_excluding(n, &stages, 0, (0, 3)), &expected);
+        // Out-of-range stage index: nothing skipped.
+        assert_eq!(ws.closure_excluding(n, &stages, 99, (0, 1)), &expected);
     }
 
     #[test]

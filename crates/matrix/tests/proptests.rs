@@ -83,7 +83,7 @@ proptest! {
         let edges: Vec<(usize, usize)> = edges.into_iter().filter(|(i, j)| *i < n && *j < n).collect();
         let m = BoolMatrix::from_edges(n, &edges);
         let t = m.transpose();
-        prop_assert_eq!(t.transpose(), m.clone());
+        prop_assert_eq!(&t.transpose(), &m);
         for &(i, j) in &edges {
             prop_assert_eq!(m.get(i, j), t.get(j, i));
         }

@@ -37,8 +37,14 @@ pub fn sim_program_repeated(program: &RankProgram, reps: usize) -> Program {
 }
 
 /// Simulator programs for every rank of a schedule.
+///
+/// # Panics
+/// Panics if the schedule fails codegen validation (see
+/// [`compile_schedule`]); impossible for schedules built through the
+/// `BarrierSchedule` API.
 pub fn schedule_programs(schedule: &BarrierSchedule, reps: usize) -> Vec<Program> {
     compile_schedule(schedule)
+        .expect("schedule passes codegen validation")
         .iter()
         .map(|rp| sim_program_repeated(rp, reps))
         .collect()

@@ -1,7 +1,7 @@
 //! Classical shared-memory barriers, as comparison points for generated
 //! schedules executed on threads.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{wait_until, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier as StdBarrier;
 
 /// A reusable thread barrier.
@@ -43,15 +43,7 @@ impl ThreadBarrier for CentralCounterBarrier {
             self.count.store(0, Ordering::Release);
             self.generation.fetch_add(1, Ordering::Release);
         } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == gen {
-                if spins < 128 {
-                    std::hint::spin_loop();
-                    spins += 1;
-                } else {
-                    std::thread::yield_now();
-                }
-            }
+            wait_until(|| self.generation.load(Ordering::Acquire) != gen);
         }
     }
 

@@ -150,7 +150,7 @@ mod tests {
     fn executor_for(alg: Algorithm, p: usize) -> ThreadExecutor {
         let members: Vec<usize> = (0..p).collect();
         let sched = alg.full_schedule(p, &members);
-        ThreadExecutor::new(compile_schedule(&sched))
+        ThreadExecutor::new(compile_schedule(&sched).unwrap())
     }
 
     #[test]
@@ -201,7 +201,7 @@ mod tests {
         for m in arrival {
             sched.push(hbar_core::schedule::Stage::arrival(m));
         }
-        let mut ex = ThreadExecutor::new(compile_schedule(&sched));
+        let mut ex = ThreadExecutor::new(compile_schedule(&sched).unwrap());
         // Generous delay: rank 1's "early escape" must beat it even when
         // the host is oversubscribed and thread release is skewed.
         let delay = Duration::from_millis(150);
@@ -227,7 +227,7 @@ mod tests {
     #[should_panic(expected = "rank-ordered")]
     fn unordered_programs_rejected() {
         let members: Vec<usize> = (0..3).collect();
-        let mut progs = compile_schedule(&Algorithm::Linear.full_schedule(3, &members));
+        let mut progs = compile_schedule(&Algorithm::Linear.full_schedule(3, &members)).unwrap();
         progs.swap(0, 1);
         ThreadExecutor::new(progs);
     }

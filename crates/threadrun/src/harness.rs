@@ -24,7 +24,9 @@ pub fn staggered_delay_check(
     schedule: &BarrierSchedule,
     delay: Duration,
 ) -> (bool, Vec<ThreadDelayRun>) {
-    let mut executor = ThreadExecutor::new(compile_schedule(schedule));
+    let mut executor = ThreadExecutor::new(
+        compile_schedule(schedule).expect("schedule passes codegen validation"),
+    );
     let p = executor.p();
     let mut runs = Vec::with_capacity(p);
     let mut all_ok = true;
@@ -45,7 +47,8 @@ pub fn staggered_delay_check(
 
 /// Mean per-barrier execution time of a schedule on real threads.
 pub fn time_schedule(schedule: &BarrierSchedule, iterations: usize) -> Duration {
-    ThreadExecutor::new(compile_schedule(schedule)).time_barrier(iterations)
+    ThreadExecutor::new(compile_schedule(schedule).expect("schedule passes codegen validation"))
+        .time_barrier(iterations)
 }
 
 #[cfg(test)]

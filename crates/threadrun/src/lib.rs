@@ -24,5 +24,6 @@ pub mod baselines;
 pub mod executor;
 pub mod harness;
 pub mod signal;
+pub mod sync;
 
 pub use executor::ThreadExecutor;

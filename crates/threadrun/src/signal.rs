@@ -1,11 +1,6 @@
 //! Pairwise atomic signal cells.
 
-use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// How many spin iterations to burn before yielding the CPU while waiting.
-/// Oversubscribed runs (more ranks than cores) rely on the yield.
-const SPIN_BEFORE_YIELD: u32 = 128;
+use crate::sync::{wait_until, AtomicU64, CachePadded, Ordering};
 
 /// A `p × p` board of monotonic signal and acknowledgement counters.
 ///
@@ -76,20 +71,6 @@ impl SignalBoard {
     /// Current acknowledgement count (for tests).
     pub fn ack_count(&self, src: usize, dst: usize) -> u64 {
         self.ack[self.idx(src, dst)].load(Ordering::Acquire)
-    }
-}
-
-/// Spin-then-yield wait loop.
-#[inline]
-fn wait_until(cond: impl Fn() -> bool) {
-    let mut spins = 0u32;
-    while !cond() {
-        if spins < SPIN_BEFORE_YIELD {
-            std::hint::spin_loop();
-            spins += 1;
-        } else {
-            std::thread::yield_now();
-        }
     }
 }
 

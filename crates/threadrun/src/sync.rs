@@ -1,0 +1,77 @@
+//! Synchronization facade: `std` atomics in normal builds, `loom`
+//! model-checked atomics under `--cfg loom`.
+//!
+//! Every primitive in this crate that participates in a loom model
+//! ([`signal::SignalBoard`](crate::signal::SignalBoard),
+//! [`baselines::CentralCounterBarrier`](crate::baselines::CentralCounterBarrier))
+//! imports its atomics and wait loop from here, so the exact code that
+//! runs in production is the code the model checker explores — only the
+//! atomic type and the yield primitive are swapped.
+
+#[cfg(not(loom))]
+pub use crossbeam::utils::CachePadded;
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Under loom, cache-line padding is irrelevant (the checker serializes
+/// every access) and `crossbeam`'s wrapper would hide the model-checked
+/// atomics, so a transparent stand-in is used instead.
+#[cfg(loom)]
+mod cache_padded {
+    /// Transparent stand-in for `crossbeam::utils::CachePadded`.
+    #[derive(Debug, Default)]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps a value.
+        pub fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+}
+
+#[cfg(loom)]
+pub use cache_padded::CachePadded;
+
+/// How many spin iterations to burn before yielding the CPU while waiting.
+/// Oversubscribed runs (more ranks than cores) rely on the yield.
+#[cfg(not(loom))]
+const SPIN_BEFORE_YIELD: u32 = 128;
+
+/// Spin-then-yield wait loop.
+#[cfg(not(loom))]
+#[inline]
+pub fn wait_until(cond: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        if spins < SPIN_BEFORE_YIELD {
+            std::hint::spin_loop();
+            spins += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Wait loop under the model checker: every failed check parks the
+/// thread until another thread writes, so spin loops explore exactly one
+/// re-check per visible write instead of unbounded spinning.
+#[cfg(loom)]
+pub fn wait_until(cond: impl Fn() -> bool) {
+    while !cond() {
+        loom::thread::yield_now();
+    }
+}

@@ -1,0 +1,149 @@
+//! Model-checked executions of the threadrun synchronization primitives.
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p hbar-threadrun --release --test loom
+//! ```
+//!
+//! Under `--cfg loom` the crate's [`hbar_threadrun::sync`] facade swaps
+//! its atomics for model-checked ones, and `loom::model` explores every
+//! interleaving of the closure up to the preemption bound — each model
+//! below is a *proof over schedules*, not a stress test. Models are kept
+//! small (2–3 threads, 1–2 generations): the properties they pin —
+//! ack-after-consume, no lost generation wake-up, counter-reset safety —
+//! are all two-party protocol invariants, so small instances already
+//! exercise every protocol state.
+
+#![cfg(loom)]
+
+use hbar_threadrun::baselines::{CentralCounterBarrier, ThreadBarrier};
+use hbar_threadrun::signal::SignalBoard;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+/// Sender and receiver complete two full signal/consume/ack generations
+/// in every interleaving, and the counters agree afterwards.
+#[test]
+fn signal_board_two_generation_rendezvous() {
+    loom::model(|| {
+        let board = Arc::new(SignalBoard::new(2));
+        let receiver = {
+            let board = Arc::clone(&board);
+            thread::spawn(move || {
+                for k in 1..=2 {
+                    board.consume(0, 1, k);
+                }
+            })
+        };
+        for k in 1..=2u64 {
+            board.signal(0, 1);
+            board.await_ack(0, 1, k);
+        }
+        receiver.join().unwrap();
+        assert_eq!(board.signal_count(0, 1), 2);
+        assert_eq!(board.ack_count(0, 1), 2);
+    });
+}
+
+/// The synchronous-send property: `await_ack` returning implies the
+/// receiver consumed the signal, in every interleaving. This is the
+/// model-checked version of the sleep-based unit test in `signal.rs`.
+#[test]
+fn signal_board_ack_implies_consumption() {
+    loom::model(|| {
+        let board = Arc::new(SignalBoard::new(2));
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let receiver = {
+            let (board, consumed) = (Arc::clone(&board), Arc::clone(&consumed));
+            thread::spawn(move || {
+                consumed.store(1, Ordering::SeqCst);
+                board.consume(0, 1, 1);
+            })
+        };
+        board.signal(0, 1);
+        board.await_ack(0, 1, 1);
+        assert_eq!(
+            consumed.load(Ordering::SeqCst),
+            1,
+            "ack must follow consumption"
+        );
+        receiver.join().unwrap();
+    });
+}
+
+/// Two signals posted before any consumption are both delivered: the
+/// receiver can consume them out of lock-step with the sender's posts.
+#[test]
+fn signal_board_buffers_eager_sender() {
+    loom::model(|| {
+        let board = Arc::new(SignalBoard::new(2));
+        let receiver = {
+            let board = Arc::clone(&board);
+            thread::spawn(move || {
+                board.consume(0, 1, 1);
+                board.consume(0, 1, 2);
+            })
+        };
+        board.signal(0, 1);
+        board.signal(0, 1);
+        board.await_ack(0, 1, 2);
+        receiver.join().unwrap();
+        assert_eq!(board.ack_count(0, 1), 2);
+    });
+}
+
+/// Two threads, two generations: no interleaving loses a wake-up across
+/// the counter reset, and the arrival counter proves the synchronization
+/// (nobody leaves phase `k` before both arrivals of phase `k`).
+#[test]
+fn central_counter_two_threads_two_generations() {
+    loom::model(|| {
+        let barrier = Arc::new(CentralCounterBarrier::new(2));
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let peer = {
+            let (barrier, arrived) = (Arc::clone(&barrier), Arc::clone(&arrived));
+            thread::spawn(move || {
+                for phase in 1..=2usize {
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    assert!(arrived.load(Ordering::SeqCst) >= phase * 2);
+                }
+            })
+        };
+        for phase in 1..=2usize {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            barrier.wait();
+            assert!(arrived.load(Ordering::SeqCst) >= phase * 2);
+        }
+        peer.join().unwrap();
+        assert_eq!(arrived.load(Ordering::SeqCst), 4);
+    });
+}
+
+/// Three threads, one generation: the last arriver's reset does not race
+/// the two spinners out of their wake-up.
+#[test]
+fn central_counter_three_threads_synchronize() {
+    loom::model(|| {
+        let barrier = Arc::new(CentralCounterBarrier::new(3));
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let peers: Vec<_> = (0..2)
+            .map(|_| {
+                let (barrier, arrived) = (Arc::clone(&barrier), Arc::clone(&arrived));
+                thread::spawn(move || {
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    assert_eq!(arrived.load(Ordering::SeqCst), 3);
+                })
+            })
+            .collect();
+        arrived.fetch_add(1, Ordering::SeqCst);
+        barrier.wait();
+        assert_eq!(arrived.load(Ordering::SeqCst), 3);
+        for peer in peers {
+            peer.join().unwrap();
+        }
+    });
+}

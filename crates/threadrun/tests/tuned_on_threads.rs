@@ -27,7 +27,7 @@ fn tuned_hybrid_executes_and_synchronizes_on_threads() {
 #[test]
 fn tuned_hybrid_timing_is_sane() {
     let tuned = tuned_for(4);
-    let mut ex = ThreadExecutor::new(compile_schedule(&tuned.schedule));
+    let mut ex = ThreadExecutor::new(compile_schedule(&tuned.schedule).unwrap());
     let t = ex.time_barrier(100);
     assert!(t > Duration::ZERO);
     assert!(t < Duration::from_millis(20), "per-barrier {t:?}");

@@ -162,14 +162,14 @@ mod tests {
     use crate::mapping::RankMapping;
     use crate::profile::TopologyProfile;
 
-    fn metric_for(machine: MachineSpec) -> DistanceMetric {
-        let prof = TopologyProfile::from_ground_truth(&machine, &RankMapping::Block);
+    fn metric_for(machine: &MachineSpec) -> DistanceMetric {
+        let prof = TopologyProfile::from_ground_truth(machine, &RankMapping::Block);
         DistanceMetric::from_costs(&prof.cost)
     }
 
     #[test]
     fn ground_truth_metric_is_valid() {
-        let m = metric_for(MachineSpec::dual_quad_cluster(3));
+        let m = metric_for(&MachineSpec::dual_quad_cluster(3));
         assert!(m.validate(1e-9).is_empty());
     }
 
@@ -177,7 +177,7 @@ mod tests {
     fn diameter_is_internode_cost() {
         let machine = MachineSpec::dual_quad_cluster(2);
         let gt = machine.ground_truth.clone();
-        let m = metric_for(machine);
+        let m = metric_for(&machine);
         assert_eq!(
             m.diameter(),
             gt.effective_o(crate::machine::LinkClass::InterNode)
@@ -188,7 +188,7 @@ mod tests {
     fn diameter_of_subset() {
         let machine = MachineSpec::dual_quad_cluster(2);
         let gt = machine.ground_truth.clone();
-        let m = metric_for(machine);
+        let m = metric_for(&machine);
         // Ranks 0..8 are one node under block mapping: diameter = cross-socket.
         let node0: Vec<usize> = (0..8).collect();
         assert_eq!(

@@ -54,7 +54,7 @@ fn main() {
 
     // 4. Measure both on the simulated cluster (with realistic noise).
     let cfg = SimConfig {
-        machine: machine.clone(),
+        machine,
         mapping,
         noise: NoiseModel::realistic(1),
     };
@@ -69,8 +69,8 @@ fn main() {
     );
 
     // 5. Emit the hard-coded C barrier the paper's generator would write.
-    let programs = compile_schedule(&tuned.schedule);
-    let c = c_source("hybrid_barrier", &programs);
+    let programs = compile_schedule(&tuned.schedule).expect("schedule compiles");
+    let c = c_source("hybrid_barrier", &programs).expect("valid identifier");
     println!(
         "\ngenerated C barrier: {} lines (showing first 12)\n",
         c.lines().count()

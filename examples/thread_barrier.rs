@@ -50,10 +50,10 @@ fn main() {
     println!("\nmean per-barrier time over {iters} iterations:");
     for alg in Algorithm::PAPER_SET {
         let sched = alg.full_schedule(p, &members);
-        let mut ex = ThreadExecutor::new(compile_schedule(&sched));
+        let mut ex = ThreadExecutor::new(compile_schedule(&sched).expect("schedule compiles"));
         println!("  {:>18}: {:?}", alg.to_string(), ex.time_barrier(iters));
     }
-    let mut ex = ThreadExecutor::new(compile_schedule(&tuned.schedule));
+    let mut ex = ThreadExecutor::new(compile_schedule(&tuned.schedule).expect("schedule compiles"));
     println!("  {:>18}: {:?}", "tuned hybrid", ex.time_barrier(iters));
 
     let central = CentralCounterBarrier::new(p);

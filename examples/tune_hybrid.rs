@@ -65,8 +65,8 @@ fn main() {
     );
 
     // The generated Rust source (the paper emits C; both are available).
-    let programs = compile_schedule(&tuned.schedule);
-    let src = rust_source("hybrid_barrier_22", &programs);
+    let programs = compile_schedule(&tuned.schedule).expect("schedule compiles");
+    let src = rust_source("hybrid_barrier_22", &programs).expect("valid identifier");
     println!(
         "\ngenerated Rust barrier: {} lines (rank 0's arm shown)\n",
         src.lines().count()

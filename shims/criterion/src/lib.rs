@@ -14,7 +14,11 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
 }
 
 /// Top-level harness handle.
@@ -24,7 +28,11 @@ pub struct Criterion {}
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 20 }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
     }
 
     /// Runs a stand-alone benchmark.
@@ -56,7 +64,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a benchmark over a borrowed input.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -77,12 +90,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Combines a function name and a parameter rendering.
     pub fn new(function: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{function}/{parameter}") }
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
     }
 
     /// An identifier from a parameter only.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 

@@ -48,7 +48,9 @@ pub mod utils {
 
     impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            f.debug_struct("CachePadded").field("value", &self.value).finish()
+            f.debug_struct("CachePadded")
+                .field("value", &self.value)
+                .finish()
         }
     }
 

@@ -1,0 +1,703 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The build environment has no crates registry, so this shim vendors the
+//! slice of loom's API the workspace uses (`model`, `thread`,
+//! `sync::atomic`, `hint`) on top of a small model checker of its own:
+//!
+//! * Executions are serialized: real OS threads run one at a time, passing
+//!   a token at every *schedule point* (atomic op, yield, spawn, join).
+//!   Because exactly one thread runs between points, every execution is a
+//!   sequentially consistent interleaving — this checker explores thread
+//!   interleavings exhaustively but, unlike real loom, does **not** model
+//!   C++11 weak-memory reorderings. Orderings are accepted and upgraded
+//!   to `SeqCst`.
+//! * The scheduler records the choice made at every point and backtracks
+//!   depth-first, bounded by a *preemption budget* (CHESS-style): running
+//!   the current thread on, or switching when it is blocked, is free;
+//!   switching away from a runnable thread costs one preemption. Most
+//!   concurrency bugs are reachable within two preemptions, which keeps
+//!   the search tractable while staying systematic. Override with
+//!   `LOOM_MAX_PREEMPTIONS`.
+//! * `thread::yield_now` / `hint::spin_loop` park the caller until some
+//!   other thread performs a write, so spin loops explore one re-check
+//!   per write instead of unboundedly many. If every live thread is
+//!   parked and no writer can make progress, the model reports deadlock.
+//! * A panic on any model thread (assertion failure, detected deadlock)
+//!   aborts the execution and is re-raised from [`model`] with the
+//!   exploration count.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, Once};
+
+/// Default preemption budget per execution (CHESS default).
+const DEFAULT_PREEMPTION_BOUND: usize = 2;
+/// Hard cap on explored executions, as a runaway backstop.
+const DEFAULT_EXECUTION_BOUND: usize = 500_000;
+/// Consecutive forced continuations of a parked thread (no write in
+/// between) before the scheduler declares the execution deadlocked.
+const FORCED_LIMIT: usize = 256;
+
+/// Panic payload used to tear down threads of an aborted execution.
+struct AbortToken;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting for `write_epoch` to advance past the stored epoch.
+    Parked(u64),
+    Finished,
+}
+
+/// One scheduling decision: which thread got the token, and which other
+/// enabled threads remain to be tried on later executions.
+struct Choice {
+    chosen: usize,
+    /// `(thread, costs_a_preemption)` alternatives not yet explored.
+    alts: Vec<(usize, bool)>,
+    /// Preemptions spent on the path before this point.
+    preemptions_before: usize,
+}
+
+struct State {
+    threads: Vec<Status>,
+    current: usize,
+    live: usize,
+    write_epoch: u64,
+    /// Replay prefix plus the choices appended by this execution.
+    path: Vec<Choice>,
+    /// Choices consumed so far (index into `path`).
+    pos: usize,
+    preemptions: usize,
+    /// Consecutive forced continuations since the last write.
+    forced: usize,
+    abort: bool,
+    failure: Option<String>,
+}
+
+struct Sched {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(Arc<Sched>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Sched {
+    fn new(replay: Vec<Choice>) -> Self {
+        Sched {
+            state: Mutex::new(State {
+                threads: vec![Status::Runnable],
+                current: 0,
+                live: 1,
+                write_epoch: 0,
+                path: replay,
+                pos: 0,
+                preemptions: 0,
+                forced: 0,
+                abort: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Picks the next token holder. Called with the lock held, by the
+    /// thread that just reached a schedule point (or just finished).
+    fn pick_next(&self, st: &mut State, me: usize) {
+        for t in st.threads.iter_mut() {
+            if let Status::Parked(epoch) = *t {
+                if epoch < st.write_epoch {
+                    *t = Status::Runnable;
+                }
+            }
+        }
+        let enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.live == 0 {
+                return;
+            }
+            // Everyone live is parked. Let the most recent parker re-check
+            // (a bare yield with nothing to yield to must not deadlock),
+            // but only finitely often without an intervening write.
+            if matches!(st.threads[me], Status::Parked(_)) && st.forced < FORCED_LIMIT {
+                st.forced += 1;
+                st.threads[me] = Status::Runnable;
+                if st.pos >= st.path.len() {
+                    st.path.push(Choice {
+                        chosen: me,
+                        alts: Vec::new(),
+                        preemptions_before: st.preemptions,
+                    });
+                }
+                st.pos += 1;
+                st.current = me;
+                return;
+            }
+            st.failure.get_or_insert_with(|| {
+                format!(
+                    "deadlock: {} live thread(s) all blocked with no writer to wake them",
+                    st.live
+                )
+            });
+            st.abort = true;
+            return;
+        }
+        let me_enabled = enabled.contains(&me);
+        let chosen = if st.pos < st.path.len() {
+            let c = st.path[st.pos].chosen;
+            if !enabled.contains(&c) {
+                st.failure
+                    .get_or_insert_with(|| "replay diverged: the model is nondeterministic (avoid time, I/O and ambient randomness inside model())".to_string());
+                st.abort = true;
+                return;
+            }
+            c
+        } else {
+            let default = if me_enabled { me } else { enabled[0] };
+            let alts = enabled
+                .iter()
+                .copied()
+                .filter(|&t| t != default)
+                .map(|t| (t, me_enabled && t != me))
+                .collect();
+            st.path.push(Choice {
+                chosen: default,
+                alts,
+                preemptions_before: st.preemptions,
+            });
+            default
+        };
+        if me_enabled && chosen != me {
+            st.preemptions += 1;
+        }
+        st.pos += 1;
+        st.current = chosen;
+    }
+
+    /// A schedule point: record `me`'s new status, pick the next thread,
+    /// and block until the token comes back (or the execution aborts).
+    fn schedule(&self, me: usize, status: Status) {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        st.threads[me] = status;
+        if !st.abort {
+            self.pick_next(&mut st, me);
+        }
+        self.cv.notify_all();
+        while !st.abort && st.current != me {
+            st = self.cv.wait(st).expect("scheduler poisoned");
+        }
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        st.threads[me] = Status::Runnable;
+    }
+
+    /// Blocks a freshly spawned thread until it first receives the token.
+    fn wait_for_token(&self, me: usize) {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        while !st.abort && st.current != me {
+            st = self.cv.wait(st).expect("scheduler poisoned");
+        }
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+    }
+
+    /// Marks a write as visible: parked spinners become eligible again at
+    /// the next schedule point.
+    fn bump_epoch(&self) {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        st.write_epoch += 1;
+        st.forced = 0;
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.state.lock().expect("scheduler poisoned").write_epoch
+    }
+
+    fn finish(&self, me: usize, failure: Option<String>) {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        st.threads[me] = Status::Finished;
+        st.live -= 1;
+        st.write_epoch += 1; // joiners parked on this thread wake up
+        st.forced = 0;
+        if let Some(msg) = failure {
+            st.failure.get_or_insert(msg);
+            st.abort = true;
+        }
+        if st.live > 0 && !st.abort {
+            self.pick_next(&mut st, me);
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait_quiescent(&self) {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        while st.live > 0 {
+            st = self.cv.wait(st).expect("scheduler poisoned");
+        }
+    }
+}
+
+/// Suppress the default panic hook for [`AbortToken`] teardown panics so
+/// aborted executions do not spam stderr; real panics still print.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_message(payload: &(dyn Any + Send)) -> Option<String> {
+    if payload.downcast_ref::<AbortToken>().is_some() {
+        return None;
+    }
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        return Some((*s).to_string());
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return Some(s.clone());
+    }
+    Some("thread panicked with a non-string payload".to_string())
+}
+
+fn run_thread<T>(
+    sched: Arc<Sched>,
+    me: usize,
+    f: impl FnOnce() -> T,
+) -> Result<T, Box<dyn Any + Send>> {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), me)));
+    sched.wait_for_token(me);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let failure = result.as_ref().err().and_then(|p| payload_message(&**p));
+    sched.finish(me, failure);
+    CTX.with(|c| *c.borrow_mut() = None);
+    result
+}
+
+fn env_bound(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Pops path suffixes until a choice with an in-budget untried
+/// alternative is found, promotes it, and returns true; false when the
+/// search space is exhausted.
+fn backtrack(path: &mut Vec<Choice>, bound: usize) -> bool {
+    while let Some(mut c) = path.pop() {
+        while let Some((tid, preemptive)) = c.alts.pop() {
+            if c.preemptions_before + usize::from(preemptive) <= bound {
+                c.chosen = tid;
+                path.push(c);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Explores interleavings of `f` exhaustively up to the preemption bound,
+/// panicking with the first failure (assertion or deadlock) found.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let bound = env_bound("LOOM_MAX_PREEMPTIONS", DEFAULT_PREEMPTION_BOUND);
+    let max_executions = env_bound("LOOM_MAX_EXECUTIONS", DEFAULT_EXECUTION_BOUND);
+    let f = Arc::new(f);
+    let mut replay: Vec<Choice> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let sched = Arc::new(Sched::new(replay));
+        let root = {
+            let sched = Arc::clone(&sched);
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || run_thread(sched, 0, move || f()))
+        };
+        sched.wait_quiescent();
+        let _ = root.join();
+        let (mut path, failure) = {
+            let mut st = sched.state.lock().expect("scheduler poisoned");
+            (std::mem::take(&mut st.path), st.failure.take())
+        };
+        if let Some(msg) = failure {
+            panic!("loom model failed (execution {executions}): {msg}");
+        }
+        if !backtrack(&mut path, bound) {
+            break;
+        }
+        if executions >= max_executions {
+            eprintln!("loom: exploration truncated at {max_executions} executions");
+            break;
+        }
+        replay = path;
+    }
+}
+
+pub mod thread {
+    //! Model-aware threads. Outside [`model`](super::model) these fall
+    //! back to `std::thread`.
+
+    use super::{ctx, run_thread, Sched, Status};
+    use std::sync::Arc;
+
+    /// Handle to a model thread (or a plain OS thread outside a model).
+    pub struct JoinHandle<T> {
+        target: Target<T>,
+    }
+
+    enum Target<T> {
+        Model {
+            sched: Arc<Sched>,
+            tid: usize,
+            inner: std::thread::JoinHandle<std::thread::Result<T>>,
+        },
+        Os(std::thread::JoinHandle<T>),
+    }
+
+    /// Spawns a thread participating in the current model execution.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            Some((sched, me)) => {
+                let tid = {
+                    let mut st = sched.state.lock().expect("scheduler poisoned");
+                    st.threads.push(Status::Runnable);
+                    st.live += 1;
+                    st.threads.len() - 1
+                };
+                let inner = {
+                    let sched = Arc::clone(&sched);
+                    std::thread::spawn(move || run_thread(sched, tid, f))
+                };
+                // The child is now eligible: a schedule point.
+                sched.schedule(me, Status::Runnable);
+                JoinHandle {
+                    target: Target::Model { sched, tid, inner },
+                }
+            }
+            None => JoinHandle {
+                target: Target::Os(std::thread::spawn(f)),
+            },
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.target {
+                Target::Model { sched, tid, inner } => {
+                    let (_, me) = ctx().expect("join outside the model");
+                    loop {
+                        let (done, epoch) = {
+                            let st = sched.state.lock().expect("scheduler poisoned");
+                            (st.threads[tid] == Status::Finished, st.write_epoch)
+                        };
+                        if done {
+                            break;
+                        }
+                        sched.schedule(me, Status::Parked(epoch));
+                    }
+                    inner.join().expect("model thread wrapper panicked")
+                }
+                Target::Os(h) => h.join(),
+            }
+        }
+    }
+
+    /// Parks the caller until another thread performs a write (outside a
+    /// model: a plain OS yield).
+    pub fn yield_now() {
+        match ctx() {
+            Some((sched, me)) => {
+                let epoch = sched.current_epoch();
+                sched.schedule(me, Status::Parked(epoch));
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+}
+
+pub mod hint {
+    /// Modeled identically to [`thread::yield_now`](super::thread::yield_now):
+    /// a spinner makes no progress until someone writes.
+    pub fn spin_loop() {
+        match super::ctx() {
+            Some((sched, me)) => {
+                let epoch = sched.current_epoch();
+                sched.schedule(me, super::Status::Parked(epoch));
+            }
+            None => std::hint::spin_loop(),
+        }
+    }
+}
+
+pub mod sync {
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        //! Atomics whose every operation is a schedule point. Orderings
+        //! are accepted for API compatibility and upgraded to `SeqCst`
+        //! (the checker serializes operations anyway).
+
+        pub use std::sync::atomic::Ordering;
+
+        use super::super::{ctx, Status};
+
+        fn pre_op() {
+            if let Some((sched, me)) = ctx() {
+                sched.schedule(me, Status::Runnable);
+            }
+        }
+
+        fn post_write() {
+            if let Some((sched, _)) = ctx() {
+                sched.bump_epoch();
+            }
+        }
+
+        macro_rules! model_atomic {
+            ($name:ident, $std:ty, $int:ty) => {
+                /// Model-checked atomic integer.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// Creates a new atomic with the given initial value.
+                    pub fn new(v: $int) -> Self {
+                        Self {
+                            inner: <$std>::new(v),
+                        }
+                    }
+
+                    /// Loads the value (a schedule point).
+                    pub fn load(&self, _order: Ordering) -> $int {
+                        pre_op();
+                        self.inner.load(Ordering::SeqCst)
+                    }
+
+                    /// Stores a value (a schedule point; wakes spinners).
+                    pub fn store(&self, v: $int, _order: Ordering) {
+                        pre_op();
+                        self.inner.store(v, Ordering::SeqCst);
+                        post_write();
+                    }
+
+                    /// Adds to the value, returning the previous value
+                    /// (a schedule point; wakes spinners).
+                    pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                        pre_op();
+                        let prev = self.inner.fetch_add(v, Ordering::SeqCst);
+                        post_write();
+                        prev
+                    }
+
+                    /// Compare-and-exchange (a schedule point; wakes
+                    /// spinners on success).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        pre_op();
+                        let r = self.inner.compare_exchange(
+                            current,
+                            new,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        );
+                        if r.is_ok() {
+                            post_write();
+                        }
+                        r
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        /// Model-checked atomic boolean.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            inner: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// Creates a new atomic with the given initial value.
+            pub fn new(v: bool) -> Self {
+                Self {
+                    inner: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            /// Loads the value (a schedule point).
+            pub fn load(&self, _order: Ordering) -> bool {
+                pre_op();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// Stores a value (a schedule point; wakes spinners).
+            pub fn store(&self, v: bool, _order: Ordering) {
+                pre_op();
+                self.inner.store(v, Ordering::SeqCst);
+                post_write();
+            }
+
+            /// Stores a value, returning the previous value (a schedule
+            /// point; wakes spinners).
+            pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+                pre_op();
+                let prev = self.inner.swap(v, Ordering::SeqCst);
+                post_write();
+                prev
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::sync::Arc;
+    use super::thread;
+
+    #[test]
+    fn atomic_increments_from_two_threads_always_sum() {
+        super::model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "loom model failed")]
+    fn load_store_race_is_found() {
+        // The classic lost update: both threads read 0, both write 1.
+        // An interleaving where the final value is 1 must be discovered.
+        super::model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = c.load(Ordering::SeqCst);
+            c.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }
+
+    #[test]
+    fn spin_wait_on_flag_terminates() {
+        super::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let data = Arc::new(AtomicUsize::new(0));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::SeqCst);
+                f2.store(true, Ordering::SeqCst);
+            });
+            while !flag.load(Ordering::SeqCst) {
+                thread::yield_now();
+            }
+            // Publication: flag implies data under SC.
+            assert_eq!(data.load(Ordering::SeqCst), 42);
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn spinning_on_a_flag_nobody_sets_deadlocks() {
+        super::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let f2 = Arc::clone(&flag);
+            let t = thread::spawn(move || {
+                while !f2.load(Ordering::SeqCst) {
+                    thread::yield_now();
+                }
+            });
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn bare_yield_without_peers_is_a_no_op() {
+        super::model(|| {
+            thread::yield_now();
+            thread::yield_now();
+        });
+    }
+
+    #[test]
+    fn join_observes_child_effects() {
+        super::model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || c2.fetch_add(5, Ordering::SeqCst));
+            let prev = t.join().unwrap();
+            assert_eq!(prev, 0);
+            assert_eq!(c.load(Ordering::SeqCst), 5);
+        });
+    }
+
+    #[test]
+    fn three_threads_interleave_without_false_alarms() {
+        super::model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            c.fetch_add(1, Ordering::SeqCst);
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 3);
+        });
+    }
+}

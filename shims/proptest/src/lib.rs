@@ -276,27 +276,39 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(len: usize) -> Self {
-            SizeRange { min: len, max_exclusive: len + 1 }
+            SizeRange {
+                min: len,
+                max_exclusive: len + 1,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range {r:?}");
-            SizeRange { min: r.start, max_exclusive: r.end }
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
         }
     }
 
     /// Strategy for vectors of `element` values with a length drawn from
     /// `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// See [`vec`].
@@ -316,10 +328,10 @@ pub mod collection {
 }
 
 pub mod prelude {
-    pub use crate::{any, proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
     /// Mirrors proptest's `prelude::prop` module alias.
     pub use crate as prop;
+    pub use crate::{any, proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
 }
 
 /// Defines `#[test]` functions whose arguments are drawn from strategies.

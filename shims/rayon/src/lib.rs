@@ -21,7 +21,11 @@ pub fn current_num_threads() -> usize {
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
     })
 }
 
@@ -43,7 +47,10 @@ impl<I: Send> ParIter<I> {
         R: Send,
         F: Fn(I) -> R + Sync,
     {
-        ParMap { items: self.items, f }
+        ParMap {
+            items: self.items,
+            f,
+        }
     }
 
     /// Number of items behind the iterator.
@@ -94,7 +101,10 @@ fn par_map_ordered<I: Send, R: Send, F: Fn(I) -> R + Sync>(items: Vec<I>, f: &F)
             });
         }
     });
-    outputs.into_iter().map(|slot| slot.expect("worker left a hole")).collect()
+    outputs
+        .into_iter()
+        .map(|slot| slot.expect("worker left a hole"))
+        .collect()
 }
 
 /// `into_par_iter()` for owned collections.
@@ -115,7 +125,9 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 impl IntoParallelIterator for std::ops::Range<usize> {
     type Item = usize;
     fn into_par_iter(self) -> ParIter<usize> {
-        ParIter { items: self.collect() }
+        ParIter {
+            items: self.collect(),
+        }
     }
 }
 
@@ -130,14 +142,18 @@ pub trait IntoParallelRefIterator<'data> {
 impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
     type Item = &'data T;
     fn par_iter(&'data self) -> ParIter<&'data T> {
-        ParIter { items: self.iter().collect() }
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
 impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     type Item = &'data T;
     fn par_iter(&'data self) -> ParIter<&'data T> {
-        ParIter { items: self.iter().collect() }
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 

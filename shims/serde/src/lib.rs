@@ -44,7 +44,10 @@ impl Value {
 
     /// Looks up a key when `self` is an object.
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 }
 
@@ -89,7 +92,9 @@ fn int_from(value: &Value, context: &str) -> Result<i128, String> {
     match value {
         Value::Int(i) => Ok(*i as i128),
         Value::UInt(u) => Ok(*u as i128),
-        other => Err(format!("expected an integer for {context}, found {other:?}")),
+        other => Err(format!(
+            "expected an integer for {context}, found {other:?}"
+        )),
     }
 }
 
@@ -302,8 +307,12 @@ mod tests {
             ("z".into(), Value::UInt(1)),
             ("a".into(), Value::UInt(2)),
         ]);
-        let keys: Vec<&str> =
-            obj.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let keys: Vec<&str> = obj
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
         assert_eq!(keys, vec!["z", "a"]);
         assert_eq!(obj.get("a"), Some(&Value::UInt(2)));
     }

@@ -39,13 +39,17 @@ enum VariantKind {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("serde shim derive emitted invalid Rust")
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive emitted invalid Rust")
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("serde shim derive emitted invalid Rust")
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive emitted invalid Rust")
 }
 
 fn ident_of(tok: &TokenTree) -> Option<String> {
@@ -118,7 +122,11 @@ fn parse_item(input: TokenStream) -> Item {
         "enum" => Body::Enum(parse_variants(body_group)),
         other => panic!("serde shim derive: cannot derive for `{other}` items"),
     };
-    Item { name, generics, body }
+    Item {
+        name,
+        generics,
+        body,
+    }
 }
 
 /// Parses `name: Type, ...` field lists; types are skipped token-wise with
@@ -135,7 +143,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         }
         let field = ident_of(&toks[i]).expect("expected a field name");
         i += 1;
-        assert!(is_punct(toks.get(i), ':'), "expected `:` after field `{field}`");
+        assert!(
+            is_punct(toks.get(i), ':'),
+            "expected `:` after field `{field}`"
+        );
         i += 1;
         let mut depth = 0isize;
         while i < toks.len() {
@@ -223,7 +234,10 @@ fn impl_pieces(item: &Item, bound: &str) -> (String, String) {
             .map(|g| format!("{g}: {bound}"))
             .collect::<Vec<_>>()
             .join(", ");
-        (format!("<{decl}>"), format!("<{}>", item.generics.join(", ")))
+        (
+            format!("<{decl}>"),
+            format!("<{}>", item.generics.join(", ")),
+        )
     }
 }
 
@@ -277,7 +291,10 @@ fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
              ::serde::Serialize::to_value(__f0))]),"
         ),
         VariantKind::Tuple(n) => {
-            let binds = (0..*n).map(|k| format!("__f{k}")).collect::<Vec<_>>().join(", ");
+            let binds = (0..*n)
+                .map(|k| format!("__f{k}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             let elems = (0..*n)
                 .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
                 .collect::<Vec<_>>()
@@ -415,9 +432,7 @@ fn deserialize_tagged_arm(name: &str, v: &Variant) -> String {
                 })
                 .collect::<Vec<_>>()
                 .join("\n");
-            format!(
-                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{\n{inits}\n}}),"
-            )
+            format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{\n{inits}\n}}),")
         }
     }
 }

@@ -50,7 +50,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 
 /// Parses a JSON document into `T`.
 pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
-    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();
@@ -69,19 +72,29 @@ fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: us
         Value::UInt(u) => out.push_str(&u.to_string()),
         Value::Float(f) => write_float(*f, out),
         Value::Str(s) => write_string(s, out),
-        Value::Array(items) => write_seq(items.iter(), out, indent, depth, ('[', ']'), |item, out, ind, d| {
-            write_value(item, out, ind, d)
-        }),
-        Value::Object(entries) => {
-            write_seq(entries.iter(), out, indent, depth, ('{', '}'), |(key, val), out, ind, d| {
+        Value::Array(items) => write_seq(
+            items.iter(),
+            out,
+            indent,
+            depth,
+            ('[', ']'),
+            |item, out, ind, d| write_value(item, out, ind, d),
+        ),
+        Value::Object(entries) => write_seq(
+            entries.iter(),
+            out,
+            indent,
+            depth,
+            ('{', '}'),
+            |(key, val), out, ind, d| {
                 write_string(key, out);
                 out.push(':');
                 if ind.is_some() {
                     out.push(' ');
                 }
                 write_value(val, out, ind, d);
-            })
-        }
+            },
+        ),
     }
 }
 
@@ -270,7 +283,9 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.fail("unterminated escape"))?;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.fail("unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -287,8 +302,7 @@ impl<'a> Parser<'a> {
                                 // Surrogate pair: expect a low surrogate next.
                                 self.eat_literal("\\u")?;
                                 let low = self.parse_hex4()?;
-                                let combined =
-                                    0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
                                 char::from_u32(combined)
                             } else {
                                 char::from_u32(code)
@@ -310,8 +324,7 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| self.fail("invalid \\u escape"))?;
-        let code =
-            u32::from_str_radix(hex, 16).map_err(|_| self.fail("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.fail("invalid \\u escape"))?;
         self.pos = end;
         Ok(code)
     }

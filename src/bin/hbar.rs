@@ -285,13 +285,14 @@ fn cmd_codegen(flags: &Flags) -> Result<(), String> {
         .get("name")
         .map(String::as_str)
         .unwrap_or("generated_barrier");
-    let programs = compile_schedule(&schedule);
+    let programs = compile_schedule(&schedule).map_err(|e| format!("cannot compile: {e}"))?;
     let lang = flags.get("lang").map(String::as_str).unwrap_or("c");
     let src = match lang {
         "c" => c_source(name, &programs),
         "rust" => rust_source(name, &programs),
         other => return Err(format!("lang must be c|rust, got `{other}`")),
-    };
+    }
+    .map_err(|e| format!("cannot emit {lang}: {e}"))?;
     print!("{src}");
     Ok(())
 }

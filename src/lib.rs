@@ -16,7 +16,10 @@
 //!    compose a specialized *hybrid* barrier over an SSS cluster tree.
 //!
 //! Compiled schedules ([`core::codegen::RankProgram`]) execute on either the
-//! discrete-event simulator ([`simnet`]) or real OS threads ([`threadrun`]).
+//! discrete-event simulator ([`simnet`]) or real OS threads ([`threadrun`]),
+//! and are audited before anything runs by the static analyzer ([`analyze`]):
+//! schedule lints, deadlock detection over compiled programs, and round-trip
+//! verification of the emitted C/Rust sources.
 //!
 //! ```
 //! use hbarrier::prelude::*;
@@ -30,6 +33,7 @@
 //! assert!(tuned.schedule.is_barrier());
 //! ```
 
+pub use hbar_analyze as analyze;
 pub use hbar_core as core;
 pub use hbar_matrix as matrix;
 pub use hbar_simnet as simnet;
@@ -38,8 +42,9 @@ pub use hbar_topo as topo;
 
 /// Commonly used items for downstream code and the examples.
 pub mod prelude {
+    pub use hbar_analyze::{analyze_schedule, AnalysisReport, AnalyzeConfig};
     pub use hbar_core::algorithms::{Algorithm, RankSet};
-    pub use hbar_core::codegen::{compile_schedule, RankProgram};
+    pub use hbar_core::codegen::{compile_schedule, CodegenError, RankProgram};
     pub use hbar_core::compose::{tune_hybrid, TunedBarrier, TunerConfig};
     pub use hbar_core::cost::{predict_barrier_cost, CostParams};
     pub use hbar_core::schedule::BarrierSchedule;

@@ -15,9 +15,9 @@ use hbarrier::prelude::*;
 use hbarrier::simnet::barrier::measure_schedule;
 use proptest::prelude::*;
 
-fn ratio_bounds_hold(machine: MachineSpec, p: usize) {
+fn ratio_bounds_hold(machine: &MachineSpec, p: usize) {
     let mapping = RankMapping::RoundRobin;
-    let profile = TopologyProfile::from_ground_truth_for(&machine, &mapping, p);
+    let profile = TopologyProfile::from_ground_truth_for(machine, &mapping, p);
     let members: Vec<usize> = (0..p).collect();
     let params = CostParams::default();
     for alg in Algorithm::PAPER_SET {
@@ -41,7 +41,7 @@ fn model_tracks_simulator_on_paper_machines() {
         (MachineSpec::dual_hex_cluster(10), vec![12, 60, 120]),
     ] {
         for &p in &sizes {
-            ratio_bounds_hold(machine.clone(), p);
+            ratio_bounds_hold(&machine, p);
         }
     }
 }

@@ -139,7 +139,7 @@ fn compiled_programs_conserve_signals() {
     let machine = MachineSpec::dual_quad_cluster(3);
     let profile = TopologyProfile::from_ground_truth_for(&machine, &RankMapping::RoundRobin, 22);
     let tuned = tune_hybrid(&profile, &TunerConfig::default());
-    let programs = compile_schedule(&tuned.schedule);
+    let programs = compile_schedule(&tuned.schedule).expect("tuned schedule compiles");
     let sends: usize = programs.iter().map(|p| p.send_count()).sum();
     let recvs: usize = programs.iter().map(|p| p.recv_count()).sum();
     assert_eq!(sends, tuned.schedule.total_signals());

@@ -49,7 +49,7 @@ proptest! {
         let edges: Vec<(usize, usize)> = edges.into_iter()
             .filter(|(i, j)| *i < n && *j < n && i != j).collect();
         let m = BoolMatrix::from_edges(n, &edges);
-        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        prop_assert_eq!(&m.transpose().transpose(), &m);
         prop_assert_eq!(m.transpose().popcount(), m.popcount());
     }
 
@@ -127,7 +127,7 @@ proptest! {
         prop_assert!(verify::is_barrier(&tuned.schedule));
         prop_assert!(tuned.predicted_cost > 0.0);
         // Compiled programs conserve signals.
-        let programs = compile_schedule(&tuned.schedule);
+        let programs = compile_schedule(&tuned.schedule).expect("tuned schedule compiles");
         let sends: usize = programs.iter().map(|rp| rp.send_count()).sum();
         prop_assert_eq!(sends, tuned.schedule.total_signals());
     }

@@ -24,7 +24,7 @@
 
 use hbar_matrix::DenseMatrix;
 use hbar_simnet::noise::{NoiseModel, NoiseState};
-use hbar_simnet::profiling::ProfilingConfig;
+use hbar_simnet::profiling::{diag_sub_seed, pair_sub_seed, ProfilingConfig};
 use hbar_simnet::{ns_to_sec, Time};
 use hbar_topo::cost::CostMatrices;
 use hbar_topo::machine::{CoreId, GroundTruth, LinkClass, MachineSpec};
@@ -598,18 +598,21 @@ pub fn measure_noop(world: &mut World, k: usize) -> f64 {
     ns_to_sec(res.finish[0]) / k as f64
 }
 
+// The per-pair sub-seed scheme is part of the *sweep driver* contract, not
+// the engine mechanics this module freezes: for the Shared-noise parity
+// gate both stacks must derive identical per-pair streams, so this calls
+// the live `pair_sub_seed`/`diag_sub_seed` mixers (the SplitMix64 scheme
+// that replaced the collision-prone `i * p + j` salt).
 fn pair_world(
     machine: &MachineSpec,
     core_a: usize,
     core_b: usize,
     noise: NoiseModel,
     kind: BaselineNoise,
-    salt: u64,
+    sub_seed: u64,
 ) -> World {
     let per_pair_noise = NoiseModel {
-        seed: noise
-            .seed
-            .wrapping_add(salt.wrapping_mul(0x00C6_A4A7_935B_D1E9)),
+        seed: sub_seed,
         ..noise
     };
     World::new(machine, vec![core_a, core_b], per_pair_noise, kind)
@@ -643,8 +646,14 @@ pub fn measure_profile_baseline(
     let measured: Vec<(usize, usize, f64, f64)> = directed_pairs
         .par_iter()
         .map(|&(i, j)| {
-            let mut world =
-                pair_world(machine, cores[i], cores[j], noise, kind, (i * p + j) as u64);
+            let mut world = pair_world(
+                machine,
+                cores[i],
+                cores[j],
+                noise,
+                kind,
+                pair_sub_seed(i, j, noise.seed),
+            );
             let o_points: Vec<(f64, f64)> = cfg
                 .sizes
                 .iter()
@@ -666,7 +675,14 @@ pub fn measure_profile_baseline(
         .into_par_iter()
         .map(|i| {
             let partner = cores[(i + 1) % p];
-            let mut world = pair_world(machine, cores[i], partner, noise, kind, (p * p + i) as u64);
+            let mut world = pair_world(
+                machine,
+                cores[i],
+                partner,
+                noise,
+                kind,
+                diag_sub_seed(i, noise.seed),
+            );
             measure_noop(&mut world, cfg.noop_calls)
         })
         .collect();

@@ -22,6 +22,7 @@ pub mod ablation;
 pub mod baseline;
 pub mod baseline_engine;
 pub mod baseline_model;
+pub mod baseline_profile;
 pub mod construction;
 pub mod context;
 pub mod data;

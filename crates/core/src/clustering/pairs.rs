@@ -1,0 +1,448 @@
+//! Feature-vector equivalence classing of profiling pairs.
+//!
+//! The `|P|(|P|−1)/2` pairwise benchmarks of §IV-A are embarrassingly
+//! decomposable, and on hierarchical machines massively redundant: two
+//! pairs whose [`PairFeatures`] agree traverse the same interconnect
+//! resources and are statistically exchangeable, so measuring one
+//! representative per class (plus a few validation probes) recovers the
+//! full matrices. This is the Parsimon pattern — cluster the work items
+//! into equivalence classes, simulate one representative per class, fan
+//! the representatives out — applied to machine profiling instead of
+//! network paths; it lives next to the SSS rank clustering because both
+//! are "group, then treat the group by its exemplar" machinery.
+//!
+//! The classing itself is exact (hash on the feature vector), so the only
+//! approximation error is within-class measurement scatter, which the
+//! sweep estimates from the probes and bounds in its report.
+
+use hbar_topo::features::{PairFeatureExtractor, PairFeatures, RankFeatures};
+use hbar_topo::machine::MachineSpec;
+use std::collections::HashMap;
+
+/// SplitMix64 finalizer: the standard 64-bit avalanche mix. Used both for
+/// decorrelating per-pair noise sub-seeds and for the deterministic
+/// reservoir sampling of validation probes.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One equivalence class of off-diagonal pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairClass {
+    /// The shared feature vector.
+    pub features: PairFeatures,
+    /// Rank pair measured on the class's behalf: the first member in scan
+    /// order, which makes the choice deterministic and, for singleton
+    /// classes, the pair itself.
+    pub representative: (u32, u32),
+    /// Number of member pairs (including the representative).
+    pub members: usize,
+    /// Deterministically reservoir-sampled members (excluding the
+    /// representative) whose independent measurements estimate the
+    /// within-class scatter.
+    pub probes: Vec<(u32, u32)>,
+}
+
+/// One equivalence class of diagonal (`O_ii`) measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiagClass {
+    /// The shared feature vector.
+    pub features: RankFeatures,
+    /// Rank measured on the class's behalf.
+    pub representative: u32,
+    /// Number of member ranks.
+    pub members: usize,
+    /// Reservoir-sampled validation ranks (excluding the representative).
+    pub probes: Vec<u32>,
+}
+
+/// The complete classing of a `P`-rank placement's profiling work.
+#[derive(Clone, Debug, Default)]
+pub struct PairClassing {
+    /// Off-diagonal classes, in first-appearance (scan) order.
+    pub pair_classes: Vec<PairClass>,
+    /// Diagonal classes, in first-appearance order.
+    pub diag_classes: Vec<DiagClass>,
+    /// Total off-diagonal pairs scanned.
+    pub total_pairs: usize,
+    pair_index: HashMap<PairFeatures, u32>,
+    diag_index: HashMap<RankFeatures, u32>,
+}
+
+/// Tuning knobs for [`classify_pairs`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClassingConfig {
+    /// Measure each unordered pair once and mirror (the paper's
+    /// symmetric-link assumption); `false` classes ordered pairs.
+    pub symmetric: bool,
+    /// Validation probes sampled per class (0 disables validation; classes
+    /// with fewer members than probes keep every member).
+    pub probes_per_class: usize,
+    /// Seed of the deterministic probe reservoir.
+    pub probe_seed: u64,
+}
+
+impl Default for ClassingConfig {
+    fn default() -> Self {
+        ClassingConfig {
+            symmetric: true,
+            probes_per_class: 4,
+            probe_seed: 0,
+        }
+    }
+}
+
+/// Deterministic reservoir sampler: keeps a uniform-without-replacement
+/// sample of `capacity` items from a stream, with acceptance decisions
+/// driven by SplitMix64 of the item ordinal instead of an RNG object, so
+/// the same stream always yields the same sample.
+struct Reservoir<T> {
+    items: Vec<T>,
+    capacity: usize,
+    seen: u64,
+    seed: u64,
+}
+
+impl<T> Reservoir<T> {
+    fn new(capacity: usize, seed: u64) -> Self {
+        Reservoir {
+            items: Vec::with_capacity(capacity.min(8)),
+            capacity,
+            seen: 0,
+            seed,
+        }
+    }
+
+    fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return;
+        }
+        // Classic algorithm R with a counter-mode hash as the uniform draw.
+        let r = splitmix64(self.seed ^ self.seen) % self.seen;
+        if (r as usize) < self.capacity {
+            self.items[r as usize] = item;
+        }
+    }
+}
+
+impl PairClassing {
+    /// Index of the class containing a pair with these features, if the
+    /// classing saw one. Scatter uses this to map every matrix entry back
+    /// to its class estimate.
+    pub fn pair_class_index(&self, features: &PairFeatures) -> Option<usize> {
+        self.pair_index.get(features).map(|&i| i as usize)
+    }
+
+    /// Index of the diagonal class with these features.
+    pub fn diag_class_index(&self, features: &RankFeatures) -> Option<usize> {
+        self.diag_index.get(features).map(|&i| i as usize)
+    }
+
+    /// Total measurements the clustered sweep will run (representatives
+    /// plus probes, pairs plus diagonals), before any adaptive growth.
+    pub fn measurement_count(&self) -> usize {
+        self.pair_classes
+            .iter()
+            .map(|c| 1 + c.probes.len())
+            .sum::<usize>()
+            + self
+                .diag_classes
+                .iter()
+                .map(|c| 1 + c.probes.len())
+                .sum::<usize>()
+    }
+
+    /// `true` when every class has exactly one member — the regime in
+    /// which the clustered sweep is the exhaustive sweep.
+    pub fn is_singleton(&self) -> bool {
+        self.pair_classes.iter().all(|c| c.members == 1)
+            && self.diag_classes.iter().all(|c| c.members == 1)
+    }
+}
+
+/// Classes every profiling pair (and every diagonal) of a `p`-rank
+/// placement by its feature vector.
+///
+/// Scan order is the exhaustive sweep's enumeration order — `i` outer,
+/// `j` inner — so representatives (first member seen) are deterministic
+/// and independent of thread count.
+///
+/// # Panics
+/// Panics if `p < 2` or `cores` does not cover `p` ranks.
+pub fn classify_pairs(
+    machine: &MachineSpec,
+    cores: &[usize],
+    p: usize,
+    extractor: &dyn PairFeatureExtractor,
+    cfg: &ClassingConfig,
+) -> PairClassing {
+    assert!(p >= 2, "classing needs at least two ranks, got {p}");
+    assert!(
+        cores.len() >= p,
+        "placement covers {} ranks, need {p}",
+        cores.len()
+    );
+    let mut classing = PairClassing::default();
+    let mut reservoirs: Vec<Reservoir<(u32, u32)>> = Vec::new();
+    let offer = |classing: &mut PairClassing,
+                 reservoirs: &mut Vec<Reservoir<(u32, u32)>>,
+                 i: usize,
+                 j: usize| {
+        let f = extractor.pair_features(machine, (i, j), (cores[i], cores[j]));
+        classing.total_pairs += 1;
+        match classing.pair_index.get(&f) {
+            Some(&idx) => {
+                let idx = idx as usize;
+                classing.pair_classes[idx].members += 1;
+                reservoirs[idx].offer((i as u32, j as u32));
+            }
+            None => {
+                let idx = classing.pair_classes.len() as u32;
+                classing.pair_index.insert(f, idx);
+                classing.pair_classes.push(PairClass {
+                    features: f,
+                    representative: (i as u32, j as u32),
+                    members: 1,
+                    probes: Vec::new(),
+                });
+                reservoirs.push(Reservoir::new(
+                    cfg.probes_per_class,
+                    splitmix64(cfg.probe_seed ^ (idx as u64)),
+                ));
+            }
+        }
+    };
+    if cfg.symmetric {
+        for i in 0..p {
+            for j in (i + 1)..p {
+                offer(&mut classing, &mut reservoirs, i, j);
+            }
+        }
+    } else {
+        for i in 0..p {
+            for j in 0..p {
+                if i != j {
+                    offer(&mut classing, &mut reservoirs, i, j);
+                }
+            }
+        }
+    }
+    for (class, reservoir) in classing.pair_classes.iter_mut().zip(reservoirs) {
+        class.probes = reservoir.items;
+    }
+
+    let mut diag_reservoirs: Vec<Reservoir<u32>> = Vec::new();
+    for (i, &core) in cores.iter().enumerate().take(p) {
+        let f = extractor.rank_features(machine, i, core);
+        match classing.diag_index.get(&f) {
+            Some(&idx) => {
+                let idx = idx as usize;
+                classing.diag_classes[idx].members += 1;
+                diag_reservoirs[idx].offer(i as u32);
+            }
+            None => {
+                let idx = classing.diag_classes.len() as u32;
+                classing.diag_index.insert(f, idx);
+                classing.diag_classes.push(DiagClass {
+                    features: f,
+                    representative: i as u32,
+                    members: 1,
+                    probes: Vec::new(),
+                });
+                diag_reservoirs.push(Reservoir::new(
+                    cfg.probes_per_class,
+                    splitmix64(cfg.probe_seed ^ 0xD1A6_0000 ^ (idx as u64)),
+                ));
+            }
+        }
+    }
+    for (class, reservoir) in classing.diag_classes.iter_mut().zip(diag_reservoirs) {
+        class.probes = reservoir.items;
+    }
+    classing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbar_topo::features::{ExactExtractor, TopologyExtractor};
+    use hbar_topo::mapping::RankMapping;
+
+    fn classing_for(
+        machine: &MachineSpec,
+        p: usize,
+        extractor: &dyn PairFeatureExtractor,
+        cfg: &ClassingConfig,
+    ) -> PairClassing {
+        let cores = RankMapping::Block.place(machine, p);
+        classify_pairs(machine, &cores, p, extractor, cfg)
+    }
+
+    #[test]
+    fn homogeneous_cluster_collapses_to_link_classes() {
+        let machine = MachineSpec::dual_quad_cluster(4);
+        let classing = classing_for(
+            &machine,
+            32,
+            &TopologyExtractor::default(),
+            &ClassingConfig::default(),
+        );
+        // Two same-socket classes (socket identity is kept for
+        // asymmetric-NUMA future-proofing) + cross-socket + inter-node.
+        assert_eq!(classing.pair_classes.len(), 4);
+        assert_eq!(classing.diag_classes.len(), 2, "one class per socket");
+        assert_eq!(classing.total_pairs, 32 * 31 / 2);
+        let members: usize = classing.pair_classes.iter().map(|c| c.members).sum();
+        assert_eq!(members, classing.total_pairs, "partition covers all pairs");
+        assert!(!classing.is_singleton());
+    }
+
+    #[test]
+    fn exact_extractor_yields_singletons() {
+        let machine = MachineSpec::new(2, 1, 2);
+        let classing = classing_for(
+            &machine,
+            4,
+            &ExactExtractor::default(),
+            &ClassingConfig::default(),
+        );
+        assert_eq!(classing.pair_classes.len(), 6);
+        assert!(classing.is_singleton());
+        assert!(classing.pair_classes.iter().all(|c| c.probes.is_empty()));
+        // Measurement count equals the exhaustive sweep's workload.
+        assert_eq!(classing.measurement_count(), 6 + 4);
+    }
+
+    #[test]
+    fn representative_is_first_member_in_scan_order() {
+        let machine = MachineSpec::dual_quad_cluster(2);
+        let classing = classing_for(
+            &machine,
+            16,
+            &TopologyExtractor::default(),
+            &ClassingConfig::default(),
+        );
+        let same_socket = classing
+            .pair_classes
+            .iter()
+            .find(|c| c.features.hop_signature == 0)
+            .unwrap();
+        assert_eq!(same_socket.representative, (0, 1));
+        // Block placement on a dual-quad: 0..3 socket 0, 4..7 socket 1.
+        let cross = classing
+            .pair_classes
+            .iter()
+            .find(|c| c.features.socket_relation == (0, 1))
+            .unwrap();
+        assert_eq!(cross.representative, (0, 4));
+    }
+
+    #[test]
+    fn probes_exclude_representative_and_stay_in_class() {
+        let machine = MachineSpec::dual_hex_cluster(4);
+        let cores = RankMapping::RoundRobin.place(&machine, 48);
+        let ex = TopologyExtractor::default();
+        let classing = classify_pairs(&machine, &cores, 48, &ex, &ClassingConfig::default());
+        for class in &classing.pair_classes {
+            assert!(class.probes.len() <= 4);
+            assert!(class.probes.len() < class.members);
+            for &(i, j) in &class.probes {
+                assert_ne!((i, j), class.representative);
+                let f = ex.pair_features(
+                    &machine,
+                    (i as usize, j as usize),
+                    (cores[i as usize], cores[j as usize]),
+                );
+                assert_eq!(f, class.features, "probe left its class");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_selection_is_deterministic() {
+        let machine = MachineSpec::dual_quad_cluster(8);
+        let a = classing_for(
+            &machine,
+            64,
+            &TopologyExtractor::default(),
+            &ClassingConfig::default(),
+        );
+        let b = classing_for(
+            &machine,
+            64,
+            &TopologyExtractor::default(),
+            &ClassingConfig::default(),
+        );
+        assert_eq!(a.pair_classes, b.pair_classes);
+        // A different probe seed moves the probes but not the classes.
+        let c = classing_for(
+            &machine,
+            64,
+            &TopologyExtractor::default(),
+            &ClassingConfig {
+                probe_seed: 99,
+                ..ClassingConfig::default()
+            },
+        );
+        assert_eq!(a.pair_classes.len(), c.pair_classes.len());
+        assert!(a
+            .pair_classes
+            .iter()
+            .zip(&c.pair_classes)
+            .all(|(x, y)| x.representative == y.representative));
+        assert!(a
+            .pair_classes
+            .iter()
+            .zip(&c.pair_classes)
+            .any(|(x, y)| x.probes != y.probes));
+    }
+
+    #[test]
+    fn asymmetric_mode_classes_ordered_pairs() {
+        let machine = MachineSpec::new(1, 2, 1);
+        let classing = classing_for(
+            &machine,
+            2,
+            &ExactExtractor::default(),
+            &ClassingConfig {
+                symmetric: false,
+                ..ClassingConfig::default()
+            },
+        );
+        assert_eq!(classing.total_pairs, 2);
+        assert_eq!(classing.pair_classes.len(), 2);
+    }
+
+    #[test]
+    fn class_lookup_round_trips() {
+        let machine = MachineSpec::dual_quad_cluster(2);
+        let cores = RankMapping::Block.place(&machine, 16);
+        let ex = TopologyExtractor::default();
+        let classing = classify_pairs(&machine, &cores, 16, &ex, &ClassingConfig::default());
+        for (idx, class) in classing.pair_classes.iter().enumerate() {
+            assert_eq!(classing.pair_class_index(&class.features), Some(idx));
+        }
+        for (idx, class) in classing.diag_classes.iter().enumerate() {
+            assert_eq!(classing.diag_class_index(&class.features), Some(idx));
+        }
+    }
+
+    #[test]
+    fn splitmix_decorrelates_adjacent_inputs() {
+        // Adjacent inputs (the old `i * p + j` failure mode) must land far
+        // apart: check no two of 4096 consecutive outputs share low 32 bits.
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..4096u64 {
+            assert!(seen.insert(splitmix64(k) as u32), "collision at {k}");
+        }
+    }
+}

@@ -20,20 +20,34 @@
 //!   multi-message bursts, transmission-free calls);
 //! * [`profiling`] — the full `|P|²` pairwise benchmark driver that
 //!   produces a [`hbar_topo::profile::TopologyProfile`] by regression;
+//! * [`sweep`] — the decomposed (pair-clustered, representative +
+//!   validation-probe) profiling sweep with work-stealing local fan-out;
+//! * [`wire`] — the compact framed codec for shipping sweep work to
+//!   remote workers;
+//! * [`distrib`] — the TCP worker loop and the fleet driver that shards
+//!   class representatives across workers with retry-on-disconnect;
 //! * [`barrier`] — compiled barrier execution and the staggered-delay
 //!   synchronization check of §VI.
 
 pub mod barrier;
 pub mod benchprog;
+pub mod distrib;
 pub mod engine;
 pub mod noise;
 pub mod profiling;
 pub mod program;
+pub mod sweep;
 pub mod trace;
+pub mod wire;
 pub mod world;
 
 pub use noise::{NoiseModel, NoiseState};
 pub use program::{Instr, Program};
+pub use sweep::{
+    measure_profile_clustered, measure_profile_decomposed, DescriptorExecutor, LocalExecutor,
+    PairSample, PairWorkDescriptor, SequentialExecutor, SweepConfig, SweepError, SweepReport,
+    WorkKind,
+};
 pub use world::{SimConfig, SimResult, SimWorld};
 
 /// Virtual time in integer nanoseconds.

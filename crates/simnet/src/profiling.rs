@@ -13,6 +13,7 @@
 use crate::benchprog::PairBench;
 use crate::noise::NoiseModel;
 use crate::world::{SimConfig, SimWorld};
+use hbar_core::clustering::splitmix64;
 use hbar_matrix::DenseMatrix;
 use hbar_topo::cost::CostMatrices;
 use hbar_topo::machine::MachineSpec;
@@ -20,9 +21,10 @@ use hbar_topo::mapping::RankMapping;
 use hbar_topo::profile::TopologyProfile;
 use hbar_topo::regress::{hockney_intercept, hockney_message_sizes, latency_gradient};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// Benchmark schedule parameters.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ProfilingConfig {
     /// Ping-pong payload sizes for the `O_ij` regression.
     pub sizes: Vec<usize>,
@@ -72,6 +74,28 @@ impl ProfilingConfig {
     }
 }
 
+/// The noise sub-seed of pair `(i, j)`'s benchmark world: a SplitMix64
+/// mix of the pair identity into the base seed.
+///
+/// The previous scheme — `seed + (i * p + j) * odd_constant` — handed
+/// adjacent pairs consecutive multiples of one constant, so their
+/// `SmallRng` streams started from low-entropy, correlated states, and it
+/// depended on `p`, so the same physical pair got different noise under
+/// different sweep sizes and the asymmetric direction `(j, i)` could
+/// collide with an unrelated pair's representative at large `P`
+/// (`i * p + j` wraps). Mixing each coordinate through the SplitMix64
+/// finalizer gives every ordered pair an avalanche-decorrelated,
+/// `p`-independent stream.
+pub fn pair_sub_seed(i: usize, j: usize, seed: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed ^ 0x9E37_79B9_7F4A_7C15) ^ i as u64) ^ j as u64)
+}
+
+/// The noise sub-seed of rank `i`'s diagonal (`O_ii`) benchmark world,
+/// domain-separated from every pair sub-seed.
+pub fn diag_sub_seed(i: usize, seed: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ 0x000D_D1A6_u64) ^ i as u64)
+}
+
 /// Runs the full §IV-A benchmark suite on the simulated machine and
 /// extracts a topology profile by least-squares regression.
 ///
@@ -99,7 +123,13 @@ pub fn measure_profile(
     let measured: Vec<(usize, usize, f64, f64)> = directed_pairs
         .par_iter()
         .map(|&(i, j)| {
-            let mut bench = pair_bench(machine, cores[i], cores[j], noise, (i * p + j) as u64);
+            let mut bench = pair_bench(
+                machine,
+                cores[i],
+                cores[j],
+                noise,
+                pair_sub_seed(i, j, noise.seed),
+            );
             let (o, l) = measure_pair(&mut bench, cfg);
             (i, j, o, l)
         })
@@ -109,7 +139,13 @@ pub fn measure_profile(
         .into_par_iter()
         .map(|i| {
             let partner = cores[(i + 1) % p];
-            let mut bench = pair_bench(machine, cores[i], partner, noise, (p * p + i) as u64);
+            let mut bench = pair_bench(
+                machine,
+                cores[i],
+                partner,
+                noise,
+                diag_sub_seed(i, noise.seed),
+            );
             bench.noop(cfg.noop_calls)
         })
         .collect();
@@ -187,7 +223,13 @@ pub fn measure_profile_replicated(
         o_diag: 0.0,
     };
     for (class, (i, j)) in rep_pair {
-        let mut bench = pair_bench(machine, cores[i], cores[j], noise, (i * p + j) as u64);
+        let mut bench = pair_bench(
+            machine,
+            cores[i],
+            cores[j],
+            noise,
+            pair_sub_seed(i, j, noise.seed),
+        );
         let (o, l) = measure_pair(&mut bench, cfg);
         match class {
             LinkClass::SameSocket => {
@@ -205,7 +247,13 @@ pub fn measure_profile_replicated(
         }
     }
     // One O_ii measurement, replicated along the diagonal.
-    let mut bench = pair_bench(machine, cores[0], cores[1 % p], noise, (p * p) as u64);
+    let mut bench = pair_bench(
+        machine,
+        cores[0],
+        cores[1 % p],
+        noise,
+        diag_sub_seed(0, noise.seed),
+    );
     reps.o_diag = bench.noop(cfg.noop_calls);
 
     TopologyProfile {
@@ -221,7 +269,7 @@ pub fn measure_profile_replicated(
 /// promise — and regresses out `(O_ij, L_ij)`. Shared by
 /// [`measure_profile`] and [`measure_profile_replicated`], amortizing one
 /// engine and one pair of program buffers across every sample point.
-fn measure_pair(bench: &mut PairBench, cfg: &ProfilingConfig) -> (f64, f64) {
+pub(crate) fn measure_pair(bench: &mut PairBench, cfg: &ProfilingConfig) -> (f64, f64) {
     let o_points: Vec<(f64, f64)> = cfg
         .sizes
         .iter()
@@ -234,18 +282,17 @@ fn measure_pair(bench: &mut PairBench, cfg: &ProfilingConfig) -> (f64, f64) {
 }
 
 /// Builds an amortized two-rank benchmark scratch with local rank 0 on
-/// `core_a` and local rank 1 on `core_b`.
-fn pair_bench(
+/// `core_a` and local rank 1 on `core_b`, drawing noise from `sub_seed`
+/// (already mixed — see [`pair_sub_seed`]/[`diag_sub_seed`]).
+pub(crate) fn pair_bench(
     machine: &MachineSpec,
     core_a: usize,
     core_b: usize,
     noise: NoiseModel,
-    salt: u64,
+    sub_seed: u64,
 ) -> PairBench {
     let per_pair_noise = NoiseModel {
-        seed: noise
-            .seed
-            .wrapping_add(salt.wrapping_mul(0x00C6_A4A7_935B_D1E9)),
+        seed: sub_seed,
         ..noise
     };
     let cfg = SimConfig {
@@ -419,6 +466,26 @@ mod tests {
         assert_eq!(prof.p, 4);
         assert!(prof.cost.o[(0, 3)] > 0.0);
         assert_eq!(prof.cost.o[(0, 1)], prof.cost.o[(2, 3)]);
+    }
+
+    #[test]
+    fn sub_seeds_decorrelate_and_never_collide() {
+        // p-independent by construction (no `p` argument), directed pairs
+        // and diagonals all land on distinct seeds — the property the old
+        // `(i * p + j)` salt violated at large P.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..128usize {
+            for j in 0..128usize {
+                if i != j {
+                    assert!(seen.insert(pair_sub_seed(i, j, 42)), "collision ({i},{j})");
+                }
+            }
+            assert!(seen.insert(diag_sub_seed(i, 42)), "diag collision {i}");
+        }
+        // And adjacent pairs differ in roughly half their bits rather than
+        // by one multiple of a constant.
+        let d = (pair_sub_seed(0, 1, 42) ^ pair_sub_seed(0, 2, 42)).count_ones();
+        assert!((16..=48).contains(&d), "adjacent seeds too correlated: {d}");
     }
 
     #[test]

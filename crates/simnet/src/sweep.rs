@@ -1,0 +1,1117 @@
+//! The decomposed profiling sweep: classing → representatives → scatter.
+//!
+//! The exhaustive §IV-A driver ([`crate::profiling::measure_profile`])
+//! runs `|P|(|P|−1)/2` pairwise benchmarks; at `P = 4096` that is 8.4
+//! million measurement schedules — hours of wall clock for matrices whose
+//! entries repeat a handful of values. This module is the Parsimon-style
+//! decomposition of that sweep into three independent layers:
+//!
+//! 1. **classing** — pairs are grouped into equivalence classes by
+//!    feature vector ([`hbar_topo::features`]; exact hashing in
+//!    [`hbar_core::clustering::classify_pairs`]);
+//! 2. **execution** — one *representative* per class is measured, plus a
+//!    configurable number of *validation probes* (other members measured
+//!    under their own sub-seeds) that estimate the within-class scatter;
+//!    repetitions grow geometrically until the scatter is below the
+//!    configured tolerance (the Hunold & Carpen-Amarie prescription:
+//!    adaptive repetition, stop when the CI is tight). Work items are
+//!    self-contained [`PairWorkDescriptor`]s, so execution can fan out to
+//!    a work-stealing thread pool ([`LocalExecutor`]) or a TCP worker
+//!    fleet ([`crate::distrib`]) interchangeably;
+//! 3. **scatter** — class estimates are written back (mirrored, per the
+//!    symmetric-link assumption) into the full `|P|²` matrices.
+//!
+//! Everything is seed-deterministic: descriptors carry their noise
+//! sub-seed, representatives and probes are chosen by deterministic scan
+//! order and counter-hash reservoirs, and estimates are medians over a
+//! fixed sample order — so local, distributed, and differently-threaded
+//! runs produce bit-identical profiles.
+//!
+//! In the **singleton regime** — every class has exactly one member, as
+//! forced by [`SweepConfig::exact_classes`] or produced naturally by a
+//! fully heterogeneous machine — the clustered sweep performs exactly the
+//! exhaustive sweep's measurements under the same sub-seeds and must
+//! reproduce [`crate::profiling::measure_profile`] bit-for-bit. The
+//! regression harness (`profile-perf`) gates on this.
+
+use crate::noise::NoiseModel;
+use crate::profiling::{diag_sub_seed, measure_pair, pair_bench, pair_sub_seed, ProfilingConfig};
+use hbar_core::clustering::{classify_pairs, ClassingConfig, PairClassing};
+use hbar_matrix::DenseMatrix;
+use hbar_topo::cost::CostMatrices;
+use hbar_topo::features::{ExactExtractor, PairFeatureExtractor, TopologyExtractor};
+use hbar_topo::machine::MachineSpec;
+use hbar_topo::mapping::RankMapping;
+use hbar_topo::profile::TopologyProfile;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What a work descriptor measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkKind {
+    /// Off-diagonal `(O_ij, L_ij)` pair benchmark.
+    Pair,
+    /// Diagonal `O_ii` transmission-free call benchmark.
+    Diag,
+}
+
+/// One self-contained unit of profiling work: everything a worker needs
+/// to reproduce the measurement, including the noise sub-seed (so the
+/// result is independent of *which* worker runs it, *when*, and in what
+/// order).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairWorkDescriptor {
+    /// Driver-assigned identity; responses are merged by this key.
+    pub id: u32,
+    /// Pair or diagonal measurement.
+    pub kind: WorkKind,
+    /// Rank `i` (for `Diag`: the measured rank).
+    pub i: u32,
+    /// Rank `j` (for `Diag`: the idle partner rank).
+    pub j: u32,
+    /// Flat core index rank `i` is pinned to.
+    pub core_a: u32,
+    /// Flat core index rank `j` is pinned to.
+    pub core_b: u32,
+    /// Pre-mixed noise sub-seed (see
+    /// [`crate::profiling::pair_sub_seed`]); carried in the descriptor so
+    /// remote workers never re-derive it.
+    pub sub_seed: u64,
+    /// Repetition multiplier from adaptive growth (1 = the base
+    /// [`ProfilingConfig`] schedule).
+    pub rep_scale: u32,
+}
+
+/// The measured result of one descriptor. `l` is 0 for diagonal work.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairSample {
+    /// Echoed descriptor identity.
+    pub id: u32,
+    /// Estimated `O` (seconds).
+    pub o: f64,
+    /// Estimated `L` (seconds); 0 for diagonal work.
+    pub l: f64,
+}
+
+/// Errors of the decomposed sweep (all from the distributed layer; local
+/// execution is infallible).
+#[derive(Debug)]
+pub enum SweepError {
+    /// Socket-level failure talking to a worker.
+    Io(std::io::Error),
+    /// A worker answered with a malformed or mismatched frame.
+    Protocol(String),
+    /// Every worker died (reconnects exhausted) with work left over and
+    /// local fallback disabled.
+    WorkersExhausted {
+        /// Batches never executed.
+        remaining_batches: usize,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Io(e) => write!(f, "worker i/o failed: {e}"),
+            SweepError::Protocol(msg) => write!(f, "worker protocol violation: {msg}"),
+            SweepError::WorkersExhausted { remaining_batches } => write!(
+                f,
+                "all workers exhausted with {remaining_batches} batches unexecuted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+/// Something that can execute a batch of descriptors and return one
+/// sample per descriptor (any order; merging is by `id`). The sweep's
+/// control flow is executor-agnostic, which is what makes the local and
+/// distributed paths produce identical profiles.
+pub trait DescriptorExecutor {
+    /// Executes every descriptor, returning exactly one sample per id.
+    fn execute_batch(
+        &mut self,
+        descriptors: &[PairWorkDescriptor],
+    ) -> Result<Vec<PairSample>, SweepError>;
+}
+
+/// In-process executor: fans descriptors out over the work-stealing
+/// thread pool. Item costs are wildly uneven once adaptive growth kicks
+/// in (a grown representative runs 4–8× longer than its neighbours), so
+/// dynamic scheduling matters here.
+pub struct LocalExecutor {
+    machine: MachineSpec,
+    noise: NoiseModel,
+    cfg: ProfilingConfig,
+}
+
+impl LocalExecutor {
+    /// Executor measuring on `machine` under `noise` with the base
+    /// schedule `cfg`.
+    pub fn new(machine: MachineSpec, noise: NoiseModel, cfg: ProfilingConfig) -> Self {
+        LocalExecutor {
+            machine,
+            noise,
+            cfg,
+        }
+    }
+}
+
+impl DescriptorExecutor for LocalExecutor {
+    fn execute_batch(
+        &mut self,
+        descriptors: &[PairWorkDescriptor],
+    ) -> Result<Vec<PairSample>, SweepError> {
+        Ok(descriptors
+            .par_iter()
+            .map(|d| execute_descriptor(&self.machine, self.noise, &self.cfg, d))
+            .collect_stealing())
+    }
+}
+
+/// Runs one descriptor's full measurement schedule. This is *the* leaf
+/// operation of the whole subsystem: local threads and remote workers
+/// both end up here, which is why their results agree bit-for-bit.
+pub fn execute_descriptor(
+    machine: &MachineSpec,
+    noise: NoiseModel,
+    cfg: &ProfilingConfig,
+    d: &PairWorkDescriptor,
+) -> PairSample {
+    let mut bench = pair_bench(
+        machine,
+        d.core_a as usize,
+        d.core_b as usize,
+        noise,
+        d.sub_seed,
+    );
+    match d.kind {
+        WorkKind::Pair => {
+            let (o, l) = if d.rep_scale <= 1 {
+                measure_pair(&mut bench, cfg)
+            } else {
+                measure_pair(&mut bench, &scaled_config(cfg, d.rep_scale))
+            };
+            PairSample { id: d.id, o, l }
+        }
+        WorkKind::Diag => {
+            let calls = cfg.noop_calls * (d.rep_scale.max(1) as usize);
+            let o = bench.noop(calls);
+            PairSample {
+                id: d.id,
+                o,
+                l: 0.0,
+            }
+        }
+    }
+}
+
+/// The base schedule with `scale`× the repetitions (sizes and burst
+/// counts unchanged — growth buys tighter medians, not new sample
+/// points).
+fn scaled_config(cfg: &ProfilingConfig, scale: u32) -> ProfilingConfig {
+    ProfilingConfig {
+        reps: cfg.reps * scale as usize,
+        burst_reps: cfg.burst_reps * scale as usize,
+        ..cfg.clone()
+    }
+}
+
+/// Tuning knobs of the decomposed sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// The per-measurement benchmark schedule (sizes, repetitions,
+    /// bursts, symmetric flag).
+    pub profiling: ProfilingConfig,
+    /// Validation probes per class: extra members measured under their
+    /// own sub-seeds to estimate within-class scatter. 0 disables
+    /// validation (fastest, no error estimate).
+    pub probes_per_class: usize,
+    /// Seed of the deterministic probe reservoir.
+    pub probe_seed: u64,
+    /// Relative within-class scatter (max |sample − median| / median)
+    /// above which a class's repetitions are grown.
+    pub ci_rel_tol: f64,
+    /// Maximum geometric growth rounds (each doubles `rep_scale`); 0
+    /// disables adaptive growth.
+    pub max_growth_rounds: u32,
+    /// The safety valve: a class whose validated scatter still exceeds
+    /// this after all growth rounds is *exploded* — every member is
+    /// measured individually at the base schedule under its own
+    /// sub-seed, making those matrix entries exactly what the exhaustive
+    /// sweep would have produced. `f64::INFINITY` disables explosion.
+    pub explode_rel_tol: f64,
+    /// Class every pair by exact identity instead of topology features —
+    /// the sweep degenerates to the exhaustive one (the bit-parity
+    /// regime).
+    pub exact_classes: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            profiling: ProfilingConfig::default(),
+            probes_per_class: 4,
+            probe_seed: 0,
+            ci_rel_tol: 0.05,
+            max_growth_rounds: 2,
+            explode_rel_tol: 0.25,
+            exact_classes: false,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Reduced schedule for tests and quick runs (mirrors
+    /// [`ProfilingConfig::fast`]).
+    pub fn fast() -> Self {
+        SweepConfig {
+            profiling: ProfilingConfig::fast(),
+            probes_per_class: 2,
+            explode_rel_tol: f64::INFINITY,
+            ..SweepConfig::default()
+        }
+    }
+
+    /// The singleton-class configuration used by the parity gates:
+    /// exact classes, no probes, no growth — measurement-for-measurement
+    /// identical to the exhaustive sweep.
+    pub fn exact(profiling: ProfilingConfig) -> Self {
+        SweepConfig {
+            profiling,
+            probes_per_class: 0,
+            probe_seed: 0,
+            ci_rel_tol: f64::INFINITY,
+            max_growth_rounds: 0,
+            explode_rel_tol: f64::INFINITY,
+            exact_classes: true,
+        }
+    }
+}
+
+/// Per-class diagnostics of one sweep.
+#[derive(Clone, Debug, Default)]
+pub struct ClassStats {
+    /// Samples (representative + probes) the estimate was taken over.
+    pub samples: usize,
+    /// Final repetition multiplier after adaptive growth.
+    pub rep_scale: u32,
+    /// Relative scatter of `O` samples around their median.
+    pub rel_spread_o: f64,
+    /// Relative scatter of `L` samples around their median.
+    pub rel_spread_l: f64,
+}
+
+/// What the decomposed sweep did and how trustworthy its shortcut is.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Off-diagonal pairs covered by the scatter.
+    pub total_pairs: usize,
+    /// Off-diagonal equivalence classes.
+    pub pair_classes: usize,
+    /// Diagonal equivalence classes.
+    pub diag_classes: usize,
+    /// Descriptors executed (across all growth rounds).
+    pub measurements: usize,
+    /// Growth rounds that actually ran.
+    pub growth_rounds: u32,
+    /// Pair classes the safety valve exploded (every member measured
+    /// individually because the validated scatter stayed above
+    /// [`SweepConfig::explode_rel_tol`]).
+    pub exploded_pair_classes: usize,
+    /// Diag classes the safety valve exploded.
+    pub exploded_diag_classes: usize,
+    /// Worst within-class relative scatter observed (0 when probing is
+    /// disabled or every class is a singleton).
+    pub max_rel_spread: f64,
+    /// Mean within-class relative scatter over classes with ≥ 2 samples.
+    pub mean_rel_spread: f64,
+    /// Per-pair-class diagnostics, indexed like the classing.
+    pub pair_stats: Vec<ClassStats>,
+    /// Per-diag-class diagnostics.
+    pub diag_stats: Vec<ClassStats>,
+}
+
+impl SweepReport {
+    /// The measurement-count reduction over the exhaustive sweep
+    /// (`p` diagonal + all-pairs benchmarks vs what actually ran).
+    pub fn reduction_factor(&self, p: usize) -> f64 {
+        (self.total_pairs + p) as f64 / self.measurements.max(1) as f64
+    }
+}
+
+/// Clustered profiling with local work-stealing execution — the
+/// drop-in accelerated replacement for
+/// [`crate::profiling::measure_profile`].
+///
+/// # Panics
+/// Panics if `p < 2` or the mapping cannot place `p` ranks.
+pub fn measure_profile_clustered(
+    machine: &MachineSpec,
+    mapping: &RankMapping,
+    p: usize,
+    noise: NoiseModel,
+    cfg: &SweepConfig,
+) -> (TopologyProfile, SweepReport) {
+    let mut executor = LocalExecutor::new(machine.clone(), noise, cfg.profiling.clone());
+    measure_profile_decomposed(machine, mapping, p, noise, cfg, &mut executor)
+        .expect("local execution is infallible")
+}
+
+/// Quantizes a noise model into the feature-vector regime code: pairs
+/// measured under different regimes never share a representative.
+pub fn noise_regime_of(noise: &NoiseModel) -> u16 {
+    if noise.is_deterministic() {
+        return 0;
+    }
+    // 6 bits of jitter (per-mille, saturating) + 4 bits of spike-rate
+    // decade; the seed deliberately does not participate (same
+    // distribution ⇒ exchangeable measurements).
+    let jitter = ((noise.jitter_sigma * 1000.0).round().clamp(0.0, 63.0)) as u16;
+    let spike = if noise.spike_prob > 0.0 {
+        (-noise.spike_prob.log10()).round().clamp(0.0, 15.0) as u16
+    } else {
+        15
+    };
+    1 + ((jitter << 4) | spike)
+}
+
+/// The full decomposed sweep over an arbitrary executor. Classing,
+/// descriptor construction, adaptive growth, and scatter all happen here
+/// on the driver; only descriptor execution crosses the executor
+/// boundary. Results are merged by descriptor id, so the profile is
+/// independent of executor scheduling.
+///
+/// # Panics
+/// Panics if `p < 2` or the mapping cannot place `p` ranks.
+pub fn measure_profile_decomposed(
+    machine: &MachineSpec,
+    mapping: &RankMapping,
+    p: usize,
+    noise: NoiseModel,
+    cfg: &SweepConfig,
+    executor: &mut dyn DescriptorExecutor,
+) -> Result<(TopologyProfile, SweepReport), SweepError> {
+    assert!(p >= 2, "profiling needs at least two ranks, got {p}");
+    let cores = mapping.place(machine, p);
+    let regime = noise_regime_of(&noise);
+    let topo_extractor = TopologyExtractor::with_noise_regime(regime);
+    let exact_extractor = ExactExtractor {
+        noise_regime: regime,
+    };
+    let extractor: &dyn PairFeatureExtractor = if cfg.exact_classes {
+        &exact_extractor
+    } else {
+        &topo_extractor
+    };
+    let classing = classify_pairs(
+        machine,
+        &cores,
+        p,
+        extractor,
+        &ClassingConfig {
+            symmetric: cfg.profiling.symmetric,
+            probes_per_class: cfg.probes_per_class,
+            probe_seed: cfg.probe_seed,
+        },
+    );
+
+    let (cost, report) = run_classed_sweep(machine, &cores, &classing, noise, cfg, executor)?;
+
+    Ok((
+        TopologyProfile {
+            machine: machine.clone(),
+            mapping: mapping.clone(),
+            p,
+            cost,
+        },
+        report,
+    ))
+}
+
+/// One class's sample set across growth rounds.
+struct ClassSamples {
+    /// `(o, l)` per sample; index 0 is the representative.
+    values: Vec<(f64, f64)>,
+    rep_scale: u32,
+}
+
+/// Executes the measurement plan for an already-built classing and
+/// scatters estimates into cost matrices.
+fn run_classed_sweep(
+    machine: &MachineSpec,
+    cores: &[usize],
+    classing: &PairClassing,
+    noise: NoiseModel,
+    cfg: &SweepConfig,
+    executor: &mut dyn DescriptorExecutor,
+) -> Result<(CostMatrices, SweepReport), SweepError> {
+    let p = cores.len();
+    let n_pair = classing.pair_classes.len();
+    let n_diag = classing.diag_classes.len();
+
+    // The members each class measures: representative first, then probes.
+    let pair_members: Vec<Vec<(u32, u32)>> = classing
+        .pair_classes
+        .iter()
+        .map(|c| {
+            let mut m = vec![c.representative];
+            m.extend_from_slice(&c.probes);
+            m
+        })
+        .collect();
+    let diag_members: Vec<Vec<u32>> = classing
+        .diag_classes
+        .iter()
+        .map(|c| {
+            let mut m = vec![c.representative];
+            m.extend_from_slice(&c.probes);
+            m
+        })
+        .collect();
+
+    // Descriptor builders. Ids encode (class, member) so responses merge
+    // deterministically regardless of executor scheduling: pair work
+    // first, diagonal work after.
+    let pair_desc = |class: usize, member: usize, scale: u32, id: u32| {
+        let (i, j) = pair_members[class][member];
+        PairWorkDescriptor {
+            id,
+            kind: WorkKind::Pair,
+            i,
+            j,
+            core_a: cores[i as usize] as u32,
+            core_b: cores[j as usize] as u32,
+            sub_seed: pair_sub_seed(i as usize, j as usize, noise.seed),
+            rep_scale: scale,
+        }
+    };
+    let diag_desc = |class: usize, member: usize, scale: u32, id: u32| {
+        let i = diag_members[class][member] as usize;
+        let partner = cores[(i + 1) % p];
+        PairWorkDescriptor {
+            id,
+            kind: WorkKind::Diag,
+            i: i as u32,
+            j: ((i + 1) % p) as u32,
+            core_a: cores[i] as u32,
+            core_b: partner as u32,
+            sub_seed: diag_sub_seed(i, noise.seed),
+            rep_scale: scale,
+        }
+    };
+
+    let mut pair_samples: Vec<ClassSamples> = pair_members
+        .iter()
+        .map(|m| ClassSamples {
+            values: vec![(f64::NAN, f64::NAN); m.len()],
+            rep_scale: 1,
+        })
+        .collect();
+    let mut diag_samples: Vec<ClassSamples> = diag_members
+        .iter()
+        .map(|m| ClassSamples {
+            values: vec![(f64::NAN, f64::NAN); m.len()],
+            rep_scale: 1,
+        })
+        .collect();
+
+    let mut measurements = 0usize;
+    let mut growth_rounds = 0u32;
+
+    // Round 0 measures every class; later rounds re-measure only classes
+    // whose scatter exceeds the tolerance, at doubled repetitions.
+    let mut pending_pairs: Vec<usize> = (0..n_pair).collect();
+    let mut pending_diags: Vec<usize> = (0..n_diag).collect();
+    for round in 0..=cfg.max_growth_rounds {
+        if pending_pairs.is_empty() && pending_diags.is_empty() {
+            break;
+        }
+        if round > 0 {
+            growth_rounds = round;
+        }
+        // Build the round's descriptors with a per-round id space, and a
+        // side table mapping id → (class slot, member slot).
+        let mut descriptors = Vec::new();
+        let mut slots: Vec<(bool, usize, usize)> = Vec::new();
+        for &c in &pending_pairs {
+            let scale = pair_samples[c].rep_scale;
+            for m in 0..pair_members[c].len() {
+                let id = descriptors.len() as u32;
+                descriptors.push(pair_desc(c, m, scale, id));
+                slots.push((false, c, m));
+            }
+        }
+        for &c in &pending_diags {
+            let scale = diag_samples[c].rep_scale;
+            for m in 0..diag_members[c].len() {
+                let id = descriptors.len() as u32;
+                descriptors.push(diag_desc(c, m, scale, id));
+                slots.push((true, c, m));
+            }
+        }
+        measurements += descriptors.len();
+        let samples = executor.execute_batch(&descriptors)?;
+        if samples.len() != descriptors.len() {
+            return Err(SweepError::Protocol(format!(
+                "executor returned {} samples for {} descriptors",
+                samples.len(),
+                descriptors.len()
+            )));
+        }
+        let mut seen = vec![false; descriptors.len()];
+        for s in samples {
+            let Some(&(is_diag, c, m)) = slots.get(s.id as usize) else {
+                return Err(SweepError::Protocol(format!("unknown sample id {}", s.id)));
+            };
+            if std::mem::replace(&mut seen[s.id as usize], true) {
+                return Err(SweepError::Protocol(format!(
+                    "duplicate sample id {}",
+                    s.id
+                )));
+            }
+            if is_diag {
+                diag_samples[c].values[m] = (s.o, s.l);
+            } else {
+                pair_samples[c].values[m] = (s.o, s.l);
+            }
+        }
+        if let Some(hole) = seen.iter().position(|&s| !s) {
+            return Err(SweepError::Protocol(format!("missing sample id {hole}")));
+        }
+
+        // Decide who grows. Only classes with ≥ 2 samples have a scatter
+        // estimate; singletons never grow, preserving exhaustive parity.
+        if round == cfg.max_growth_rounds {
+            break;
+        }
+        pending_pairs.retain(|&c| {
+            let s = &mut pair_samples[c];
+            let (so, sl) = rel_spreads(&s.values);
+            if so.max(sl) > cfg.ci_rel_tol {
+                s.rep_scale *= 2;
+                true
+            } else {
+                false
+            }
+        });
+        pending_diags.retain(|&c| {
+            let s = &mut diag_samples[c];
+            let (so, _) = rel_spreads(&s.values);
+            if so > cfg.ci_rel_tol {
+                s.rep_scale *= 2;
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    // Per-class estimates: the median over the class's samples. A
+    // singleton class's estimate is exactly its (sole) measurement.
+    let pair_estimates: Vec<(f64, f64)> = pair_samples.iter().map(|s| medians(&s.values)).collect();
+    let diag_estimates: Vec<f64> = diag_samples.iter().map(|s| medians(&s.values).0).collect();
+
+    let symmetric = cfg.profiling.symmetric;
+    let regime = noise_regime_of(&noise);
+    let topo_extractor = TopologyExtractor::with_noise_regime(regime);
+    let exact_extractor = ExactExtractor {
+        noise_regime: regime,
+    };
+    let extractor: &dyn PairFeatureExtractor = if cfg.exact_classes {
+        &exact_extractor
+    } else {
+        &topo_extractor
+    };
+
+    // Safety valve: a class whose *validated* scatter still exceeds
+    // `explode_rel_tol` after all growth rounds abandons the clustering
+    // shortcut — every member is measured individually at the base
+    // schedule under its own sub-seed, so those matrix entries are
+    // exactly what the exhaustive sweep would have produced.
+    let explode_pair: Vec<bool> = pair_samples
+        .iter()
+        .map(|s| {
+            let (so, sl) = rel_spreads(&s.values);
+            so.max(sl) > cfg.explode_rel_tol
+        })
+        .collect();
+    let explode_diag: Vec<bool> = diag_samples
+        .iter()
+        .map(|s| rel_spreads(&s.values).0 > cfg.explode_rel_tol)
+        .collect();
+    let exploded_pair_classes = explode_pair.iter().filter(|&&b| b).count();
+    let exploded_diag_classes = explode_diag.iter().filter(|&&b| b).count();
+    let mut exploded_pairs: HashMap<(usize, usize), (f64, f64)> = HashMap::new();
+    let mut exploded_diags: HashMap<usize, f64> = HashMap::new();
+    if exploded_pair_classes + exploded_diag_classes > 0 {
+        let mut descriptors = Vec::new();
+        let mut keys: Vec<(bool, usize, usize)> = Vec::new();
+        for i in 0..p {
+            let range: Box<dyn Iterator<Item = usize>> = if symmetric {
+                Box::new((i + 1)..p)
+            } else {
+                Box::new((0..p).filter(move |&j| j != i))
+            };
+            for j in range {
+                let f = extractor.pair_features(machine, (i, j), (cores[i], cores[j]));
+                let c = classing
+                    .pair_class_index(&f)
+                    .expect("explosion features must re-derive a seen class");
+                if explode_pair[c] {
+                    descriptors.push(PairWorkDescriptor {
+                        id: descriptors.len() as u32,
+                        kind: WorkKind::Pair,
+                        i: i as u32,
+                        j: j as u32,
+                        core_a: cores[i] as u32,
+                        core_b: cores[j] as u32,
+                        sub_seed: pair_sub_seed(i, j, noise.seed),
+                        rep_scale: 1,
+                    });
+                    keys.push((false, i, j));
+                }
+            }
+            let f = extractor.rank_features(machine, i, cores[i]);
+            let c = classing
+                .diag_class_index(&f)
+                .expect("explosion features must re-derive a seen diag class");
+            if explode_diag[c] {
+                descriptors.push(PairWorkDescriptor {
+                    id: descriptors.len() as u32,
+                    kind: WorkKind::Diag,
+                    i: i as u32,
+                    j: ((i + 1) % p) as u32,
+                    core_a: cores[i] as u32,
+                    core_b: cores[(i + 1) % p] as u32,
+                    sub_seed: diag_sub_seed(i, noise.seed),
+                    rep_scale: 1,
+                });
+                keys.push((true, i, i));
+            }
+        }
+        measurements += descriptors.len();
+        let samples = executor.execute_batch(&descriptors)?;
+        if samples.len() != descriptors.len() {
+            return Err(SweepError::Protocol(format!(
+                "executor returned {} samples for {} exploded descriptors",
+                samples.len(),
+                descriptors.len()
+            )));
+        }
+        let mut seen = vec![false; descriptors.len()];
+        for s in samples {
+            let Some(&(is_diag, i, j)) = keys.get(s.id as usize) else {
+                return Err(SweepError::Protocol(format!("unknown sample id {}", s.id)));
+            };
+            if std::mem::replace(&mut seen[s.id as usize], true) {
+                return Err(SweepError::Protocol(format!(
+                    "duplicate sample id {}",
+                    s.id
+                )));
+            }
+            if is_diag {
+                exploded_diags.insert(i, s.o);
+            } else {
+                exploded_pairs.insert((i, j), (s.o, s.l));
+            }
+        }
+        if let Some(hole) = seen.iter().position(|&s| !s) {
+            return Err(SweepError::Protocol(format!("missing sample id {hole}")));
+        }
+    }
+
+    // Scatter: map every matrix entry to its class estimate by re-deriving
+    // the entry's feature vector (same extractor, same placement — the
+    // classing saw identical features). Exploded classes scatter their
+    // per-member exact measurements instead.
+    let mut o = DenseMatrix::new(p);
+    let mut l = DenseMatrix::new(p);
+    for i in 0..p {
+        let range: Box<dyn Iterator<Item = usize>> = if symmetric {
+            Box::new((i + 1)..p)
+        } else {
+            Box::new((0..p).filter(move |&j| j != i))
+        };
+        for j in range {
+            let f = extractor.pair_features(machine, (i, j), (cores[i], cores[j]));
+            let c = classing
+                .pair_class_index(&f)
+                .expect("scatter features must re-derive a seen class");
+            let (oij, lij) = if explode_pair[c] {
+                exploded_pairs[&(i, j)]
+            } else {
+                pair_estimates[c]
+            };
+            o[(i, j)] = oij;
+            l[(i, j)] = lij;
+            if symmetric {
+                o[(j, i)] = oij;
+                l[(j, i)] = lij;
+            }
+        }
+        let f = extractor.rank_features(machine, i, cores[i]);
+        let c = classing
+            .diag_class_index(&f)
+            .expect("scatter features must re-derive a seen diag class");
+        o[(i, i)] = if explode_diag[c] {
+            exploded_diags[&i]
+        } else {
+            diag_estimates[c]
+        };
+        l[(i, i)] = 0.0;
+    }
+
+    // Report.
+    let mut pair_stats = Vec::with_capacity(n_pair);
+    for s in &pair_samples {
+        let (so, sl) = rel_spreads(&s.values);
+        pair_stats.push(ClassStats {
+            samples: s.values.len(),
+            rep_scale: s.rep_scale,
+            rel_spread_o: so,
+            rel_spread_l: sl,
+        });
+    }
+    let mut diag_stats = Vec::with_capacity(n_diag);
+    for s in &diag_samples {
+        let (so, _) = rel_spreads(&s.values);
+        diag_stats.push(ClassStats {
+            samples: s.values.len(),
+            rep_scale: s.rep_scale,
+            rel_spread_o: so,
+            rel_spread_l: 0.0,
+        });
+    }
+    let spreads: Vec<f64> = pair_stats
+        .iter()
+        .filter(|st| st.samples >= 2)
+        .map(|st| st.rel_spread_o.max(st.rel_spread_l))
+        .chain(
+            diag_stats
+                .iter()
+                .filter(|st| st.samples >= 2)
+                .map(|st| st.rel_spread_o),
+        )
+        .collect();
+    let report = SweepReport {
+        total_pairs: classing.total_pairs,
+        pair_classes: n_pair,
+        diag_classes: n_diag,
+        measurements,
+        growth_rounds,
+        exploded_pair_classes,
+        exploded_diag_classes,
+        max_rel_spread: spreads.iter().copied().fold(0.0, f64::max),
+        mean_rel_spread: if spreads.is_empty() {
+            0.0
+        } else {
+            spreads.iter().sum::<f64>() / spreads.len() as f64
+        },
+        pair_stats,
+        diag_stats,
+    };
+
+    Ok((CostMatrices { o, l }, report))
+}
+
+/// Relative scatter of the `(o, l)` samples around their medians:
+/// `max |x − median| / max(|median|, ε)` per component.
+fn rel_spreads(values: &[(f64, f64)]) -> (f64, f64) {
+    if values.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let (mo, ml) = medians(values);
+    let spread = |median: f64, pick: &dyn Fn(&(f64, f64)) -> f64| {
+        let denom = median.abs().max(1e-300);
+        values
+            .iter()
+            .map(|v| (pick(v) - median).abs() / denom)
+            .fold(0.0, f64::max)
+    };
+    (spread(mo, &|v| v.0), spread(ml, &|v| v.1))
+}
+
+/// Component-wise medians of the `(o, l)` samples.
+fn medians(values: &[(f64, f64)]) -> (f64, f64) {
+    let med = |pick: &dyn Fn(&(f64, f64)) -> f64| {
+        let mut xs: Vec<f64> = values.iter().map(pick).collect();
+        xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite measurement"));
+        let n = xs.len();
+        if n % 2 == 1 {
+            xs[n / 2]
+        } else {
+            (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+        }
+    };
+    (med(&|v| v.0), med(&|v| v.1))
+}
+
+/// Sequential single-descriptor executor used by the worker loop and
+/// available for debugging (no thread pool, same results).
+pub struct SequentialExecutor {
+    machine: MachineSpec,
+    noise: NoiseModel,
+    cfg: ProfilingConfig,
+}
+
+impl SequentialExecutor {
+    /// Executor measuring on `machine` under `noise` with schedule `cfg`.
+    pub fn new(machine: MachineSpec, noise: NoiseModel, cfg: ProfilingConfig) -> Self {
+        SequentialExecutor {
+            machine,
+            noise,
+            cfg,
+        }
+    }
+}
+
+impl DescriptorExecutor for SequentialExecutor {
+    fn execute_batch(
+        &mut self,
+        descriptors: &[PairWorkDescriptor],
+    ) -> Result<Vec<PairSample>, SweepError> {
+        Ok(descriptors
+            .iter()
+            .map(|d| execute_descriptor(&self.machine, self.noise, &self.cfg, d))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiling::measure_profile;
+
+    fn bit_equal(a: &CostMatrices, b: &CostMatrices) -> bool {
+        a.o.as_slice()
+            .iter()
+            .zip(b.o.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+            && a.l
+                .as_slice()
+                .iter()
+                .zip(b.l.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn exact_classes_reproduce_exhaustive_sweep_bit_for_bit() {
+        let machine = MachineSpec::new(2, 2, 2);
+        let mapping = RankMapping::RoundRobin;
+        let noise = NoiseModel::realistic(11);
+        let cfg = ProfilingConfig::fast();
+        let full = measure_profile(&machine, &mapping, 8, noise, &cfg);
+        let (clustered, report) =
+            measure_profile_clustered(&machine, &mapping, 8, noise, &SweepConfig::exact(cfg));
+        assert!(bit_equal(&full.cost, &clustered.cost));
+        assert_eq!(report.measurements, 8 * 7 / 2 + 8);
+        assert_eq!(report.growth_rounds, 0);
+    }
+
+    #[test]
+    fn zero_explosion_tolerance_degrades_to_exhaustive_bit_for_bit() {
+        // With the explosion tolerance at 0, every class with any
+        // measurable scatter is exploded: all members get measured
+        // individually under their own sub-seeds, so the whole profile
+        // must equal the exhaustive sweep bit for bit — *with topology
+        // classing still on*.
+        let machine = MachineSpec::dual_quad_cluster(2);
+        let mapping = RankMapping::Block;
+        let noise = NoiseModel::realistic(13);
+        let cfg = ProfilingConfig::fast();
+        let full = measure_profile(&machine, &mapping, 16, noise, &cfg);
+        let sweep_cfg = SweepConfig {
+            explode_rel_tol: 0.0,
+            ..SweepConfig::fast()
+        };
+        let (clustered, report) =
+            measure_profile_clustered(&machine, &mapping, 16, noise, &sweep_cfg);
+        assert_eq!(report.exploded_pair_classes, 4);
+        assert_eq!(report.exploded_diag_classes, 2);
+        assert!(bit_equal(&full.cost, &clustered.cost));
+        // Explosion re-measures all 120 pairs + 16 diags on top of the
+        // class representatives and probes.
+        assert!(report.measurements >= 120 + 16, "{}", report.measurements);
+    }
+
+    #[test]
+    fn tight_classes_never_explode() {
+        let machine = MachineSpec::dual_quad_cluster(2);
+        let (_, report) = measure_profile_clustered(
+            &machine,
+            &RankMapping::Block,
+            16,
+            NoiseModel::none(),
+            &SweepConfig {
+                explode_rel_tol: 0.05,
+                ..SweepConfig::fast()
+            },
+        );
+        assert_eq!(report.exploded_pair_classes, 0);
+        assert_eq!(report.exploded_diag_classes, 0);
+    }
+
+    #[test]
+    fn clustered_sweep_is_close_to_exhaustive_under_noise() {
+        let machine = MachineSpec::dual_quad_cluster(2);
+        let mapping = RankMapping::Block;
+        let noise = NoiseModel::realistic(5);
+        let cfg = ProfilingConfig::fast();
+        let full = measure_profile(&machine, &mapping, 16, noise, &cfg);
+        let (clustered, report) =
+            measure_profile_clustered(&machine, &mapping, 16, noise, &SweepConfig::fast());
+        assert_eq!(report.pair_classes, 4);
+        // Round 0 measures ≤ 18 descriptors (4 pair + 2 diag classes, ≤ 3
+        // samples each); even with both growth rounds firing that is ≤ 54 —
+        // well under the exhaustive 120 pairs + 16 diags.
+        assert!(report.measurements <= 54, "{}", report.measurements);
+        let mut worst = 0.0f64;
+        for i in 0..16 {
+            for j in 0..16 {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = (clustered.cost.o[(i, j)], full.cost.o[(i, j)]);
+                worst = worst.max((a - b).abs() / b);
+                let (a, b) = (clustered.cost.l[(i, j)], full.cost.l[(i, j)]);
+                worst = worst.max((a - b).abs() / b);
+            }
+        }
+        assert!(worst < 0.2, "worst clustered-vs-full error {worst}");
+    }
+
+    #[test]
+    fn clustered_profile_is_symmetric_and_complete() {
+        let machine = MachineSpec::dual_hex_cluster(2);
+        let (prof, _) = measure_profile_clustered(
+            &machine,
+            &RankMapping::RoundRobin,
+            20,
+            NoiseModel::realistic(3),
+            &SweepConfig::fast(),
+        );
+        assert!(prof.cost.o.is_symmetric());
+        assert!(prof.cost.l.is_symmetric());
+        for i in 0..20 {
+            assert!(prof.cost.o[(i, i)] > 0.0);
+            assert_eq!(prof.cost.l[(i, i)], 0.0);
+            for j in 0..20 {
+                if i != j {
+                    assert!(prof.cost.o[(i, j)] > 0.0, "hole at ({i},{j})");
+                    assert!(prof.cost.l[(i, j)] > 0.0, "hole at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_executors_agree() {
+        let machine = MachineSpec::new(2, 1, 2);
+        let noise = NoiseModel::realistic(7);
+        let cfg = SweepConfig::fast();
+        let (a, _) = measure_profile_clustered(&machine, &RankMapping::Block, 4, noise, &cfg);
+        let mut seq = SequentialExecutor::new(machine.clone(), noise, cfg.profiling.clone());
+        let (b, _) =
+            measure_profile_decomposed(&machine, &RankMapping::Block, 4, noise, &cfg, &mut seq)
+                .unwrap();
+        assert!(bit_equal(&a.cost, &b.cost));
+    }
+
+    #[test]
+    fn adaptive_growth_triggers_on_loose_tolerance() {
+        let machine = MachineSpec::dual_quad_cluster(2);
+        // Absurdly tight tolerance: every multi-member class must grow to
+        // the cap.
+        let cfg = SweepConfig {
+            ci_rel_tol: 1e-12,
+            max_growth_rounds: 2,
+            ..SweepConfig::fast()
+        };
+        let (_, report) = measure_profile_clustered(
+            &machine,
+            &RankMapping::Block,
+            16,
+            NoiseModel::realistic(1),
+            &cfg,
+        );
+        assert_eq!(report.growth_rounds, 2);
+        assert!(report.pair_stats.iter().any(|s| s.rep_scale == 4));
+        // And an infinite tolerance never grows.
+        let cfg = SweepConfig {
+            ci_rel_tol: f64::INFINITY,
+            ..SweepConfig::fast()
+        };
+        let (_, report) = measure_profile_clustered(
+            &machine,
+            &RankMapping::Block,
+            16,
+            NoiseModel::realistic(1),
+            &cfg,
+        );
+        assert_eq!(report.growth_rounds, 0);
+    }
+
+    #[test]
+    fn report_reduction_factor_reflects_classing() {
+        let machine = MachineSpec::dual_quad_cluster(4);
+        let (_, report) = measure_profile_clustered(
+            &machine,
+            &RankMapping::Block,
+            32,
+            NoiseModel::none(),
+            &SweepConfig::fast(),
+        );
+        // 3 pair classes + 2 diag classes, ≤ 3 probes each under fast()
+        // (2 probes configured) → far fewer measurements than 496 + 32.
+        assert!(report.reduction_factor(32) > 10.0);
+        assert_eq!(report.total_pairs, 496);
+    }
+
+    #[test]
+    fn noise_regime_quantization() {
+        assert_eq!(noise_regime_of(&NoiseModel::none()), 0);
+        let a = noise_regime_of(&NoiseModel::realistic(1));
+        let b = noise_regime_of(&NoiseModel::realistic(99));
+        assert_eq!(a, b, "seed must not affect the regime");
+        let quiet = NoiseModel {
+            jitter_sigma: 0.01,
+            ..NoiseModel::realistic(1)
+        };
+        assert_ne!(a, noise_regime_of(&quiet));
+    }
+
+    #[test]
+    fn descriptor_serde_roundtrip() {
+        let d = PairWorkDescriptor {
+            id: 7,
+            kind: WorkKind::Pair,
+            i: 3,
+            j: 900_000,
+            core_a: 12,
+            core_b: 4095,
+            sub_seed: 0xDEAD_BEEF_CAFE_F00D,
+            rep_scale: 4,
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: PairWorkDescriptor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        let s = PairSample {
+            id: 7,
+            o: 1.25e-6,
+            l: -0.0,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: PairSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, s.id);
+        assert_eq!(back.o, s.o);
+    }
+}

@@ -1,0 +1,273 @@
+//! Integration tests of the decomposed profiling sweep: singleton-regime
+//! bit-parity, clustered-vs-exhaustive error bounds on the paper
+//! clusters, wire-format round trips, and the loopback driver↔worker
+//! fleet with a mid-sweep crash.
+
+use hbar_simnet::distrib::{
+    serve_worker, shutdown_worker, FleetExecutor, FleetOptions, WorkerFault,
+};
+use hbar_simnet::profiling::{measure_profile, ProfilingConfig};
+use hbar_simnet::sweep::{
+    measure_profile_clustered, measure_profile_decomposed, PairSample, PairWorkDescriptor,
+    SweepConfig, WorkKind,
+};
+use hbar_simnet::wire::JobHeader;
+use hbar_simnet::NoiseModel;
+use hbar_topo::machine::MachineSpec;
+use hbar_topo::mapping::RankMapping;
+use hbar_topo::profile::TopologyProfile;
+use proptest::prelude::*;
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// Bit-level equality of two profiles' cost matrices.
+fn bits_equal(a: &TopologyProfile, b: &TopologyProfile) -> bool {
+    a.cost
+        .o
+        .as_slice()
+        .iter()
+        .zip(b.cost.o.as_slice())
+        .all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.cost
+            .l
+            .as_slice()
+            .iter()
+            .zip(b.cost.l.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Worst relative off-diagonal error of `a` against reference `b`.
+fn worst_rel_error(a: &TopologyProfile, b: &TopologyProfile) -> f64 {
+    let mut worst = 0.0f64;
+    for i in 0..a.p {
+        for j in 0..a.p {
+            if i == j {
+                continue;
+            }
+            let (x, y) = (a.cost.o[(i, j)], b.cost.o[(i, j)]);
+            worst = worst.max((x - y).abs() / y);
+            let (x, y) = (a.cost.l[(i, j)], b.cost.l[(i, j)]);
+            worst = worst.max((x - y).abs() / y);
+        }
+    }
+    worst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Singleton-class property: when every pair is its own class, the
+    /// clustered sweep IS the exhaustive sweep — bit for bit, for any
+    /// machine shape, mapping, and noise seed.
+    #[test]
+    fn singleton_regime_is_bit_identical_to_exhaustive(
+        (nodes, sockets, cores) in (1usize..=2, 1usize..=2, 1usize..=3),
+        p in 2usize..=8,
+        seed in 0u64..1000,
+        round_robin in any::<bool>(),
+    ) {
+        let machine = MachineSpec::new(nodes, sockets, cores);
+        prop_assume!(p <= machine.total_cores());
+        let mapping = if round_robin { RankMapping::RoundRobin } else { RankMapping::Block };
+        let noise = NoiseModel::realistic(seed);
+        let cfg = ProfilingConfig::fast();
+        let exhaustive = measure_profile(&machine, &mapping, p, noise, &cfg);
+        let (clustered, report) = measure_profile_clustered(
+            &machine,
+            &mapping,
+            p,
+            noise,
+            &SweepConfig::exact(cfg),
+        );
+        prop_assert!(bits_equal(&exhaustive, &clustered));
+        prop_assert_eq!(report.measurements, p * (p - 1) / 2 + p);
+    }
+}
+
+/// Clustered estimates stay within the recorded error bound of the
+/// exhaustive sweep on both paper clusters at P ∈ {16, 32, 64}.
+///
+/// The bound here (20%) is for the `fast()` test schedule, whose few
+/// repetitions leave substantial residual noise in *both* sweeps (the
+/// worst observed gap, ~15% on dual_hex at P = 32, is noise floor, not
+/// clustering bias — both estimates of the same pair wobble that much);
+/// the full schedule is held to ≤ 5% by the `profile-perf` harness
+/// (recorded in BENCH_profile.json).
+#[test]
+fn clustered_error_bounded_on_paper_clusters() {
+    for (name, machine) in [
+        ("dual_quad", MachineSpec::dual_quad_cluster(8)),
+        ("dual_hex", MachineSpec::dual_hex_cluster(6)),
+    ] {
+        for p in [16usize, 32, 64] {
+            let mapping = RankMapping::Block;
+            let noise = NoiseModel::realistic(2026);
+            let exhaustive =
+                measure_profile(&machine, &mapping, p, noise, &ProfilingConfig::fast());
+            let (clustered, report) =
+                measure_profile_clustered(&machine, &mapping, p, noise, &SweepConfig::fast());
+            let err = worst_rel_error(&clustered, &exhaustive);
+            assert!(
+                err < 0.2,
+                "{name} P={p}: clustered error {err} out of bound"
+            );
+            assert!(
+                report.measurements < report.total_pairs + p,
+                "{name} P={p}: no reduction ({} measurements)",
+                report.measurements
+            );
+        }
+    }
+}
+
+/// JSON round trip of descriptor/response batches (the compact binary
+/// round trip is covered by `wire`'s unit tests).
+#[test]
+fn descriptor_batches_roundtrip_as_json() {
+    let batch: Vec<PairWorkDescriptor> = (0..5)
+        .map(|k| PairWorkDescriptor {
+            id: k,
+            kind: if k % 2 == 0 {
+                WorkKind::Pair
+            } else {
+                WorkKind::Diag
+            },
+            i: k * 7,
+            j: k * 7 + 1,
+            core_a: k,
+            core_b: k + 1,
+            sub_seed: 0x5EED ^ u64::from(k),
+            rep_scale: 1 << (k % 4),
+        })
+        .collect();
+    let json = serde_json::to_string(&batch).unwrap();
+    let back: Vec<PairWorkDescriptor> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, batch);
+
+    let responses = vec![
+        PairSample {
+            id: 0,
+            o: 2.625e-6,
+            l: 1.07e-7,
+        },
+        PairSample {
+            id: 1,
+            o: 3.5e-6,
+            l: 0.0,
+        },
+    ];
+    let json = serde_json::to_string(&responses).unwrap();
+    let back: Vec<PairSample> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), responses.len());
+    for (a, b) in back.iter().zip(&responses) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.o.to_bits(), b.o.to_bits());
+        assert_eq!(a.l.to_bits(), b.l.to_bits());
+    }
+
+    let job = JobHeader {
+        machine: MachineSpec::dual_quad_cluster(2),
+        noise: NoiseModel::realistic(1),
+        profiling: ProfilingConfig::fast(),
+    };
+    let json = serde_json::to_string(&job).unwrap();
+    let back: JobHeader = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, job);
+}
+
+/// Spawns a worker on an ephemeral loopback port, returning its address
+/// and join handle.
+fn spawn_worker(fault: WorkerFault) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || serve_worker(listener, fault));
+    (addr, handle)
+}
+
+/// The loopback fleet test: two workers on 127.0.0.1, one crashing
+/// mid-sweep (connection dropped after its first answered batch). The
+/// driver must requeue the in-flight batch, reconnect, and produce a
+/// merged profile bit-identical to the purely local sweep — with local
+/// fallback disabled, so every measurement demonstrably came through the
+/// fleet.
+#[test]
+fn loopback_fleet_survives_mid_sweep_crash_and_matches_local() {
+    let machine = MachineSpec::dual_quad_cluster(2);
+    let mapping = RankMapping::Block;
+    let noise = NoiseModel::realistic(77);
+    // Exact classes make the sweep big enough (120 pair + 16 diag
+    // descriptors) to spread over many small batches.
+    let sweep_cfg = SweepConfig::exact(ProfilingConfig::fast());
+    let p = 16;
+
+    let (local_profile, local_report) =
+        measure_profile_clustered(&machine, &mapping, p, noise, &sweep_cfg);
+
+    let (addr_a, handle_a) = spawn_worker(WorkerFault::DropConnectionOnce { after: 1 });
+    let (addr_b, handle_b) = spawn_worker(WorkerFault::None);
+    let mut fleet = FleetExecutor::for_sweep(
+        vec![addr_a.clone(), addr_b.clone()],
+        machine.clone(),
+        noise,
+        sweep_cfg.profiling.clone(),
+        FleetOptions {
+            batch_size: 8,
+            reconnect_attempts: 4,
+            reconnect_backoff: Duration::from_millis(10),
+            local_fallback: false,
+        },
+    );
+    let (fleet_profile, fleet_report) =
+        measure_profile_decomposed(&machine, &mapping, p, noise, &sweep_cfg, &mut fleet)
+            .expect("fleet sweep must survive the crash");
+
+    assert!(
+        bits_equal(&local_profile, &fleet_profile),
+        "fleet-merged profile must be bit-identical to the local sweep"
+    );
+    assert_eq!(local_report.measurements, fleet_report.measurements);
+
+    shutdown_worker(&addr_a).expect("shutdown worker a");
+    shutdown_worker(&addr_b).expect("shutdown worker b");
+    handle_a.join().expect("join a").expect("worker a ok");
+    handle_b.join().expect("join b").expect("worker b ok");
+}
+
+/// A second fleet scenario: a worker that dies for good. The other
+/// worker must drain the whole queue alone.
+#[test]
+fn loopback_fleet_tolerates_permanent_worker_death() {
+    let machine = MachineSpec::new(2, 2, 2);
+    let mapping = RankMapping::RoundRobin;
+    let noise = NoiseModel::realistic(13);
+    let sweep_cfg = SweepConfig::exact(ProfilingConfig::fast());
+    let p = 8;
+
+    let (local_profile, _) = measure_profile_clustered(&machine, &mapping, p, noise, &sweep_cfg);
+
+    let (addr_a, handle_a) = spawn_worker(WorkerFault::DieAfter { after: 1 });
+    let (addr_b, handle_b) = spawn_worker(WorkerFault::None);
+    let mut fleet = FleetExecutor::for_sweep(
+        vec![addr_a, addr_b.clone()],
+        machine.clone(),
+        noise,
+        sweep_cfg.profiling.clone(),
+        FleetOptions {
+            batch_size: 4,
+            reconnect_attempts: 2,
+            reconnect_backoff: Duration::from_millis(5),
+            local_fallback: false,
+        },
+    );
+    let (fleet_profile, _) =
+        measure_profile_decomposed(&machine, &mapping, p, noise, &sweep_cfg, &mut fleet)
+            .expect("surviving worker must finish the sweep");
+    assert!(bits_equal(&local_profile, &fleet_profile));
+
+    handle_a
+        .join()
+        .expect("join a")
+        .expect("worker a exited by fault");
+    shutdown_worker(&addr_b).expect("shutdown worker b");
+    handle_b.join().expect("join b").expect("worker b ok");
+}

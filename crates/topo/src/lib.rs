@@ -24,10 +24,13 @@
 //! ([`cost`]), the regression statistics used to extract parameters from
 //! benchmark samples ([`regress`]), on-disk profiles ([`profile`]), the
 //! symmetrized metric view needed by SSS clustering ([`metric`]), heat-map
-//! rendering for Fig. 9 ([`heatmap`]), and the component-submatrix
-//! replication shortcut discussed in §IV-B ([`replicate`]).
+//! rendering for Fig. 9 ([`heatmap`]), the component-submatrix
+//! replication shortcut discussed in §IV-B ([`replicate`]), and its
+//! generalization to feature-vector pair classes ([`features`]) that the
+//! decomposed profiling sweep clusters on.
 
 pub mod cost;
+pub mod features;
 pub mod heatmap;
 pub mod library;
 pub mod machine;
@@ -38,6 +41,9 @@ pub mod regress;
 pub mod replicate;
 
 pub use cost::{CostMatrices, SendMode};
+pub use features::{
+    ExactExtractor, PairFeatureExtractor, PairFeatures, RankFeatures, TopologyExtractor,
+};
 pub use machine::{CoreId, GroundTruth, LinkClass, MachineSpec};
 pub use mapping::RankMapping;
 pub use profile::TopologyProfile;

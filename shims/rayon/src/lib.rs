@@ -75,10 +75,128 @@ impl<I: Send, R: Send, F: Fn(I) -> R + Sync> ParMap<I, F> {
         par_map_ordered(self.items, &self.f).into_iter().collect()
     }
 
+    /// Gathers results in input order, scheduling items dynamically with
+    /// work stealing instead of static contiguous chunks. Same output as
+    /// [`Self::collect`] (order-stable, bit-identical results), different
+    /// wall clock: use when item costs are wildly uneven — e.g. one class
+    /// representative growing its repetitions 8× while its neighbours
+    /// finish instantly — where static chunking strands whole chunks
+    /// behind one slow item.
+    pub fn collect_stealing<C: FromIterator<R>>(self) -> C {
+        par_map_ordered_stealing(self.items, &self.f)
+            .into_iter()
+            .collect()
+    }
+
     /// Sums results; addition order equals input order.
     pub fn sum<S: std::iter::Sum<R>>(self) -> S {
         par_map_ordered(self.items, &self.f).into_iter().sum()
     }
+}
+
+/// Work-stealing fork-join map with stable output order.
+///
+/// Each worker owns a contiguous index interval and pops from its front;
+/// an idle worker steals the back half of the largest remaining interval
+/// (classic interval stealing — cache-friendly for the victim, balanced
+/// for the thief). Intervals are tiny `Mutex<(start, end)>`s: a lock is
+/// taken once per item pop and once per steal, which is noise next to the
+/// millisecond-scale items this shim schedules.
+fn par_map_ordered_stealing<I: Send, R: Send, F: Fn(I) -> R + Sync>(
+    items: Vec<I>,
+    f: &F,
+) -> Vec<R> {
+    use std::cell::UnsafeCell;
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    /// Slot arrays shared across workers. Safety: interval ownership
+    /// guarantees each index is popped (and therefore accessed) by exactly
+    /// one worker, and the scope join orders all writes before the reads
+    /// below.
+    struct Slots<'a, T>(&'a [UnsafeCell<T>]);
+    unsafe impl<T: Send> Sync for Slots<'_, T> {}
+
+    let inputs: Vec<UnsafeCell<Option<I>>> = items
+        .into_iter()
+        .map(|v| UnsafeCell::new(Some(v)))
+        .collect();
+    let mut outputs: Vec<UnsafeCell<Option<R>>> = Vec::with_capacity(n);
+    outputs.resize_with(n, || UnsafeCell::new(None));
+    let in_slots = Slots(&inputs);
+    let out_slots = Slots(&outputs);
+
+    let chunk = n.div_ceil(threads);
+    let intervals: Vec<Mutex<(usize, usize)>> = (0..threads)
+        .map(|t| Mutex::new(((t * chunk).min(n), ((t + 1) * chunk).min(n))))
+        .collect();
+    let intervals = &intervals;
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let in_slots = &in_slots;
+            let out_slots = &out_slots;
+            scope.spawn(move || loop {
+                // Pop the front of our own interval.
+                let mine = {
+                    let mut iv = intervals[t].lock().expect("interval lock");
+                    if iv.0 < iv.1 {
+                        let i = iv.0;
+                        iv.0 += 1;
+                        Some(i)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(i) = mine {
+                    // Safety: index `i` was popped exactly once (see Slots).
+                    unsafe {
+                        let item = (*in_slots.0[i].get()).take().expect("popped twice");
+                        *out_slots.0[i].get() = Some(f(item));
+                    }
+                    continue;
+                }
+                // Steal the back half of the largest other interval.
+                let victim = (0..threads)
+                    .filter(|&v| v != t)
+                    .map(|v| {
+                        let iv = intervals[v].lock().expect("interval lock");
+                        (v, iv.1.saturating_sub(iv.0))
+                    })
+                    .max_by_key(|&(_, len)| len);
+                match victim {
+                    Some((v, len)) if len > 0 => {
+                        let stolen = {
+                            let mut iv = intervals[v].lock().expect("interval lock");
+                            let avail = iv.1.saturating_sub(iv.0);
+                            if avail == 0 {
+                                None
+                            } else {
+                                let take = avail.div_ceil(2);
+                                let range = (iv.1 - take, iv.1);
+                                iv.1 -= take;
+                                Some(range)
+                            }
+                        };
+                        if let Some(range) = stolen {
+                            *intervals[t].lock().expect("interval lock") = range;
+                        }
+                    }
+                    _ => break, // nothing anywhere: all work popped
+                }
+            });
+        }
+    });
+
+    outputs
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker left a hole"))
+        .collect()
 }
 
 /// The core primitive: chunked fork-join map with stable output order.
@@ -182,5 +300,55 @@ mod tests {
     fn sum_matches_sequential() {
         let total: u64 = (0..257usize).into_par_iter().map(|i| i as u64).sum();
         assert_eq!(total, 256 * 257 / 2);
+    }
+
+    #[test]
+    fn stealing_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect_stealing();
+        assert_eq!(squares, (0..1000).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_balances_skewed_costs() {
+        // One pathological item at the front of the range: static chunking
+        // would strand the first chunk behind it; stealing must still
+        // return the right answer (timing is not asserted, only totals).
+        let out: Vec<u64> = (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                let spins = if i == 0 { 200_000 } else { 200 };
+                let mut acc = i as u64;
+                for k in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                acc ^ i as u64
+            })
+            .collect_stealing();
+        assert_eq!(out.len(), 64);
+        let seq: Vec<u64> = (0..64usize)
+            .map(|i| {
+                let spins = if i == 0 { 200_000 } else { 200 };
+                let mut acc = i as u64;
+                for k in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                acc ^ i as u64
+            })
+            .collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn stealing_handles_tiny_inputs() {
+        let one: Vec<usize> = vec![7usize]
+            .into_par_iter()
+            .map(|i| i + 1)
+            .collect_stealing();
+        assert_eq!(one, vec![8]);
+        let empty: Vec<usize> = Vec::<usize>::new()
+            .into_par_iter()
+            .map(|i| i)
+            .collect_stealing();
+        assert!(empty.is_empty());
     }
 }

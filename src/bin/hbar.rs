@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! hbar profile  --machine 8x2x4 --mapping rr --ranks 64 --out prof.json [--fast] [--seed N] [--exact-machine]
+//!               [--clustered] [--probes N] [--workers HOST:PORT,...] [--stop-workers]
+//! hbar profile-worker --listen HOST:PORT
 //! hbar tune     --profile prof.json --out sched.json [--extended] [--exact-scoring] [--sparseness F]
 //! hbar predict  --profile prof.json --schedule sched.json
 //! hbar verify   --schedule sched.json
@@ -13,6 +15,12 @@
 //!
 //! Machines are `NODESxSOCKETSxCORES` (e.g. `8x2x4`) or the presets
 //! `cluster-a` / `cluster-b`; mappings are `rr` (round-robin) or `block`.
+//!
+//! `--clustered` switches profiling to the decomposed sweep (one
+//! representative benchmark per pair-feature equivalence class plus
+//! validation probes, scattered into the full matrices); `--workers`
+//! additionally shards the measurements across `hbar profile-worker`
+//! TCP processes, falling back to local execution if the fleet dies.
 
 use hbarrier::core::codegen::{c_source, compile_schedule, rust_source};
 use hbarrier::core::compose::{tune_hybrid_for, TunerConfig};
@@ -21,7 +29,11 @@ use hbarrier::core::schedule::BarrierSchedule;
 use hbarrier::core::verify;
 use hbarrier::prelude::*;
 use hbarrier::simnet::barrier::measure_schedule;
+use hbarrier::simnet::distrib::{
+    serve_worker, shutdown_worker, FleetExecutor, FleetOptions, WorkerFault,
+};
 use hbarrier::simnet::profiling::{measure_profile, ProfilingConfig};
+use hbarrier::simnet::sweep::{measure_profile_clustered, measure_profile_decomposed, SweepConfig};
 use hbarrier::simnet::NoiseModel;
 use hbarrier::topo::heatmap::render_labelled;
 use std::collections::HashMap;
@@ -46,6 +58,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(&args[1..])?;
     match cmd.as_str() {
         "profile" => cmd_profile(&flags),
+        "profile-worker" => cmd_profile_worker(&flags),
         "tune" => cmd_tune(&flags),
         "predict" => cmd_predict(&flags),
         "verify" => cmd_verify(&flags),
@@ -62,7 +75,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: hbar <profile|tune|predict|verify|simulate|codegen|heatmap|search> [--flag value]...\n\
+    "usage: hbar <profile|profile-worker|tune|predict|verify|simulate|codegen|heatmap|search> [--flag value]...\n\
      run `hbar help` or see the crate docs for flags"
         .to_string()
 }
@@ -79,7 +92,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         // Boolean flags take no value; value flags consume the next arg.
         let boolean = matches!(
             name,
-            "fast" | "extended" | "exact-scoring" | "exact-machine"
+            "fast" | "extended" | "exact-scoring" | "exact-machine" | "clustered" | "stop-workers"
         );
         if boolean {
             flags.insert(name.to_string(), "true".to_string());
@@ -144,6 +157,10 @@ fn cmd_profile(flags: &Flags) -> Result<(), String> {
         None => machine.total_cores(),
     };
     let out = req(flags, "out")?;
+    // --workers implies the decomposed sweep: only classed descriptor
+    // batches can be shipped over the wire.
+    let clustered = flags.contains_key("clustered") || flags.contains_key("workers");
+    let mut summary = format!("{} pairwise estimates", p * (p - 1) / 2);
     let profile = if flags.contains_key("exact-machine") {
         // Closed-form noise-free profile (no benchmarking).
         TopologyProfile::from_ground_truth_for(&machine, &mapping, p)
@@ -158,18 +175,77 @@ fn cmd_profile(flags: &Flags) -> Result<(), String> {
         } else {
             ProfilingConfig::default()
         };
-        measure_profile(&machine, &mapping, p, NoiseModel::realistic(seed), &cfg)
+        let noise = NoiseModel::realistic(seed);
+        if clustered {
+            let mut sweep_cfg = SweepConfig {
+                profiling: cfg,
+                ..SweepConfig::default()
+            };
+            if let Some(v) = flags.get("probes") {
+                sweep_cfg.probes_per_class = v.parse().map_err(|_| "bad --probes".to_string())?;
+            }
+            let (profile, report) = if let Some(list) = flags.get("workers") {
+                let addrs: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if addrs.is_empty() {
+                    return Err("--workers needs at least one HOST:PORT".to_string());
+                }
+                let mut fleet = FleetExecutor::for_sweep(
+                    addrs.clone(),
+                    machine.clone(),
+                    noise,
+                    sweep_cfg.profiling.clone(),
+                    FleetOptions::default(),
+                );
+                let result = measure_profile_decomposed(
+                    &machine, &mapping, p, noise, &sweep_cfg, &mut fleet,
+                )
+                .map_err(|e| format!("distributed sweep failed: {e}"))?;
+                if flags.contains_key("stop-workers") {
+                    for a in &addrs {
+                        if let Err(e) = shutdown_worker(a.as_str()) {
+                            eprintln!("warning: cannot stop worker {a}: {e}");
+                        }
+                    }
+                }
+                result
+            } else {
+                measure_profile_clustered(&machine, &mapping, p, noise, &sweep_cfg)
+            };
+            summary = format!(
+                "{} classes, {} measurements, {:.0}x fewer than exhaustive",
+                report.pair_classes + report.diag_classes,
+                report.measurements,
+                report.reduction_factor(p)
+            );
+            profile
+        } else {
+            measure_profile(&machine, &mapping, p, noise, &cfg)
+        }
     };
     profile
         .save(Path::new(out))
         .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
-        "profiled {} ranks on {} ({} pairwise estimates) -> {out}",
-        p,
-        machine.name,
-        p * (p - 1) / 2
+        "profiled {} ranks on {} ({summary}) -> {out}",
+        p, machine.name
     );
     Ok(())
+}
+
+fn cmd_profile_worker(flags: &Flags) -> Result<(), String> {
+    let listen = req(flags, "listen")?;
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    println!("profile worker listening on {local}");
+    serve_worker(listener, WorkerFault::None).map_err(|e| format!("worker failed: {e}"))
 }
 
 fn cmd_tune(flags: &Flags) -> Result<(), String> {

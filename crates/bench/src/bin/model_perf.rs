@@ -5,18 +5,23 @@
 //! SSS clustering — against the frozen pre-optimization copies in
 //! `hbar_bench::baseline_model` across rank counts, asserts bit-parity on
 //! every output (closures, cluster assignments, and tuned schedules), and
-//! writes the numbers to `BENCH_model.json`.
+//! writes interval estimates (median + 95% nonparametric CI, adaptive rep
+//! counts) and a reproducibility manifest to `BENCH_model.json`.
 //!
 //! ```text
 //! model-perf [--out FILE] [--reps N] [--quick]
 //! ```
 //!
-//! `--quick` restricts the sweep to P = 64/256 for CI smoke runs; the full
-//! sweep adds P = 1024.
+//! `--quick` restricts the sweep to P = 64/256 for CI smoke runs (the
+//! full sweep adds P = 1024) and shrinks the adaptive rep budget.
 
 use hbar_bench::baseline::tune_hybrid_costs_baseline;
 use hbar_bench::baseline_model::{
     baseline_knowledge_closure, baseline_sss_clusters, BaselineBitMat,
+};
+use hbar_bench::perf_cli::PerfArgs;
+use hbar_bench::stats::{
+    ratio_interval, time_estimate, Estimate, EstimatorSettings, Interval, RunManifest,
 };
 use hbar_core::clustering::{try_sss_clusters_with, SssScratch, SSS_DEFAULT_SPARSENESS};
 use hbar_core::compose::{tune_hybrid_costs_with, TunerConfig};
@@ -26,10 +31,8 @@ use hbar_topo::machine::MachineSpec;
 use hbar_topo::mapping::RankMapping;
 use hbar_topo::metric::DistanceMetric;
 use hbar_topo::profile::TopologyProfile;
-use serde::Value;
+use serde::{Serialize, Value};
 use std::hint::black_box;
-use std::path::PathBuf;
-use std::time::Instant;
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {
     Value::Object(
@@ -40,21 +43,22 @@ fn obj(entries: Vec<(&str, Value)>) -> Value {
     )
 }
 
-/// Per-call seconds: median over `reps` samples, each sample averaging
-/// `batch` consecutive calls. The batch shrinks with P so the frozen
-/// kernels (tens of milliseconds at P = 1024) keep the sweep short.
-fn time_median<F: FnMut()>(reps: usize, batch: usize, mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            for _ in 0..batch {
-                f();
-            }
-            t.elapsed().as_secs_f64() / batch as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    samples[samples.len() / 2]
+/// One harness row: point estimates for humans, intervals for rigor.
+fn row_entries(
+    before: &Estimate,
+    after: &Estimate,
+    speedup: f64,
+    speedup_ci: Interval,
+) -> Vec<(&'static str, Value)> {
+    vec![
+        ("before_s", Value::Float(before.median)),
+        ("after_s", Value::Float(after.median)),
+        ("speedup", Value::Float(speedup)),
+        ("speedup_ci_lo", Value::Float(speedup_ci.lo)),
+        ("speedup_ci_hi", Value::Float(speedup_ci.hi)),
+        ("before", before.to_value()),
+        ("after", after.to_value()),
+    ]
 }
 
 /// ⌈log₂ n⌉ dissemination stages: stage s sends i → (i + 2^s) mod n.
@@ -75,24 +79,17 @@ fn dissemination(n: usize) -> Vec<BoolMatrix> {
 }
 
 fn main() {
-    let mut out = PathBuf::from("BENCH_model.json");
-    let mut reps = 9usize;
-    let mut quick = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
-            "--reps" => {
-                reps = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--reps needs a positive integer");
-            }
-            "--quick" => quick = true,
-            other => panic!("unknown argument {other}"),
-        }
-    }
-    let ranks: &[usize] = if quick { &[64, 256] } else { &[64, 256, 1024] };
+    let args = PerfArgs::parse("BENCH_model.json");
+    let adaptive = if args.quick {
+        args.adaptive(3, 5)
+    } else {
+        args.adaptive(7, 25)
+    };
+    let ranks: &[usize] = if args.quick {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024]
+    };
 
     let mut closure_rows = Vec::new();
     let mut cluster_rows = Vec::new();
@@ -101,8 +98,8 @@ fn main() {
     let mut scratch = SssScratch::default();
 
     println!(
-        "{:>10} {:>6} {:>14} {:>14} {:>8}",
-        "kernel", "P", "before", "after", "speedup"
+        "{:>10} {:>6} {:>14} {:>14} {:>8} {:>18} {:>7}",
+        "kernel", "P", "before", "after", "speedup", "95% CI", "reps"
     );
     for &p in ranks {
         let batch = match p {
@@ -129,28 +126,32 @@ fn main() {
             "barrier verdict diverged at p={p}"
         );
 
-        let before = time_median(reps, batch, || {
+        let before = time_estimate(&adaptive, batch, || {
             black_box(baseline_knowledge_closure(p, black_box(&base_stages)));
         });
-        let after = time_median(reps, batch, || {
+        let after = time_estimate(&adaptive, batch, || {
             black_box(ws.closure(p, black_box(&stages)));
         });
-        let speedup = before / after;
+        let speedup = before.median / after.median;
+        let speedup_ci = ratio_interval(&before, &after);
         println!(
-            "{:>10} {:>6} {:>12.3}ms {:>12.3}ms {:>7.2}x",
+            "{:>10} {:>6} {:>12.3}ms {:>12.3}ms {:>7.2}x [{:>6.2}, {:>6.2}] {:>3}/{:<3}",
             "closure",
             p,
-            before * 1e3,
-            after * 1e3,
-            speedup
+            before.median * 1e3,
+            after.median * 1e3,
+            speedup,
+            speedup_ci.lo,
+            speedup_ci.hi,
+            before.n,
+            after.n
         );
-        closure_rows.push(obj(vec![
+        let mut entries = vec![
             ("ranks", Value::UInt(p as u64)),
             ("stages", Value::UInt(stages.len() as u64)),
-            ("before_s", Value::Float(before)),
-            ("after_s", Value::Float(after)),
-            ("speedup", Value::Float(speedup)),
-        ]));
+        ];
+        entries.extend(row_entries(&before, &after, speedup, speedup_ci));
+        closure_rows.push(obj(entries));
 
         // --- SSS clustering over a two-level machine metric. ---
         let machine = MachineSpec::new(p.div_ceil(8), 2, 4);
@@ -165,7 +166,7 @@ fn main() {
                 .expect("ground-truth metric is finite");
         assert_eq!(base_clusters, opt_clusters, "clusters diverged at p={p}");
 
-        let before = time_median(reps, batch, || {
+        let before = time_estimate(&adaptive, batch, || {
             black_box(baseline_sss_clusters(
                 black_box(&metric),
                 &members,
@@ -173,7 +174,7 @@ fn main() {
                 dia,
             ));
         });
-        let after = time_median(reps, batch, || {
+        let after = time_estimate(&adaptive, batch, || {
             black_box(
                 try_sss_clusters_with(
                     black_box(&metric),
@@ -185,22 +186,26 @@ fn main() {
                 .expect("finite"),
             );
         });
-        let speedup = before / after;
+        let speedup = before.median / after.median;
+        let speedup_ci = ratio_interval(&before, &after);
         println!(
-            "{:>10} {:>6} {:>12.3}ms {:>12.3}ms {:>7.2}x",
+            "{:>10} {:>6} {:>12.3}ms {:>12.3}ms {:>7.2}x [{:>6.2}, {:>6.2}] {:>3}/{:<3}",
             "sss",
             p,
-            before * 1e3,
-            after * 1e3,
-            speedup
+            before.median * 1e3,
+            after.median * 1e3,
+            speedup,
+            speedup_ci.lo,
+            speedup_ci.hi,
+            before.n,
+            after.n
         );
-        cluster_rows.push(obj(vec![
+        let mut entries = vec![
             ("ranks", Value::UInt(p as u64)),
             ("clusters", Value::UInt(base_clusters.len() as u64)),
-            ("before_s", Value::Float(before)),
-            ("after_s", Value::Float(after)),
-            ("speedup", Value::Float(speedup)),
-        ]));
+        ];
+        entries.extend(row_entries(&before, &after, speedup, speedup_ci));
+        cluster_rows.push(obj(entries));
 
         // --- Tuned-schedule parity: the end-to-end tune over the reworked
         // kernels must still emit the seed-era schedule. The frozen tuner is
@@ -220,8 +225,17 @@ fn main() {
         }
     }
 
+    let manifest = RunManifest::capture(
+        "model_kernels",
+        0, // deterministic kernels over ground-truth inputs, no noise
+        "dissemination-stage closure + SSS over ground-truth metrics; samples \
+         average size-scaled batches (20/8/2 calls at P=64/256/1024)",
+        "P/8 dual quad-core nodes, round-robin mapping",
+        EstimatorSettings::for_adaptive(&adaptive),
+    );
     let doc = obj(vec![
         ("benchmark", Value::Str("model_kernels".to_string())),
+        ("manifest", manifest.to_value()),
         (
             "before",
             Value::Str(
@@ -244,16 +258,20 @@ fn main() {
             "machine",
             Value::Str("P/8 dual quad-core nodes, round-robin mapping".to_string()),
         ),
-        ("reps_per_sample", Value::UInt(reps as u64)),
         (
             "statistic",
-            Value::Str("median wall-clock seconds".to_string()),
+            Value::Str(
+                "median wall-clock seconds with 95% binomial order-statistic CI; \
+                 reps adaptive until the relative CI half-width meets the target \
+                 or the budget is spent (see manifest.estimator)"
+                    .to_string(),
+            ),
         ),
         ("closure", Value::Array(closure_rows)),
         ("clustering", Value::Array(cluster_rows)),
         ("tune_parity_ranks", Value::Array(tune_parity)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serialize");
-    std::fs::write(&out, json + "\n").expect("write BENCH_model.json");
-    println!("wrote {}", out.display());
+    std::fs::write(&args.out, json + "\n").expect("write BENCH_model.json");
+    println!("wrote {}", args.out.display());
 }

@@ -20,27 +20,31 @@
 //!    scatter (4% multiplicative jitter amplified through the size
 //!    sweep), which clustering smooths over — so the number is reported,
 //!    not gated.
-//! 3. **Timing** — exhaustive vs clustered wall clock per rank count,
-//!    plus the headline clustered-only sweep at P = 4096 on the
-//!    dual-quad-derived synthetic machine, with the exhaustive cost at
-//!    that scale extrapolated from the measured per-pair cost (and
-//!    recorded as an extrapolation, not a measurement).
+//! 3. **Timing** — exhaustive vs clustered wall clock per rank count as
+//!    interval estimates (median + 95% nonparametric CI, adaptive rep
+//!    counts — the sweeps are seed-deterministic, so repeated runs
+//!    re-execute identical measurement plans and the dispersion is pure
+//!    harness noise), plus the headline clustered-only sweep at
+//!    P = 4096 on the dual-quad-derived synthetic machine, with the
+//!    exhaustive cost at that scale extrapolated from the measured
+//!    per-pair cost (and recorded as an extrapolation, not a
+//!    measurement).
 //!
 //! ```text
-//! profile-perf [--out FILE] [--quick] [--skip-4096]
+//! profile-perf [--out FILE] [--reps N] [--quick] [--skip-4096]
 //! ```
 
 use hbar_bench::baseline_profile::measure_profile_exhaustive_baseline;
+use hbar_bench::perf_cli::PerfArgs;
+use hbar_bench::stats::{ratio_interval, time_estimate, EstimatorSettings, RunManifest};
 use hbar_simnet::profiling::ProfilingConfig;
 use hbar_simnet::sweep::{measure_profile_clustered, SweepConfig};
 use hbar_simnet::NoiseModel;
 use hbar_topo::machine::MachineSpec;
 use hbar_topo::mapping::RankMapping;
 use hbar_topo::profile::TopologyProfile;
-use serde::Value;
+use serde::{Serialize, Value};
 use std::hint::black_box;
-use std::path::PathBuf;
-use std::time::Instant;
 
 const SEED: u64 = 42;
 
@@ -115,18 +119,15 @@ fn assert_bit_parity(a: &TopologyProfile, b: &TopologyProfile, label: &str) {
 }
 
 fn main() {
-    let mut out = PathBuf::from("BENCH_profile.json");
-    let mut quick = false;
-    let mut skip_4096 = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
-            "--quick" => quick = true,
-            "--skip-4096" => skip_4096 = true,
-            other => panic!("unknown argument {other}"),
-        }
-    }
+    let args = PerfArgs::parse("BENCH_profile.json");
+    let quick = args.quick;
+    // The sweeps under test run for seconds each; a handful of adaptive
+    // reps is what the budget affords.
+    let adaptive = if quick {
+        args.adaptive(2, 3)
+    } else {
+        args.adaptive(3, 5)
+    };
 
     // Parity is exercised under the *noisy* regime (bit-identity must
     // hold under any noise); the error bound is gated under the *quiet*
@@ -192,43 +193,57 @@ fn main() {
     let mut rows = Vec::new();
     let mut last_per_pair_cost = 0.0f64;
     println!(
-        "{:>6} {:>14} {:>14} {:>8} {:>9} {:>9} {:>9}",
-        "P", "exhaustive", "clustered", "speedup", "classes", "max_err", "mean_err"
+        "{:>6} {:>14} {:>14} {:>8} {:>7} {:>9} {:>9} {:>9}",
+        "P", "exhaustive", "clustered", "speedup", "reps", "classes", "max_err", "mean_err"
     );
     for &p in &error_ranks {
         let machine = machine_for(p);
-        let t = Instant::now();
-        let exhaustive = black_box(measure_profile_exhaustive_baseline(
-            &machine, &mapping, p, noise, &schedule,
-        ));
-        let before = t.elapsed().as_secs_f64();
-        let t = Instant::now();
-        let (clustered, report) = black_box(measure_profile_clustered(
-            &machine, &mapping, p, noise, &sweep_cfg,
-        ));
-        let after = t.elapsed().as_secs_f64();
+        // The sweeps are seed-deterministic: every adaptive rep re-runs
+        // the identical measurement plan, so one captured result speaks
+        // for all reps.
+        let mut exhaustive_result = None;
+        let before = time_estimate(&adaptive, 1, || {
+            exhaustive_result = Some(black_box(measure_profile_exhaustive_baseline(
+                &machine, &mapping, p, noise, &schedule,
+            )));
+        });
+        let exhaustive = exhaustive_result.take().expect("at least one rep ran");
+        let mut clustered_result = None;
+        let after = time_estimate(&adaptive, 1, || {
+            clustered_result = Some(black_box(measure_profile_clustered(
+                &machine, &mapping, p, noise, &sweep_cfg,
+            )));
+        });
+        let (clustered, report) = clustered_result.take().expect("at least one rep ran");
         let (max_err, mean_err) = rel_errors(&clustered, &exhaustive);
         assert!(
             max_err <= error_bound,
             "P={p}: clustered max relative error {max_err} exceeds bound {error_bound}"
         );
-        let speedup = before / after;
-        last_per_pair_cost = before / (p * (p - 1) / 2 + p) as f64;
+        let speedup = before.median / after.median;
+        let speedup_ci = ratio_interval(&before, &after);
+        last_per_pair_cost = before.median / (p * (p - 1) / 2 + p) as f64;
         println!(
-            "{:>6} {:>12.3}ms {:>12.3}ms {:>7.1}x {:>9} {:>8.4} {:>8.4}",
+            "{:>6} {:>12.3}ms {:>12.3}ms {:>7.1}x {:>3}/{:<3} {:>9} {:>8.4} {:>8.4}",
             p,
-            before * 1e3,
-            after * 1e3,
+            before.median * 1e3,
+            after.median * 1e3,
             speedup,
+            before.n,
+            after.n,
             report.pair_classes + report.diag_classes,
             max_err,
             mean_err
         );
         rows.push(obj(vec![
             ("ranks", Value::UInt(p as u64)),
-            ("exhaustive_s", Value::Float(before)),
-            ("clustered_s", Value::Float(after)),
+            ("exhaustive_s", Value::Float(before.median)),
+            ("clustered_s", Value::Float(after.median)),
             ("speedup", Value::Float(speedup)),
+            ("speedup_ci_lo", Value::Float(speedup_ci.lo)),
+            ("speedup_ci_hi", Value::Float(speedup_ci.hi)),
+            ("exhaustive", before.to_value()),
+            ("clustered", after.to_value()),
             ("pair_classes", Value::UInt(report.pair_classes as u64)),
             ("diag_classes", Value::UInt(report.diag_classes as u64)),
             ("measurements", Value::UInt(report.measurements as u64)),
@@ -294,22 +309,25 @@ fn main() {
     // benchmarks) is exactly what the decomposition exists to avoid, so
     // its cost is extrapolated from the measured per-pair cost above.
     let mut headline = Value::Null;
-    if !skip_4096 && !quick {
+    if !args.skip_4096 && !quick {
         let p = 4096usize;
         let machine = MachineSpec::new(512, 2, 4);
-        let t = Instant::now();
-        let (profile, report) = black_box(measure_profile_clustered(
-            &machine, &mapping, p, noise, &sweep_cfg,
-        ));
-        let clustered_s = t.elapsed().as_secs_f64();
+        let mut headline_result = None;
+        let clustered_est = time_estimate(&adaptive, 1, || {
+            headline_result = Some(black_box(measure_profile_clustered(
+                &machine, &mapping, p, noise, &sweep_cfg,
+            )));
+        });
+        let (profile, report) = headline_result.take().expect("at least one rep ran");
         assert_eq!(profile.p, p);
         let pairs = p * (p - 1) / 2 + p;
         let extrapolated_exhaustive_s = last_per_pair_cost * pairs as f64;
-        let speedup = extrapolated_exhaustive_s / clustered_s;
+        let speedup = extrapolated_exhaustive_s / clustered_est.median;
         println!(
-            "P=4096: clustered {:.2}s over {} classes / {} measurements; exhaustive \
-             extrapolates to {:.0}s ({:.0}x)",
-            clustered_s,
+            "P=4096: clustered {:.2}s (n={}) over {} classes / {} measurements; \
+             exhaustive extrapolates to {:.0}s ({:.0}x)",
+            clustered_est.median,
+            clustered_est.n,
             report.pair_classes + report.diag_classes,
             report.measurements,
             extrapolated_exhaustive_s,
@@ -317,7 +335,8 @@ fn main() {
         );
         headline = obj(vec![
             ("ranks", Value::UInt(p as u64)),
-            ("clustered_s", Value::Float(clustered_s)),
+            ("clustered_s", Value::Float(clustered_est.median)),
+            ("clustered", clustered_est.to_value()),
             ("pair_classes", Value::UInt(report.pair_classes as u64)),
             ("diag_classes", Value::UInt(report.diag_classes as u64)),
             ("measurements", Value::UInt(report.measurements as u64)),
@@ -339,11 +358,23 @@ fn main() {
         ]);
     }
 
+    let manifest = RunManifest::capture(
+        "measure_profile_clustered",
+        SEED,
+        if quick {
+            "ProfilingConfig::fast (--quick); SweepConfig::fast classing"
+        } else {
+            "ProfilingConfig::default (paper §IV-A); SweepConfig::default classing"
+        },
+        "dual quad-core nodes (cluster-A-derived), block placement",
+        EstimatorSettings::for_adaptive(&adaptive),
+    );
     let doc = obj(vec![
         (
             "benchmark",
             Value::Str("measure_profile_clustered".to_string()),
         ),
+        ("manifest", manifest.to_value()),
         (
             "before",
             Value::Str(
@@ -357,9 +388,9 @@ fn main() {
             Value::Str(
                 "decomposed sweep: feature-vector pair clustering (interconnect class, \
                  hop signature, socket relation, noise regime), one representative + \
-                 validation probes per class with adaptive repetition growth, \
-                 work-stealing local fan-out, estimates scattered into the |P|^2 \
-                 matrices"
+                 validation probes per class with adaptive repetition growth \
+                 (hbar_stats::StoppingRule), work-stealing local fan-out, estimates \
+                 scattered into the |P|^2 matrices"
                     .to_string(),
             ),
         ),
@@ -374,6 +405,16 @@ fn main() {
             } else {
                 "ProfilingConfig::default (paper §IV-A)".to_string()
             }),
+        ),
+        (
+            "statistic",
+            Value::Str(
+                "median wall-clock seconds with 95% binomial order-statistic CI; reps \
+                 adaptive (see manifest.estimator). The timed sweeps are \
+                 seed-deterministic, so rep dispersion is harness noise, not \
+                 measurement noise"
+                    .to_string(),
+            ),
         ),
         (
             "parity",
@@ -413,6 +454,6 @@ fn main() {
         ("headline_p4096", headline),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serialize");
-    std::fs::write(&out, json + "\n").expect("write BENCH_profile.json");
-    println!("wrote {}", out.display());
+    std::fs::write(&args.out, json + "\n").expect("write BENCH_profile.json");
+    println!("wrote {}", args.out.display());
 }

@@ -3,8 +3,9 @@
 //! Times the full §IV-A profiling sweep (`measure_profile`, the
 //! reusable-engine/amortized-program path) against the frozen pre-rework
 //! stack (`hbar_bench::baseline_engine` with its verbatim Box–Muller
-//! sampler) across rank counts, and writes the numbers to
-//! `BENCH_simnet.json` together with a single-run events/sec figure.
+//! sampler) across rank counts, and writes interval estimates (median +
+//! 95% nonparametric CI, adaptive rep counts), a single-run events/sec
+//! estimate, and a reproducibility manifest to `BENCH_simnet.json`.
 //!
 //! Correctness and speed are checked against two baseline variants:
 //! the **parity** sweep runs the frozen engine with the reworked shared
@@ -20,9 +21,11 @@
 //!
 //! `--quick` shrinks the schedule to a CI-sized parity smoke test: the
 //! bit-parity assertions still run on every matrix entry, but with the
-//! reduced [`ProfilingConfig::fast`] schedule and fewer timing samples.
+//! reduced [`ProfilingConfig::fast`] schedule and a tiny rep budget.
 
 use hbar_bench::baseline_engine::{measure_profile_baseline, BaselineNoise};
+use hbar_bench::perf_cli::PerfArgs;
+use hbar_bench::stats::{ratio_interval, time_estimate, EstimatorSettings, RunManifest};
 use hbar_core::algorithms::Algorithm;
 use hbar_simnet::barrier::schedule_programs;
 use hbar_simnet::profiling::{measure_profile, ProfilingConfig};
@@ -30,10 +33,8 @@ use hbar_simnet::world::{SimConfig, SimWorld};
 use hbar_simnet::NoiseModel;
 use hbar_topo::machine::MachineSpec;
 use hbar_topo::mapping::RankMapping;
-use serde::Value;
+use serde::{Serialize, Value};
 use std::hint::black_box;
-use std::path::PathBuf;
-use std::time::Instant;
 
 const RANKS: [usize; 3] = [8, 16, 32];
 const SEED: u64 = 42;
@@ -47,24 +48,14 @@ fn obj(entries: Vec<(&str, Value)>) -> Value {
     )
 }
 
-/// Median wall-clock seconds of `f` over `reps` samples. Unlike the tuner
-/// harness there is no batching: one full profiling sweep already runs for
-/// long enough to time directly.
-fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    samples[samples.len() / 2]
-}
-
-/// Single-run engine throughput: events per wall-clock second executing a
-/// many-round dissemination barrier on a reused world.
-fn events_per_sec(machine: &MachineSpec, p: usize) -> f64 {
+/// Engine throughput: events per wall-clock second executing a
+/// many-round dissemination barrier on a reused world, with the run
+/// time itself measured adaptively.
+fn events_per_sec(
+    machine: &MachineSpec,
+    p: usize,
+    adaptive: &hbar_bench::stats::AdaptiveConfig,
+) -> (f64, f64, f64) {
     let members: Vec<usize> = (0..p).collect();
     let sched = Algorithm::Dissemination.full_schedule(p, &members);
     let programs = schedule_programs(&sched, 50);
@@ -77,33 +68,27 @@ fn events_per_sec(machine: &MachineSpec, p: usize) -> f64 {
         p,
     );
     // Warm the arenas once so the figure reflects steady-state reuse.
-    world.run(&programs).expect("barrier runs");
-    let t = Instant::now();
-    let result = world.run(&programs).expect("barrier runs");
-    result.events as f64 / t.elapsed().as_secs_f64()
+    let events = world.run(&programs).expect("barrier runs").events as f64;
+    let run_time = time_estimate(adaptive, 1, || {
+        black_box(world.run(&programs).expect("barrier runs"));
+    });
+    // Events per run are deterministic, so the throughput CI is the
+    // reciprocal image of the run-time CI.
+    (
+        events / run_time.median,
+        events / run_time.ci_hi,
+        events / run_time.ci_lo,
+    )
 }
 
 fn main() {
-    let mut out = PathBuf::from("BENCH_simnet.json");
-    let mut reps = 5usize;
-    let mut quick = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
-            "--reps" => {
-                reps = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--reps needs a positive integer");
-            }
-            "--quick" => quick = true,
-            other => panic!("unknown argument {other}"),
-        }
-    }
-
-    let cfg = if quick {
-        reps = reps.min(2);
+    let args = PerfArgs::parse("BENCH_simnet.json");
+    let adaptive = if args.quick {
+        args.adaptive(2, 3)
+    } else {
+        args.adaptive(5, 15)
+    };
+    let cfg = if args.quick {
         ProfilingConfig::fast()
     } else {
         ProfilingConfig::default()
@@ -113,8 +98,8 @@ fn main() {
 
     let mut rows = Vec::new();
     println!(
-        "{:>6} {:>14} {:>14} {:>8} {:>14}",
-        "P", "before", "after", "speedup", "events/s"
+        "{:>6} {:>14} {:>14} {:>8} {:>18} {:>7} {:>12}",
+        "P", "before", "after", "speedup", "95% CI", "reps", "events/s"
     );
     for p in RANKS {
         // Dual quad-core nodes like cluster A, but without its 8-node cap.
@@ -147,7 +132,7 @@ fn main() {
             assert_eq!(a.to_bits(), b.to_bits(), "L diverged at p={p}, entry {idx}");
         }
 
-        let before = time_median(reps, || {
+        let before = time_estimate(&adaptive, 1, || {
             black_box(measure_profile_baseline(
                 black_box(&machine),
                 &mapping,
@@ -157,7 +142,7 @@ fn main() {
                 &cfg,
             ));
         });
-        let after = time_median(reps, || {
+        let after = time_estimate(&adaptive, 1, || {
             black_box(measure_profile(
                 black_box(&machine),
                 &mapping,
@@ -166,27 +151,50 @@ fn main() {
                 &cfg,
             ));
         });
-        let speedup = before / after;
-        let eps = events_per_sec(&machine, p);
+        let speedup = before.median / after.median;
+        let speedup_ci = ratio_interval(&before, &after);
+        let (eps, eps_lo, eps_hi) = events_per_sec(&machine, p, &adaptive);
         println!(
-            "{:>6} {:>12.3}ms {:>12.3}ms {:>7.2}x {:>12.2}M",
+            "{:>6} {:>12.3}ms {:>12.3}ms {:>7.2}x [{:>6.2}, {:>6.2}] {:>3}/{:<3} {:>10.2}M",
             p,
-            before * 1e3,
-            after * 1e3,
+            before.median * 1e3,
+            after.median * 1e3,
             speedup,
+            speedup_ci.lo,
+            speedup_ci.hi,
+            before.n,
+            after.n,
             eps / 1e6
         );
         rows.push(obj(vec![
             ("ranks", Value::UInt(p as u64)),
-            ("before_s", Value::Float(before)),
-            ("after_s", Value::Float(after)),
+            ("before_s", Value::Float(before.median)),
+            ("after_s", Value::Float(after.median)),
             ("speedup", Value::Float(speedup)),
+            ("speedup_ci_lo", Value::Float(speedup_ci.lo)),
+            ("speedup_ci_hi", Value::Float(speedup_ci.hi)),
+            ("before", before.to_value()),
+            ("after", after.to_value()),
             ("events_per_sec", Value::Float(eps)),
+            ("events_per_sec_ci_lo", Value::Float(eps_lo)),
+            ("events_per_sec_ci_hi", Value::Float(eps_hi)),
         ]));
     }
 
+    let manifest = RunManifest::capture(
+        "measure_profile",
+        SEED,
+        if args.quick {
+            "ProfilingConfig::fast (--quick)"
+        } else {
+            "ProfilingConfig::default (paper §IV-A)"
+        },
+        "dual quad-core nodes (P/8), round-robin placement, NoiseModel::realistic",
+        EstimatorSettings::for_adaptive(&adaptive),
+    );
     let doc = obj(vec![
         ("benchmark", Value::Str("measure_profile".to_string())),
+        ("manifest", manifest.to_value()),
         (
             "before",
             Value::Str(
@@ -213,18 +221,19 @@ fn main() {
         ),
         (
             "schedule",
-            Value::Str(if quick {
+            Value::Str(if args.quick {
                 "ProfilingConfig::fast (--quick)".to_string()
             } else {
                 "ProfilingConfig::default (paper §IV-A)".to_string()
             }),
         ),
-        ("reps_per_sample", Value::UInt(reps as u64)),
         (
             "statistic",
             Value::Str(
-                "median wall-clock seconds of one full sweep; every sweep sample \
-                 point is itself a median of independent single-round runs"
+                "median wall-clock seconds of one full sweep with 95% binomial \
+                 order-statistic CI, reps adaptive (see manifest.estimator); every \
+                 sweep sample point is itself a median of independent single-round \
+                 runs"
                     .to_string(),
             ),
         ),
@@ -239,6 +248,6 @@ fn main() {
         ("results", Value::Array(rows)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serialize");
-    std::fs::write(&out, json + "\n").expect("write BENCH_simnet.json");
-    println!("wrote {}", out.display());
+    std::fs::write(&args.out, json + "\n").expect("write BENCH_simnet.json");
+    println!("wrote {}", args.out.display());
 }

@@ -3,25 +3,33 @@
 //! Times the full tuning pipeline (`tune_hybrid_costs_with`, the
 //! zero-allocation/memoized/parallel path) against the frozen
 //! pre-optimization baseline (`hbar_bench::baseline`) across rank
-//! counts, checks both emit bit-identical results, and writes the
-//! numbers to `BENCH_tuner.json`.
+//! counts, checks both emit bit-identical results, and writes interval
+//! estimates (median + 95% nonparametric CI, adaptive rep counts) and a
+//! reproducibility manifest to `BENCH_tuner.json`.
 //!
 //! ```text
-//! tuner-perf [--out FILE] [--reps N]
+//! tuner-perf [--out FILE] [--reps N] [--quick]
 //! ```
+//!
+//! `--reps` bounds the adaptive rep budget per measurement; `--quick`
+//! shrinks it for CI smokes.
 
 use hbar_bench::baseline::tune_hybrid_costs_baseline;
+use hbar_bench::perf_cli::PerfArgs;
+use hbar_bench::stats::{ratio_interval, time_estimate, EstimatorSettings, RunManifest};
 use hbar_core::compose::{tune_hybrid_costs_with, TunerConfig};
 use hbar_core::cost::CostEvaluator;
 use hbar_topo::machine::MachineSpec;
 use hbar_topo::mapping::RankMapping;
 use hbar_topo::profile::TopologyProfile;
-use serde::Value;
+use serde::{Serialize, Value};
 use std::hint::black_box;
-use std::path::PathBuf;
-use std::time::Instant;
 
 const RANKS: [usize; 4] = [16, 32, 64, 128];
+
+/// Samples average `BATCH` consecutive calls: the tuner runs in tens of
+/// microseconds, so single calls are too jittery to time directly.
+const BATCH: usize = 20;
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {
     Value::Object(
@@ -32,46 +40,19 @@ fn obj(entries: Vec<(&str, Value)>) -> Value {
     )
 }
 
-/// Per-call seconds: median over `reps` samples, each sample averaging
-/// `BATCH` consecutive calls (the tuner runs in tens of microseconds, so
-/// single calls are too jittery to time directly).
-fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    const BATCH: usize = 20;
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            for _ in 0..BATCH {
-                f();
-            }
-            t.elapsed().as_secs_f64() / BATCH as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    samples[samples.len() / 2]
-}
-
 fn main() {
-    let mut out = PathBuf::from("BENCH_tuner.json");
-    let mut reps = 15usize;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
-            "--reps" => {
-                reps = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--reps needs a positive integer");
-            }
-            other => panic!("unknown argument {other}"),
-        }
-    }
+    let args = PerfArgs::parse("BENCH_tuner.json");
+    let adaptive = if args.quick {
+        args.adaptive(3, 5)
+    } else {
+        args.adaptive(10, 40)
+    };
 
     let cfg = TunerConfig::default();
     let mut rows = Vec::new();
     println!(
-        "{:>6} {:>14} {:>14} {:>8}",
-        "P", "before", "after", "speedup"
+        "{:>6} {:>14} {:>14} {:>8} {:>18} {:>7}",
+        "P", "before", "after", "speedup", "95% CI", "reps"
     );
     for p in RANKS {
         // Dual quad-core nodes like cluster A, but without its 8-node
@@ -91,14 +72,14 @@ fn main() {
             "prediction diverged at p={p}"
         );
 
-        let before = time_median(reps, || {
+        let before = time_estimate(&adaptive, BATCH, || {
             black_box(tune_hybrid_costs_baseline(
                 black_box(&profile.cost),
                 &members,
                 &cfg,
             ));
         });
-        let after = time_median(reps, || {
+        let after = time_estimate(&adaptive, BATCH, || {
             black_box(tune_hybrid_costs_with(
                 black_box(&profile.cost),
                 &members,
@@ -106,24 +87,41 @@ fn main() {
                 &mut eval,
             ));
         });
-        let speedup = before / after;
+        let speedup = before.median / after.median;
+        let speedup_ci = ratio_interval(&before, &after);
         println!(
-            "{:>6} {:>12.3}ms {:>12.3}ms {:>7.2}x",
+            "{:>6} {:>12.3}ms {:>12.3}ms {:>7.2}x [{:>6.2}, {:>6.2}] {:>3}/{:<3}",
             p,
-            before * 1e3,
-            after * 1e3,
-            speedup
+            before.median * 1e3,
+            after.median * 1e3,
+            speedup,
+            speedup_ci.lo,
+            speedup_ci.hi,
+            before.n,
+            after.n
         );
         rows.push(obj(vec![
             ("ranks", Value::UInt(p as u64)),
-            ("before_s", Value::Float(before)),
-            ("after_s", Value::Float(after)),
+            ("before_s", Value::Float(before.median)),
+            ("after_s", Value::Float(after.median)),
             ("speedup", Value::Float(speedup)),
+            ("speedup_ci_lo", Value::Float(speedup_ci.lo)),
+            ("speedup_ci_hi", Value::Float(speedup_ci.hi)),
+            ("before", before.to_value()),
+            ("after", after.to_value()),
         ]));
     }
 
+    let manifest = RunManifest::capture(
+        "tune_hybrid_costs",
+        0, // the tuner path is deterministic: ground-truth profiles, no noise
+        "TunerConfig::default over ground-truth profiles; samples average 20-call batches",
+        "dual quad-core nodes (P/8), round-robin placement",
+        EstimatorSettings::for_adaptive(&adaptive),
+    );
     let doc = obj(vec![
         ("benchmark", Value::Str("tune_hybrid_costs".to_string())),
+        ("manifest", manifest.to_value()),
         (
             "before",
             Value::Str("frozen pre-optimization tuner (hbar_bench::baseline)".to_string()),
@@ -140,14 +138,18 @@ fn main() {
             "machine",
             Value::Str("dual_quad_cluster ground truth".to_string()),
         ),
-        ("reps_per_sample", Value::UInt(reps as u64)),
         (
             "statistic",
-            Value::Str("median wall-clock seconds".to_string()),
+            Value::Str(
+                "median wall-clock seconds with 95% binomial order-statistic CI; \
+                 reps adaptive until the relative CI half-width meets the target \
+                 or the budget is spent (see manifest.estimator)"
+                    .to_string(),
+            ),
         ),
         ("results", Value::Array(rows)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serialize");
-    std::fs::write(&out, json + "\n").expect("write BENCH_tuner.json");
-    println!("wrote {}", out.display());
+    std::fs::write(&args.out, json + "\n").expect("write BENCH_tuner.json");
+    println!("wrote {}", args.out.display());
 }

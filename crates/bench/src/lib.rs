@@ -28,8 +28,10 @@ pub mod context;
 pub mod data;
 pub mod delay;
 pub mod heatmap;
+pub mod perf_cli;
 pub mod performance;
 pub mod plot;
+pub mod stats;
 pub mod validation;
 
 pub use context::ExperimentContext;

@@ -1,0 +1,133 @@
+//! The one argument parser shared by the four `*-perf` bins.
+//!
+//! Before this module each bin carried its own copy-pasted
+//! `--out`/`--reps`/`--quick` loop; they have a single flag vocabulary
+//! now:
+//!
+//! ```text
+//! *-perf [--out FILE] [--reps N] [--quick] [--skip-4096]
+//! ```
+//!
+//! `--reps` sets the *adaptive rep budget* (the most samples any single
+//! measurement may draw — sampling stops earlier once the CI is tight),
+//! `--quick` selects each bin's reduced CI-smoke configuration, and
+//! `--skip-4096` is honored by `profile-perf` and ignored by the rest.
+
+use crate::stats::AdaptiveConfig;
+use std::path::PathBuf;
+
+/// Parsed command line of a `*-perf` bin.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfArgs {
+    /// Output document path (each bin's `BENCH_*.json` by default).
+    pub out: PathBuf,
+    /// Adaptive rep budget override (`--reps`).
+    pub reps: Option<usize>,
+    /// Reduced CI-smoke configuration (`--quick`).
+    pub quick: bool,
+    /// Skip the P = 4096 headline run (`--skip-4096`).
+    pub skip_4096: bool,
+}
+
+impl PerfArgs {
+    /// Parses the process arguments, with `default_out` as the output
+    /// path when `--out` is absent.
+    ///
+    /// # Panics
+    /// Panics (with the same messages the bins have always used) on an
+    /// unknown flag or a malformed value.
+    pub fn parse(default_out: &str) -> PerfArgs {
+        PerfArgs::parse_from(std::env::args().skip(1), default_out)
+    }
+
+    /// [`PerfArgs::parse`] over an explicit argument stream (testable).
+    ///
+    /// # Panics
+    /// Panics on an unknown flag or a malformed value.
+    pub fn parse_from(args: impl Iterator<Item = String>, default_out: &str) -> PerfArgs {
+        let mut parsed = PerfArgs {
+            out: PathBuf::from(default_out),
+            reps: None,
+            quick: false,
+            skip_4096: false,
+        };
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--out" => parsed.out = PathBuf::from(args.next().expect("--out needs a path")),
+                "--reps" => {
+                    parsed.reps = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .expect("--reps needs a positive integer"),
+                    );
+                }
+                "--quick" => parsed.quick = true,
+                "--skip-4096" => parsed.skip_4096 = true,
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        parsed
+    }
+
+    /// The adaptive measurement policy this command line asks for:
+    /// `--reps` overrides the budget (and pulls the floor down with it
+    /// when smaller), everything else keeps the bin's defaults.
+    pub fn adaptive(&self, default_min: usize, default_max: usize) -> AdaptiveConfig {
+        let max = self.reps.unwrap_or(default_max);
+        AdaptiveConfig::with_budget(default_min.min(max), max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> impl Iterator<Item = String> {
+        parts
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let d = PerfArgs::parse_from(argv(&[]), "BENCH_x.json");
+        assert_eq!(d.out, PathBuf::from("BENCH_x.json"));
+        assert_eq!(d.reps, None);
+        assert!(!d.quick && !d.skip_4096);
+
+        let p = PerfArgs::parse_from(
+            argv(&[
+                "--quick",
+                "--reps",
+                "7",
+                "--out",
+                "/tmp/o.json",
+                "--skip-4096",
+            ]),
+            "BENCH_x.json",
+        );
+        assert_eq!(p.out, PathBuf::from("/tmp/o.json"));
+        assert_eq!(p.reps, Some(7));
+        assert!(p.quick && p.skip_4096);
+    }
+
+    #[test]
+    fn reps_budget_pulls_the_floor_down() {
+        let p = PerfArgs::parse_from(argv(&["--reps", "3"]), "o");
+        let cfg = p.adaptive(10, 50);
+        assert_eq!((cfg.min_reps, cfg.max_reps), (3, 3));
+        let d = PerfArgs::parse_from(argv(&[]), "o");
+        let cfg = d.adaptive(10, 50);
+        assert_eq!((cfg.min_reps, cfg.max_reps), (10, 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flags_panic() {
+        PerfArgs::parse_from(argv(&["--frobnicate"]), "o");
+    }
+}

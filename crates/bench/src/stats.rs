@@ -1,0 +1,44 @@
+//! The statistically rigorous measurement core, re-exported.
+//!
+//! The implementation lives in the `hbar-stats` crate so that
+//! `hbar-simnet`'s decomposed sweep (which `hbar-bench` depends on) can
+//! share the exact same estimators and stopping rule without a
+//! dependency cycle. Harness code should reach it as
+//! `hbar_bench::stats::…`; everything public in `hbar-stats` is
+//! available here.
+//!
+//! The contract every `*-perf` bin follows:
+//!
+//! 1. time with [`measure_adaptive`]: reps grow until the median's
+//!    nonparametric CI is relatively tight or the `--reps` budget is
+//!    spent;
+//! 2. report [`Estimate`]s (median, CI, MAD, trimmed mean, outlier
+//!    count, rep count), never bare scalars — `before_s`/`after_s` stay
+//!    in the documents as the medians for human scanning, and `speedup`
+//!    carries a conservative [`ratio_interval`] CI;
+//! 3. stamp the document with a [`RunManifest`] (git revision, seed,
+//!    schedule/topology descriptors, host, command line, estimator
+//!    settings) so the run is reproducible and comparable.
+
+pub use hbar_stats::*;
+
+use std::time::Instant;
+
+/// One adaptively-stopped wall-clock measurement: each sample times
+/// `batch` consecutive calls of `f` and records the per-call mean in
+/// seconds (batching is how sub-microsecond kernels become timeable);
+/// sampling continues under `cfg` until the median CI is tight or the
+/// rep budget is spent.
+///
+/// # Panics
+/// Panics if `batch == 0`.
+pub fn time_estimate<F: FnMut()>(cfg: &AdaptiveConfig, batch: usize, mut f: F) -> Estimate {
+    assert!(batch > 0, "time_estimate needs a positive batch size");
+    measure_adaptive(cfg, || {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        t.elapsed().as_secs_f64() / batch as f64
+    })
+}

@@ -1,0 +1,139 @@
+//! Schema gate over every checked-in `BENCH_*.json`.
+//!
+//! Each perf document in the repository root must parse as JSON, carry a
+//! well-formed [`RunManifest`] at the current [`SCHEMA_VERSION`], and
+//! present its result rows with interval estimates — `speedup` flanked
+//! by `speedup_ci_lo`/`speedup_ci_hi` and full [`Estimate`] objects —
+//! not bare scalars. CI runs this suite so a manifest-less or malformed
+//! document cannot land.
+
+use hbar_bench::stats::{Estimate, RunManifest, SCHEMA_VERSION};
+use serde::{Deserialize, Value};
+use std::path::{Path, PathBuf};
+
+/// The repository root, two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+/// Every `BENCH_*.json` checked in at the repository root.
+fn bench_documents() -> Vec<(PathBuf, Value)> {
+    let mut docs = Vec::new();
+    for entry in std::fs::read_dir(repo_root()).expect("read repo root") {
+        let path = entry.expect("dir entry").path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+        let value: Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: malformed JSON: {e}"));
+        docs.push((path, value));
+    }
+    docs
+}
+
+/// The value at `key`, or a panic naming the document.
+fn field<'a>(doc: &'a Value, key: &str, name: &str) -> &'a Value {
+    doc.get(key)
+        .unwrap_or_else(|| panic!("{name}: missing `{key}`"))
+}
+
+/// Asserts one result row carries interval estimates, not bare scalars.
+fn check_row(row: &Value, context: &str) {
+    for key in ["speedup", "speedup_ci_lo", "speedup_ci_hi"] {
+        match field(row, key, context) {
+            Value::Float(x) => assert!(x.is_finite(), "{context}: `{key}` not finite"),
+            other => panic!("{context}: `{key}` is not a float: {other:?}"),
+        }
+    }
+    let lo = f64::from_value(field(row, "speedup_ci_lo", context)).expect("checked above");
+    let hi = f64::from_value(field(row, "speedup_ci_hi", context)).expect("checked above");
+    let point = f64::from_value(field(row, "speedup", context)).expect("checked above");
+    assert!(
+        lo <= point && point <= hi,
+        "{context}: speedup {point} outside its own CI [{lo}, {hi}]"
+    );
+    // The before/after key pair differs per harness (profile uses
+    // exhaustive/clustered); accept either spelling but require one.
+    let pair = [("before", "after"), ("exhaustive", "clustered")]
+        .into_iter()
+        .find(|(b, a)| row.get(b).is_some() && row.get(a).is_some())
+        .unwrap_or_else(|| panic!("{context}: no before/after estimate objects"));
+    for key in [pair.0, pair.1] {
+        let est = Estimate::from_value(field(row, key, context))
+            .unwrap_or_else(|e| panic!("{context}: `{key}` is not an Estimate: {e}"));
+        assert!(est.n >= 1, "{context}: `{key}` has no samples");
+        assert!(
+            est.ci_lo <= est.median && est.median <= est.ci_hi,
+            "{context}: `{key}` median outside its CI"
+        );
+        assert!(
+            (0.0..1.0).contains(&(1.0 - est.confidence)),
+            "{context}: `{key}` confidence {} out of range",
+            est.confidence
+        );
+    }
+}
+
+#[test]
+fn every_checked_in_bench_document_is_well_formed() {
+    let docs = bench_documents();
+    assert!(
+        docs.len() >= 4,
+        "expected the four perf documents at the repo root, found {}",
+        docs.len()
+    );
+    for (path, doc) in &docs {
+        let name = path.file_name().unwrap().to_string_lossy();
+        let manifest = RunManifest::from_value(field(doc, "manifest", &name))
+            .unwrap_or_else(|e| panic!("{name}: bad manifest: {e}"));
+        assert_eq!(
+            manifest.schema_version, SCHEMA_VERSION,
+            "{name}: stale schema version — regenerate the document"
+        );
+        assert!(!manifest.git_rev.is_empty(), "{name}: empty git_rev");
+        assert!(!manifest.schedule.is_empty(), "{name}: empty schedule");
+        assert!(!manifest.topology.is_empty(), "{name}: empty topology");
+        assert!(
+            manifest.estimator.max_reps >= manifest.estimator.min_reps,
+            "{name}: estimator budget inverted"
+        );
+        let bench_key = field(doc, "benchmark", &name);
+        assert_eq!(
+            bench_key,
+            &Value::Str(manifest.benchmark.clone()),
+            "{name}: document/manifest benchmark mismatch"
+        );
+    }
+}
+
+#[test]
+fn every_result_row_carries_interval_estimates() {
+    for (path, doc) in bench_documents() {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        // Every array of row objects in the document is held to the row
+        // schema; documents keep their rows under different keys
+        // (results, closure, clustering).
+        let mut row_arrays = 0;
+        for (key, value) in doc
+            .as_object()
+            .unwrap_or_else(|| panic!("{name}: not an object"))
+        {
+            let Value::Array(rows) = value else { continue };
+            if rows.iter().all(|r| r.get("ranks").is_some()) && !rows.is_empty() {
+                row_arrays += 1;
+                for (i, row) in rows.iter().enumerate() {
+                    check_row(row, &format!("{name}:{key}[{i}]"));
+                }
+            }
+        }
+        assert!(row_arrays >= 1, "{name}: no result rows found");
+    }
+}

@@ -14,7 +14,13 @@
 //!    under their own sub-seeds) that estimate the within-class scatter;
 //!    repetitions grow geometrically until the scatter is below the
 //!    configured tolerance (the Hunold & Carpen-Amarie prescription:
-//!    adaptive repetition, stop when the CI is tight). Work items are
+//!    adaptive repetition, stop when the CI is tight). The grow/stop
+//!    decision and the median/spread arithmetic are delegated to
+//!    [`hbar_stats`] ([`StoppingRule`], [`hbar_stats::rel_spread`],
+//!    [`hbar_stats::median`]) — the same implementation the `*-perf`
+//!    harnesses measure under, pinned bit-identical to the historical
+//!    in-module code by the `stopping_parity` regression test. Work
+//!    items are
 //!    self-contained [`PairWorkDescriptor`]s, so execution can fan out to
 //!    a work-stealing thread pool ([`LocalExecutor`]) or a TCP worker
 //!    fleet ([`crate::distrib`]) interchangeably;
@@ -38,6 +44,7 @@ use crate::noise::NoiseModel;
 use crate::profiling::{diag_sub_seed, measure_pair, pair_bench, pair_sub_seed, ProfilingConfig};
 use hbar_core::clustering::{classify_pairs, ClassingConfig, PairClassing};
 use hbar_matrix::DenseMatrix;
+use hbar_stats::StoppingRule;
 use hbar_topo::cost::CostMatrices;
 use hbar_topo::features::{ExactExtractor, PairFeatureExtractor, TopologyExtractor};
 use hbar_topo::machine::MachineSpec;
@@ -527,6 +534,14 @@ fn run_classed_sweep(
     let mut measurements = 0usize;
     let mut growth_rounds = 0u32;
 
+    // The shared stopping rule (also used by the `*-perf` harnesses via
+    // `hbar_stats::measure_adaptive`): grow while the relative scatter
+    // exceeds the tolerance, within the round budget.
+    let rule = StoppingRule {
+        rel_tol: cfg.ci_rel_tol,
+        max_rounds: cfg.max_growth_rounds,
+    };
+
     // Round 0 measures every class; later rounds re-measure only classes
     // whose scatter exceeds the tolerance, at doubled repetitions.
     let mut pending_pairs: Vec<usize> = (0..n_pair).collect();
@@ -596,7 +611,7 @@ fn run_classed_sweep(
         pending_pairs.retain(|&c| {
             let s = &mut pair_samples[c];
             let (so, sl) = rel_spreads(&s.values);
-            if so.max(sl) > cfg.ci_rel_tol {
+            if rule.should_grow(so.max(sl)) {
                 s.rep_scale *= 2;
                 true
             } else {
@@ -606,7 +621,7 @@ fn run_classed_sweep(
         pending_diags.retain(|&c| {
             let s = &mut diag_samples[c];
             let (so, _) = rel_spreads(&s.values);
-            if so > cfg.ci_rel_tol {
+            if rule.should_grow(so) {
                 s.rep_scale *= 2;
                 true
             } else {
@@ -823,36 +838,24 @@ fn run_classed_sweep(
     Ok((CostMatrices { o, l }, report))
 }
 
-/// Relative scatter of the `(o, l)` samples around their medians:
-/// `max |x − median| / max(|median|, ε)` per component.
+/// Relative scatter of the `(o, l)` samples around their medians,
+/// delegated component-wise to the shared rule
+/// ([`hbar_stats::rel_spread`]): `max |x − median| / max(|median|, ε)`,
+/// `0` for fewer than two samples. The shared implementation is
+/// bit-identical to the historical in-module one (pinned by the
+/// `stopping_parity` regression test).
 fn rel_spreads(values: &[(f64, f64)]) -> (f64, f64) {
-    if values.len() < 2 {
-        return (0.0, 0.0);
-    }
-    let (mo, ml) = medians(values);
-    let spread = |median: f64, pick: &dyn Fn(&(f64, f64)) -> f64| {
-        let denom = median.abs().max(1e-300);
-        values
-            .iter()
-            .map(|v| (pick(v) - median).abs() / denom)
-            .fold(0.0, f64::max)
-    };
-    (spread(mo, &|v| v.0), spread(ml, &|v| v.1))
+    let os: Vec<f64> = values.iter().map(|v| v.0).collect();
+    let ls: Vec<f64> = values.iter().map(|v| v.1).collect();
+    (hbar_stats::rel_spread(&os), hbar_stats::rel_spread(&ls))
 }
 
-/// Component-wise medians of the `(o, l)` samples.
+/// Component-wise medians of the `(o, l)` samples, delegated to
+/// [`hbar_stats::median`].
 fn medians(values: &[(f64, f64)]) -> (f64, f64) {
-    let med = |pick: &dyn Fn(&(f64, f64)) -> f64| {
-        let mut xs: Vec<f64> = values.iter().map(pick).collect();
-        xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite measurement"));
-        let n = xs.len();
-        if n % 2 == 1 {
-            xs[n / 2]
-        } else {
-            (xs[n / 2 - 1] + xs[n / 2]) / 2.0
-        }
-    };
-    (med(&|v| v.0), med(&|v| v.1))
+    let os: Vec<f64> = values.iter().map(|v| v.0).collect();
+    let ls: Vec<f64> = values.iter().map(|v| v.1).collect();
+    (hbar_stats::median(&os), hbar_stats::median(&ls))
 }
 
 /// Sequential single-descriptor executor used by the worker loop and

@@ -1,0 +1,95 @@
+//! Pins the decomposed sweep's adaptive-repetition behavior to golden
+//! hashes captured before the stopping rule was delegated to
+//! `hbar-stats`. The configuration deliberately drives every layer of
+//! the repetition logic — multi-member classes, validation probes, a
+//! tolerance tight enough to force growth rounds, and the explosion
+//! safety valve disabled — so any drift in the shared rule's arithmetic
+//! (median, relative spread, grow/stop decision) changes the scattered
+//! matrices and flips the hash.
+
+use hbar_simnet::profiling::ProfilingConfig;
+use hbar_simnet::sweep::{measure_profile_clustered, SweepConfig};
+use hbar_simnet::NoiseModel;
+use hbar_topo::machine::MachineSpec;
+use hbar_topo::mapping::RankMapping;
+use hbar_topo::profile::TopologyProfile;
+
+/// FNV-1a over the bit patterns of both cost matrices, row-major O then L.
+fn profile_fingerprint(p: &TopologyProfile) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |x: f64| {
+        for byte in x.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for v in p.cost.o.as_slice() {
+        eat(*v);
+    }
+    for v in p.cost.l.as_slice() {
+        eat(*v);
+    }
+    hash
+}
+
+/// The frozen configuration: fast schedule, 2 probes per class, a 1%
+/// tolerance that realistic noise cannot meet in round 0 (so growth
+/// rounds actually run), and no explosion.
+fn pinned_config() -> SweepConfig {
+    SweepConfig {
+        profiling: ProfilingConfig::fast(),
+        probes_per_class: 2,
+        probe_seed: 0,
+        ci_rel_tol: 0.01,
+        max_growth_rounds: 2,
+        explode_rel_tol: f64::INFINITY,
+        exact_classes: false,
+    }
+}
+
+fn pinned_profile(p: usize) -> (TopologyProfile, hbar_simnet::sweep::SweepReport) {
+    let machine = MachineSpec::dual_quad_cluster(p.div_ceil(8));
+    measure_profile_clustered(
+        &machine,
+        &RankMapping::Block,
+        p,
+        NoiseModel::realistic(42),
+        &pinned_config(),
+    )
+}
+
+#[test]
+fn adaptive_repetition_is_bit_identical_to_pre_refactor_behavior_p8() {
+    let (profile, report) = pinned_profile(8);
+    assert!(
+        report.growth_rounds > 0,
+        "the pinned tolerance must actually exercise the stopping rule"
+    );
+    assert_eq!(
+        profile_fingerprint(&profile),
+        GOLDEN_P8,
+        "clustered profile at P=8 diverged from the pre-refactor stopping rule"
+    );
+}
+
+#[test]
+fn adaptive_repetition_is_bit_identical_to_pre_refactor_behavior_p16() {
+    let (profile, report) = pinned_profile(16);
+    assert!(
+        report.growth_rounds > 0,
+        "the pinned tolerance must actually exercise the stopping rule"
+    );
+    assert_eq!(
+        profile_fingerprint(&profile),
+        GOLDEN_P16,
+        "clustered profile at P=16 diverged from the pre-refactor stopping rule"
+    );
+}
+
+/// Golden fingerprints captured from the pre-refactor sweep (the
+/// hand-rolled `rel_spreads`/`medians` in `sweep.rs` as of PR 7) under
+/// the pinned seeds above. Do not update these without demonstrating the
+/// new value reproduces the old measurement plan measurement-for-
+/// measurement.
+const GOLDEN_P8: u64 = 7051013349102083021;
+const GOLDEN_P16: u64 = 15183762971726166949;

@@ -1,0 +1,183 @@
+//! Confidence intervals: nonparametric order-statistic CIs for the
+//! median, and deterministic-seeded percentile bootstrap CIs for
+//! arbitrary estimators.
+
+use crate::estimators::sorted;
+use serde::{Deserialize, Serialize};
+
+/// A two-sided interval `[lo, hi]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Half the interval width.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Half-width relative to `|center|` (ε-guarded like the sweep's
+    /// relative spread, so a zero center cannot divide by zero).
+    pub fn rel_half_width(&self, center: f64) -> f64 {
+        self.half_width() / center.abs().max(1e-300)
+    }
+}
+
+/// Order-statistic indices (0-based, inclusive) of the distribution-free
+/// median CI at `confidence` for a sample of size `n`: the interval
+/// `[x_(lo), x_(hi)]` of the sorted sample has coverage ≥ `confidence`
+/// under `X ~ Binomial(n, ½)` counting samples below the true median.
+///
+/// When even the extreme order statistics cannot reach the requested
+/// coverage (tiny `n`: the full range `[x_(0), x_(n−1)]` has coverage
+/// `1 − 2^(1−n)`), the full range is returned — conservative, and the
+/// caller can detect it via `lo == 0`.
+///
+/// # Panics
+/// Panics if `n == 0` or `confidence ∉ (0, 1)`.
+pub fn median_ci_indices(n: usize, confidence: f64) -> (usize, usize) {
+    assert!(n > 0, "median CI of an empty sample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence {confidence} outside (0, 1)"
+    );
+    let alpha = 1.0 - confidence;
+    // Largest r ≥ 1 with P(X ≤ r−1) ≤ α/2 under Binomial(n, ½); the CI
+    // is then [x_(r), x_(n+1−r)] in 1-based order statistics. The pmf is
+    // walked iteratively: p(0) = 2^−n, p(i+1) = p(i)·(n−i)/(i+1).
+    let mut r = 0usize;
+    let mut pmf = 0.5f64.powi(i32::try_from(n).expect("sample size fits i32"));
+    let mut cdf = 0.0f64;
+    for i in 0..n {
+        cdf += pmf; // P(X ≤ i)
+        if cdf <= alpha / 2.0 {
+            r = i + 1;
+        } else {
+            break;
+        }
+        pmf = pmf * (n - i) as f64 / (i + 1) as f64;
+    }
+    if r == 0 {
+        (0, n - 1)
+    } else {
+        (r - 1, n - r)
+    }
+}
+
+/// Distribution-free CI for the median of `xs` (see
+/// [`median_ci_indices`]). Sorts internally; any sample order is fine.
+///
+/// # Panics
+/// Panics on an empty slice, NaN samples, or `confidence ∉ (0, 1)`.
+pub fn median_ci(xs: &[f64], confidence: f64) -> Interval {
+    let v = sorted(xs);
+    let (lo, hi) = median_ci_indices(v.len(), confidence);
+    Interval {
+        lo: v[lo],
+        hi: v[hi],
+    }
+}
+
+/// SplitMix64 step — the crate's only randomness, deterministic from the
+/// seed so every bootstrap interval is exactly reproducible.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Percentile-bootstrap CI for `estimator` over `xs`: `resamples`
+/// with-replacement resamples are drawn with a SplitMix64 stream seeded
+/// by `seed`, the estimator is applied to each, and the empirical
+/// `α/2` / `1 − α/2` quantiles of the resampled estimates bound the
+/// interval. Deterministic for fixed inputs.
+///
+/// # Panics
+/// Panics on an empty slice, `resamples == 0`, or
+/// `confidence ∉ (0, 1)`.
+pub fn bootstrap_ci(
+    xs: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+    estimator: fn(&[f64]) -> f64,
+) -> Interval {
+    assert!(!xs.is_empty(), "bootstrap over an empty sample");
+    assert!(resamples > 0, "bootstrap needs at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence {confidence} outside (0, 1)"
+    );
+    let n = xs.len();
+    let mut state = seed;
+    let mut resample = vec![0.0f64; n];
+    let mut estimates = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        for slot in &mut resample {
+            // Modulo bias is ≤ n/2^64 — immaterial against bootstrap noise.
+            *slot = xs[(splitmix64(&mut state) % n as u64) as usize];
+        }
+        estimates.push(estimator(&resample));
+    }
+    estimates.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite estimate"));
+    let alpha = 1.0 - confidence;
+    let b = estimates.len();
+    let lo_idx = ((alpha / 2.0) * b as f64).floor() as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * b as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(b - 1);
+    Interval {
+        lo: estimates[lo_idx],
+        hi: estimates[hi_idx.max(lo_idx)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::median;
+
+    #[test]
+    fn tiny_samples_fall_back_to_full_range() {
+        for n in 1..=5 {
+            assert_eq!(median_ci_indices(n, 0.95), (0, n - 1));
+        }
+    }
+
+    #[test]
+    fn indices_are_symmetric_and_tighten_with_n() {
+        let (lo8, hi8) = median_ci_indices(8, 0.95);
+        assert_eq!(lo8 + (8 - 1 - hi8), 2 * lo8, "symmetric trim");
+        let (lo100, hi100) = median_ci_indices(100, 0.95);
+        assert!(lo100 > lo8);
+        assert!(100 - hi100 < 100 / 2);
+        // Known textbook value: n = 100, 95% → r = 40 (1-based), so
+        // 0-based (39, 60).
+        assert_eq!((lo100, hi100), (39, 60));
+    }
+
+    #[test]
+    fn median_ci_brackets_the_sample_median() {
+        let xs: Vec<f64> = (0..41).map(f64::from).collect();
+        let iv = median_ci(&xs, 0.95);
+        let m = median(&xs);
+        assert!(iv.lo <= m && m <= iv.hi);
+        assert!(iv.lo > 0.0 && iv.hi < 40.0, "interval should be interior");
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_and_brackets() {
+        let xs: Vec<f64> = (0..25).map(|i| f64::from(i % 7) + 3.0).collect();
+        let a = bootstrap_ci(&xs, 0.95, 500, 42, median);
+        let b = bootstrap_ci(&xs, 0.95, 500, 42, median);
+        assert_eq!(a, b, "same seed, same interval");
+        let m = median(&xs);
+        assert!(a.lo <= m && m <= a.hi);
+    }
+}

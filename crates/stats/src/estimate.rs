@@ -1,0 +1,125 @@
+//! [`Estimate`] — the interval summary that replaces bare scalars in
+//! every `BENCH_*.json` row.
+
+use crate::ci::{median_ci, Interval};
+use crate::estimators::{mad, median, trimmed_mean};
+use crate::outliers::outlier_count;
+use serde::{Deserialize, Serialize};
+
+/// Trim fraction of the reported trimmed mean (10% per side).
+pub const TRIM_FRACTION: f64 = 0.1;
+
+/// A point estimate with dispersion, interval, and provenance counts.
+/// All time-valued fields are in the units of the underlying samples
+/// (seconds for the perf harnesses).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Samples the estimate was computed over.
+    pub n: usize,
+    /// Sample median — the headline point estimate.
+    pub median: f64,
+    /// Lower bound of the nonparametric median CI.
+    pub ci_lo: f64,
+    /// Upper bound of the nonparametric median CI.
+    pub ci_hi: f64,
+    /// CI confidence level (e.g. 0.95).
+    pub confidence: f64,
+    /// CI half-width relative to `|median|`.
+    pub rel_half_width: f64,
+    /// 10%-per-side trimmed mean, as a robust cross-check on the median.
+    pub trimmed_mean: f64,
+    /// Raw median absolute deviation (dispersion).
+    pub mad: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Samples flagged by the modified-z-score rule (flagged, not
+    /// dropped).
+    pub outliers: usize,
+    /// Whether the relative half-width met the adaptive target (false
+    /// means the rep budget was exhausted first — the estimate is still
+    /// honest, just wider than asked).
+    pub converged: bool,
+}
+
+impl Estimate {
+    /// Summarizes `xs` at `confidence`, marking convergence against
+    /// `rel_half_width_target`.
+    ///
+    /// # Panics
+    /// Panics on an empty slice or NaN samples.
+    pub fn from_samples(xs: &[f64], confidence: f64, rel_half_width_target: f64) -> Estimate {
+        let m = median(xs);
+        let iv = median_ci(xs, confidence);
+        let rel = iv.rel_half_width(m);
+        Estimate {
+            n: xs.len(),
+            median: m,
+            ci_lo: iv.lo,
+            ci_hi: iv.hi,
+            confidence,
+            rel_half_width: rel,
+            trimmed_mean: trimmed_mean(xs, TRIM_FRACTION),
+            mad: mad(xs),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            outliers: outlier_count(xs),
+            converged: rel <= rel_half_width_target,
+        }
+    }
+
+    /// The CI as an [`Interval`].
+    pub fn interval(&self) -> Interval {
+        Interval {
+            lo: self.ci_lo,
+            hi: self.ci_hi,
+        }
+    }
+}
+
+/// Conservative interval for the ratio `num / den` (e.g. a speedup
+/// `before / after`) from the operands' CIs: the ratio of a positive
+/// numerator interval against a positive denominator interval is
+/// bracketed by `[num.lo / den.hi, num.hi / den.lo]`.
+///
+/// # Panics
+/// Panics unless both intervals are strictly positive (timings are).
+pub fn ratio_interval(num: &Estimate, den: &Estimate) -> Interval {
+    assert!(
+        num.ci_lo > 0.0 && den.ci_lo > 0.0,
+        "ratio interval needs strictly positive operands"
+    );
+    Interval {
+        lo: num.ci_lo / den.ci_hi,
+        hi: num.ci_hi / den.ci_lo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_samples_is_internally_consistent() {
+        let xs: Vec<f64> = (1..=21).map(f64::from).collect();
+        let e = Estimate::from_samples(&xs, 0.95, 0.05);
+        assert_eq!(e.n, 21);
+        assert_eq!(e.median, 11.0);
+        assert!(e.ci_lo <= e.median && e.median <= e.ci_hi);
+        assert_eq!((e.min, e.max), (1.0, 21.0));
+        assert_eq!(e.outliers, 0);
+        assert_eq!(e.converged, e.rel_half_width <= 0.05);
+    }
+
+    #[test]
+    fn speedup_interval_brackets_the_point_ratio() {
+        let before: Vec<f64> = (0..15).map(|i| 2.0 + 0.01 * f64::from(i)).collect();
+        let after: Vec<f64> = (0..15).map(|i| 1.0 + 0.01 * f64::from(i)).collect();
+        let b = Estimate::from_samples(&before, 0.95, 0.05);
+        let a = Estimate::from_samples(&after, 0.95, 0.05);
+        let iv = ratio_interval(&b, &a);
+        let point = b.median / a.median;
+        assert!(iv.lo <= point && point <= iv.hi);
+    }
+}

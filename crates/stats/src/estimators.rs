@@ -1,0 +1,107 @@
+//! Robust point estimators over `f64` samples.
+//!
+//! All estimators take unsorted slices and are total-order safe for any
+//! finite input; NaN samples panic (a NaN measurement is a harness bug,
+//! not a statistic).
+
+/// Sorts a copy of `xs` ascending under the `partial_cmp` total order.
+///
+/// # Panics
+/// Panics if any sample is NaN.
+pub(crate) fn sorted(xs: &[f64]) -> Vec<f64> {
+    let mut v = xs.to_vec();
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite measurement"));
+    v
+}
+
+/// The sample median: middle order statistic, or the mean of the two
+/// middle order statistics for even lengths.
+///
+/// This reproduces, operation for operation, the median the decomposed
+/// profiling sweep has always computed — `sort_unstable_by(partial_cmp)`
+/// then `(x[n/2-1] + x[n/2]) / 2` — so delegating the sweep here is
+/// bit-neutral.
+///
+/// # Panics
+/// Panics on an empty slice or NaN samples.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of an empty sample");
+    let v = sorted(xs);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// The arithmetic mean.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of an empty sample");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// The symmetric trimmed mean: drops `⌊trim · n⌋` samples from each end
+/// of the sorted sample and averages the rest. `trim` must be in
+/// `[0, 0.5)`; `trim = 0` is the plain mean. If trimming would discard
+/// everything (tiny `n`), falls back to the median.
+///
+/// # Panics
+/// Panics on an empty slice, NaN samples, or `trim ∉ [0, 0.5)`.
+pub fn trimmed_mean(xs: &[f64], trim: f64) -> f64 {
+    assert!(!xs.is_empty(), "trimmed mean of an empty sample");
+    assert!(
+        (0.0..0.5).contains(&trim),
+        "trim fraction {trim} outside [0, 0.5)"
+    );
+    let v = sorted(xs);
+    let drop = (trim * v.len() as f64).floor() as usize;
+    let kept = &v[drop..v.len() - drop];
+    if kept.is_empty() {
+        return median(xs);
+    }
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// The median absolute deviation about the median (raw, no consistency
+/// constant): `median(|x_i − median(x)|)`. Multiply by 1.4826 to
+/// estimate a normal σ; the raw value is what the outlier flagging and
+/// the BENCH documents record.
+///
+/// # Panics
+/// Panics on an empty slice or NaN samples.
+pub fn mad(xs: &[f64]) -> f64 {
+    let m = median(xs);
+    let devs: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&devs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_matches_sweep_semantics() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[7.5]), 7.5);
+    }
+
+    #[test]
+    fn trimmed_mean_closed_form() {
+        // 20% of 5 trims one sample per end: mean of [2, 3, 4].
+        assert_eq!(trimmed_mean(&[5.0, 1.0, 3.0, 2.0, 4.0], 0.2), 3.0);
+        // trim = 0 is the mean.
+        assert_eq!(trimmed_mean(&[1.0, 2.0, 3.0], 0.0), 2.0);
+    }
+
+    #[test]
+    fn mad_closed_form() {
+        // median 3, |devs| = [2, 1, 0, 1, 2] → median 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 5.0]), 1.0);
+        assert_eq!(mad(&[2.0, 2.0, 2.0]), 0.0);
+    }
+}

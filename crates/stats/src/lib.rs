@@ -1,0 +1,45 @@
+//! The shared measurement core behind every performance claim.
+//!
+//! Hunold & Carpen-Amarie ("MPI Benchmarking Revisited") document how
+//! fragile a bare median-of-N is: no dispersion, no stopping rule, no
+//! record of what was run. This crate is the repo's answer, used by both
+//! the `*-perf` regression harnesses in `hbar-bench` and the decomposed
+//! profiling sweep in `hbar-simnet`, so the distributed sweep and the
+//! perf harness share one statistics implementation:
+//!
+//! * [`estimators`] — robust point estimators: [`median`],
+//!   [`trimmed_mean`], [`mad`] (and the plain [`mean`]). The median is
+//!   bit-compatible with the sweep's historical implementation (total
+//!   order via `partial_cmp`, even-length average), which is what lets
+//!   `hbar-simnet::sweep` delegate here without perturbing frozen
+//!   profiles.
+//! * [`ci`] — nonparametric order-statistic confidence intervals for
+//!   the median ([`median_ci`]) and deterministic-seeded percentile
+//!   bootstrap intervals for arbitrary estimators ([`bootstrap_ci`]).
+//! * [`stopping`] — the one stopping rule ([`StoppingRule`]): grow the
+//!   repetition count while the relative dispersion exceeds a target,
+//!   up to a bounded number of growth rounds; and the sequential
+//!   measurement driver ([`measure_adaptive`]) that runs a sampling
+//!   closure until the CI is tight or the rep budget is spent.
+//! * [`outliers`] — MAD-based modified-z-score flagging. Outliers are
+//!   *flagged and counted, never silently dropped*: the estimators are
+//!   robust, so dropping would only hide evidence.
+//! * [`estimate`] — [`Estimate`], the interval summary every
+//!   `BENCH_*.json` row now carries instead of a bare scalar.
+//! * [`manifest`] — [`RunManifest`], the reproducibility record (git
+//!   revision, seed, schedule/topology descriptors, machine config, rep
+//!   policy, estimator settings) stamped into every benchmark document.
+
+pub mod ci;
+pub mod estimate;
+pub mod estimators;
+pub mod manifest;
+pub mod outliers;
+pub mod stopping;
+
+pub use ci::{bootstrap_ci, median_ci, median_ci_indices, Interval};
+pub use estimate::{ratio_interval, Estimate};
+pub use estimators::{mad, mean, median, trimmed_mean};
+pub use manifest::{EstimatorSettings, HostInfo, RunManifest, SCHEMA_VERSION};
+pub use outliers::{flag_outliers, outlier_count, DEFAULT_OUTLIER_THRESHOLD};
+pub use stopping::{measure_adaptive, rel_spread, AdaptiveConfig, StoppingRule};

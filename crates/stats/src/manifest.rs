@@ -1,0 +1,165 @@
+//! [`RunManifest`] — the reproducibility record stamped into every
+//! `BENCH_*.json`.
+//!
+//! A perf number without a record of *what ran* is a rumor. The manifest
+//! pins the code revision, the deterministic seed, the benchmark's
+//! schedule and topology descriptors, the machine the harness ran on,
+//! and the estimator/stopping settings the numbers were computed under —
+//! enough to re-run the measurement and to notice when two documents are
+//! not comparable.
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the BENCH document schema this crate writes. Bump on any
+/// field-layout change; the schema gate in CI parses every checked-in
+/// document against it.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Estimator and stopping-rule settings the document's numbers were
+/// computed under.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorSettings {
+    /// Headline point estimator ("median").
+    pub statistic: String,
+    /// Interval method ("binomial-order-statistic" or
+    /// "percentile-bootstrap").
+    pub ci_method: String,
+    /// Confidence level of every interval in the document.
+    pub confidence: f64,
+    /// Adaptive stopping target: relative CI half-width at which
+    /// sampling stops.
+    pub rel_half_width_target: f64,
+    /// Samples always drawn before the first convergence check.
+    pub min_reps: u64,
+    /// Hard per-measurement rep budget.
+    pub max_reps: u64,
+    /// How outliers are treated ("flagged at modified z-score > 3.5,
+    /// never dropped").
+    pub outlier_policy: String,
+}
+
+impl EstimatorSettings {
+    /// The settings corresponding to an
+    /// [`AdaptiveConfig`](crate::AdaptiveConfig) driving
+    /// [`measure_adaptive`](crate::measure_adaptive).
+    pub fn for_adaptive(cfg: &crate::AdaptiveConfig) -> EstimatorSettings {
+        EstimatorSettings {
+            statistic: "median".to_string(),
+            ci_method: "binomial-order-statistic".to_string(),
+            confidence: cfg.confidence,
+            rel_half_width_target: cfg.rel_half_width_target,
+            min_reps: cfg.min_reps as u64,
+            max_reps: cfg.max_reps as u64,
+            outlier_policy: "flagged at modified z-score > 3.5, never dropped".to_string(),
+        }
+    }
+}
+
+/// The machine the harness ran on.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HostInfo {
+    /// Operating system (compile-time `std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (compile-time `std::env::consts::ARCH`).
+    pub arch: String,
+    /// Logical CPUs visible to the process.
+    pub logical_cpus: u64,
+}
+
+impl HostInfo {
+    /// Captures the current host.
+    pub fn capture() -> HostInfo {
+        HostInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            logical_cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// The reproducibility manifest serialized into every BENCH document.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// BENCH document schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Benchmark identifier (matches the document's `benchmark` key).
+    pub benchmark: String,
+    /// Git revision of the code that produced the numbers
+    /// (`git rev-parse --short=12 HEAD`, or "unknown" outside a work
+    /// tree).
+    pub git_rev: String,
+    /// Deterministic seed every simulated measurement derives from.
+    pub seed: u64,
+    /// Measurement-schedule descriptor (e.g.
+    /// "ProfilingConfig::default (paper §IV-A)").
+    pub schedule: String,
+    /// Topology/machine-model descriptor (e.g. "P/8 dual quad-core
+    /// nodes, round-robin mapping").
+    pub topology: String,
+    /// Host the harness process ran on.
+    pub host: HostInfo,
+    /// Exact command line of the run.
+    pub command_line: Vec<String>,
+    /// Estimator and stopping settings.
+    pub estimator: EstimatorSettings,
+}
+
+impl RunManifest {
+    /// Builds a manifest for `benchmark`, capturing git revision, host,
+    /// and command line from the environment.
+    pub fn capture(
+        benchmark: &str,
+        seed: u64,
+        schedule: &str,
+        topology: &str,
+        estimator: EstimatorSettings,
+    ) -> RunManifest {
+        RunManifest {
+            schema_version: SCHEMA_VERSION,
+            benchmark: benchmark.to_string(),
+            git_rev: git_rev(),
+            seed,
+            schedule: schedule.to_string(),
+            topology: topology.to_string(),
+            host: HostInfo::capture(),
+            command_line: std::env::args().collect(),
+            estimator,
+        }
+    }
+}
+
+/// The working tree's short revision, or "unknown" when git is absent
+/// (e.g. a source tarball).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_fills_environment_fields() {
+        let m = RunManifest::capture(
+            "unit",
+            42,
+            "fast",
+            "2x2x4",
+            EstimatorSettings::for_adaptive(&crate::AdaptiveConfig::default()),
+        );
+        assert_eq!(m.schema_version, SCHEMA_VERSION);
+        assert!(!m.git_rev.is_empty());
+        assert!(!m.command_line.is_empty());
+        assert_eq!(m.host.os, std::env::consts::OS);
+    }
+}

@@ -1,0 +1,61 @@
+//! MAD-based outlier flagging.
+//!
+//! Outliers are *flagged and counted, never dropped*: every estimator in
+//! this crate is robust, so the flags exist to make contaminated runs
+//! visible in the BENCH documents, not to launder them.
+
+use crate::estimators::{mad, median};
+
+/// The conventional modified-z-score cutoff (Iglewicz & Hoaglin).
+pub const DEFAULT_OUTLIER_THRESHOLD: f64 = 3.5;
+
+/// Flags each sample whose modified z-score
+/// `0.6745 · |x − median| / MAD` exceeds `threshold`. With a zero MAD
+/// (at least half the samples identical) any sample not equal to the
+/// median is flagged — the distribution is degenerate, so *any*
+/// deviation is surprising.
+///
+/// # Panics
+/// Panics on an empty slice or NaN samples.
+pub fn flag_outliers(xs: &[f64], threshold: f64) -> Vec<bool> {
+    let m = median(xs);
+    let d = mad(xs);
+    xs.iter()
+        .map(|x| {
+            if d == 0.0 {
+                *x != m
+            } else {
+                0.6745 * (x - m).abs() / d > threshold
+            }
+        })
+        .collect()
+}
+
+/// Number of samples [`flag_outliers`] marks at the
+/// [`DEFAULT_OUTLIER_THRESHOLD`].
+pub fn outlier_count(xs: &[f64]) -> usize {
+    flag_outliers(xs, DEFAULT_OUTLIER_THRESHOLD)
+        .iter()
+        .filter(|&&b| b)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_a_gross_spike_only() {
+        let xs = [1.0, 1.02, 0.98, 1.01, 0.99, 50.0];
+        let flags = flag_outliers(&xs, DEFAULT_OUTLIER_THRESHOLD);
+        assert_eq!(flags, vec![false, false, false, false, false, true]);
+        assert_eq!(outlier_count(&xs), 1);
+    }
+
+    #[test]
+    fn degenerate_mad_flags_any_deviation() {
+        let xs = [2.0, 2.0, 2.0, 2.0, 7.0];
+        assert_eq!(outlier_count(&xs), 1);
+        assert_eq!(outlier_count(&[3.0, 3.0, 3.0]), 0);
+    }
+}

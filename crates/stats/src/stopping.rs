@@ -1,0 +1,180 @@
+//! The shared stopping rule and the sequential adaptive measurement
+//! driver.
+//!
+//! Two consumers, one rule:
+//!
+//! * the decomposed profiling sweep (`hbar-simnet::sweep`) asks
+//!   [`StoppingRule::should_grow`] after each growth round, feeding it
+//!   the within-class [`rel_spread`];
+//! * the `*-perf` harnesses run [`measure_adaptive`], which keeps
+//!   drawing timing samples until the median's nonparametric CI is
+//!   relatively tight or the rep budget is spent.
+
+use crate::ci::median_ci;
+use crate::estimate::Estimate;
+use crate::estimators::median;
+
+/// Relative dispersion of samples about their median:
+/// `max_i |x_i − median| / max(|median|, ε)`; `0` for fewer than two
+/// samples (a singleton has no scatter evidence).
+///
+/// This is, operation for operation, the spread the decomposed sweep has
+/// always computed — delegating the sweep here is bit-neutral.
+///
+/// # Panics
+/// Panics on NaN samples.
+pub fn rel_spread(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = median(xs);
+    let denom = m.abs().max(1e-300);
+    xs.iter().map(|x| (x - m).abs() / denom).fold(0.0, f64::max)
+}
+
+/// Grow-until-tight: repetitions grow while the relative dispersion
+/// exceeds `rel_tol`, for at most `max_rounds` growth rounds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StoppingRule {
+    /// Relative dispersion above which another growth round is taken.
+    pub rel_tol: f64,
+    /// Bound on growth rounds (each round doubles repetitions in the
+    /// sweep); `0` disables growth entirely.
+    pub max_rounds: u32,
+}
+
+impl StoppingRule {
+    /// Whether a sample set with dispersion `spread` warrants growing
+    /// the repetition count.
+    pub fn should_grow(&self, spread: f64) -> bool {
+        spread > self.rel_tol
+    }
+
+    /// Whether round `round` (0-based: the round about to *start*) is
+    /// still within the growth budget.
+    pub fn round_allowed(&self, round: u32) -> bool {
+        round <= self.max_rounds
+    }
+}
+
+/// Policy of the sequential measurement driver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Samples always drawn before the first convergence check.
+    pub min_reps: usize,
+    /// Hard budget; the driver never draws more samples than this.
+    pub max_reps: usize,
+    /// Stop when the median CI's half-width, relative to the median,
+    /// drops to this or below.
+    pub rel_half_width_target: f64,
+    /// CI confidence level.
+    pub confidence: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_reps: 5,
+            max_reps: 100,
+            rel_half_width_target: 0.05,
+            confidence: 0.95,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// A config with the given bounds and the default 5% half-width
+    /// target at 95% confidence.
+    pub fn with_budget(min_reps: usize, max_reps: usize) -> Self {
+        AdaptiveConfig {
+            min_reps,
+            max_reps,
+            ..AdaptiveConfig::default()
+        }
+    }
+}
+
+/// Runs `sample` repeatedly — each call returns one measurement — until
+/// the nonparametric median CI is relatively tight
+/// ([`AdaptiveConfig::rel_half_width_target`]) or
+/// [`AdaptiveConfig::max_reps`] samples have been drawn, then summarizes
+/// the whole sample into an [`Estimate`]. Growth between convergence
+/// checks is geometric (half the current count again, at least one), so
+/// the check overhead stays logarithmic in the final rep count.
+///
+/// Always terminates within `max_reps` calls to `sample`, and always
+/// draws at least `min(min_reps, max_reps)` (but no fewer than one).
+///
+/// # Panics
+/// Panics if `sample` returns NaN or `confidence ∉ (0, 1)`.
+pub fn measure_adaptive<F: FnMut() -> f64>(cfg: &AdaptiveConfig, mut sample: F) -> Estimate {
+    let floor = cfg.min_reps.clamp(1, cfg.max_reps.max(1));
+    let mut xs: Vec<f64> = (0..floor).map(|_| sample()).collect();
+    loop {
+        let iv = median_ci(&xs, cfg.confidence);
+        let m = median(&xs);
+        if iv.rel_half_width(m) <= cfg.rel_half_width_target || xs.len() >= cfg.max_reps {
+            return Estimate::from_samples(&xs, cfg.confidence, cfg.rel_half_width_target);
+        }
+        // Reachable only while xs.len() < max_reps, so the clamp range
+        // is never empty.
+        let grow = (xs.len() / 2).clamp(1, cfg.max_reps - xs.len());
+        xs.extend((0..grow).map(|_| sample()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_spread_matches_sweep_arithmetic() {
+        assert_eq!(rel_spread(&[5.0]), 0.0);
+        // median 10, worst |dev| 2 → 0.2.
+        assert_eq!(rel_spread(&[8.0, 10.0, 12.0]), 0.2);
+        // Zero median is ε-guarded, not a division by zero.
+        assert!(rel_spread(&[-1.0, 0.0, 1.0]).is_finite());
+    }
+
+    #[test]
+    fn stopping_rule_thresholds() {
+        let rule = StoppingRule {
+            rel_tol: 0.05,
+            max_rounds: 2,
+        };
+        assert!(rule.should_grow(0.0501));
+        assert!(!rule.should_grow(0.05));
+        assert!(rule.round_allowed(2));
+        assert!(!rule.round_allowed(3));
+    }
+
+    #[test]
+    fn adaptive_stops_early_on_constant_samples() {
+        let mut calls = 0usize;
+        let est = measure_adaptive(&AdaptiveConfig::with_budget(5, 1000), || {
+            calls += 1;
+            3.25
+        });
+        assert_eq!(calls, 5, "constant samples converge at the floor");
+        assert_eq!(est.n, 5);
+        assert!(est.converged);
+        assert_eq!(est.median, 3.25);
+    }
+
+    #[test]
+    fn adaptive_exhausts_budget_on_hopeless_noise() {
+        let mut k = 0u32;
+        let cfg = AdaptiveConfig {
+            min_reps: 4,
+            max_reps: 33,
+            rel_half_width_target: 1e-9,
+            confidence: 0.95,
+        };
+        let est = measure_adaptive(&cfg, || {
+            k += 1;
+            f64::from(k % 17) + 1.0
+        });
+        assert_eq!(est.n, 33, "budget is a hard ceiling");
+        assert!(!est.converged);
+    }
+}

@@ -1,0 +1,271 @@
+//! Property tests for the measurement core: estimator closed forms on
+//! symmetric fixtures, CI coverage at (about) the nominal rate on known
+//! distributions, outlier-flagging behavior, and adaptive-stopping
+//! termination within budget.
+//!
+//! Everything here is deterministic — samples are drawn from seeded
+//! `SmallRng` streams (and the proptest shim itself seeds per test
+//! name) — so coverage counts are exact across runs, not flaky
+//! statistics.
+
+use hbar_stats::{
+    bootstrap_ci, flag_outliers, mad, measure_adaptive, median, median_ci, outlier_count,
+    rel_spread, trimmed_mean, AdaptiveConfig, StoppingRule, DEFAULT_OUTLIER_THRESHOLD,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+const EPS: f64 = 1e-9;
+
+/// Uniform(0, 1) samples from a seeded stream. True median: 0.5.
+fn uniform_samples(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random::<f64>()).collect()
+}
+
+/// Exp(1) samples via inverse CDF. True median: ln 2.
+fn exponential_samples(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| -(1.0 - rng.random::<f64>()).ln()).collect()
+}
+
+/// Coverage rate of `ci_of` over `trials` independent seeded draws of
+/// `n` samples: the fraction of trials whose interval contains
+/// `true_median`.
+fn coverage(
+    trials: u64,
+    n: usize,
+    true_median: f64,
+    draw: impl Fn(u64, usize) -> Vec<f64>,
+    ci_of: impl Fn(&[f64]) -> hbar_stats::Interval,
+) -> f64 {
+    let mut hits = 0usize;
+    for trial in 0..trials {
+        let xs = draw(0x5eed_0000 + trial, n);
+        let iv = ci_of(&xs);
+        if iv.lo <= true_median && true_median <= iv.hi {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+// --- CI coverage at (about) the nominal rate -------------------------
+
+#[test]
+fn median_ci_covers_uniform_median_at_nominal_rate() {
+    // The binomial order-statistic CI is conservative by construction
+    // (discrete coverage ≥ nominal), so the observed rate over 400
+    // seeded trials must sit at or above ~95% minus sampling slack.
+    let rate = coverage(400, 41, 0.5, uniform_samples, |xs| median_ci(xs, 0.95));
+    assert!(
+        (0.93..=1.0).contains(&rate),
+        "95% CI covered the uniform median in {rate} of trials"
+    );
+}
+
+#[test]
+fn median_ci_covers_exponential_median_at_nominal_rate() {
+    // Same check on a skewed distribution: order-statistic intervals
+    // are distribution-free, so skew must not dent coverage.
+    let rate = coverage(400, 41, std::f64::consts::LN_2, exponential_samples, |xs| {
+        median_ci(xs, 0.95)
+    });
+    assert!(
+        (0.93..=1.0).contains(&rate),
+        "95% CI covered the exponential median in {rate} of trials"
+    );
+}
+
+#[test]
+fn lower_confidence_gives_narrower_intervals_and_lower_coverage() {
+    let rate80 = coverage(400, 41, 0.5, uniform_samples, |xs| median_ci(xs, 0.80));
+    let rate95 = coverage(400, 41, 0.5, uniform_samples, |xs| median_ci(xs, 0.95));
+    assert!(
+        rate80 < rate95,
+        "80% coverage {rate80} not below 95% coverage {rate95}"
+    );
+    assert!((0.78..0.97).contains(&rate80), "80% CI covered {rate80}");
+    for trial in 0..50 {
+        let xs = uniform_samples(trial, 41);
+        let narrow = median_ci(&xs, 0.80);
+        let wide = median_ci(&xs, 0.95);
+        assert!(wide.lo <= narrow.lo && narrow.hi <= wide.hi);
+    }
+}
+
+#[test]
+fn bootstrap_ci_covers_the_median_near_nominal_rate() {
+    // The percentile bootstrap is only asymptotically calibrated, so
+    // the bound is looser than the order-statistic one — but it must
+    // still land in the right neighborhood, not at 50% or 100%-vacuous.
+    let rate = coverage(300, 41, 0.5, uniform_samples, |xs| {
+        bootstrap_ci(xs, 0.95, 200, 7, median)
+    });
+    assert!(
+        (0.88..=1.0).contains(&rate),
+        "bootstrap 95% CI covered the uniform median in {rate} of trials"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- Closed forms on symmetric fixtures --------------------------
+
+    /// A sample mirrored around `c` has median, trimmed mean, and mean
+    /// all equal to `c`, and trimming never moves the estimate off the
+    /// center of symmetry.
+    fn symmetric_samples_pin_the_center(
+        half in prop::collection::vec(0.0f64..100.0, 1..40),
+        c in -50.0f64..50.0,
+        odd in any::<bool>(),
+    ) {
+        let mut xs: Vec<f64> = Vec::new();
+        for &d in &half {
+            xs.push(c - d);
+            xs.push(c + d);
+        }
+        if odd {
+            xs.push(c);
+        }
+        prop_assert!((median(&xs) - c).abs() <= EPS.max(c.abs() * EPS));
+        let tol = 1e-6 * (1.0 + c.abs() + 100.0);
+        prop_assert!((trimmed_mean(&xs, 0.1) - c).abs() <= tol);
+        prop_assert!((trimmed_mean(&xs, 0.25) - c).abs() <= tol);
+    }
+
+    /// MAD is translation-invariant and absolutely homogeneous:
+    /// mad(a·x + b) = |a|·mad(x).
+    fn mad_is_translation_invariant_and_homogeneous(
+        xs in prop::collection::vec(-100.0f64..100.0, 2..30),
+        a in -4.0f64..4.0,
+        b in -100.0f64..100.0,
+    ) {
+        let base = mad(&xs);
+        let mapped: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+        let tol = 1e-9 * (1.0 + a.abs()) * (1.0 + base);
+        prop_assert!((mad(&mapped) - a.abs() * base).abs() <= tol.max(1e-9));
+    }
+
+    /// Trimming at 10% per side drops exactly ⌊n/10⌋ smallest and
+    /// largest samples: an extreme value beyond the trim points never
+    /// moves the trimmed mean, however large it is.
+    fn trimmed_mean_ignores_a_far_outlier(
+        mut xs in prop::collection::vec(10.0f64..20.0, 10..40),
+        spike in 1.0e3f64..1.0e9,
+    ) {
+        xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let clean = trimmed_mean(&xs, 0.1);
+        let last = xs.len() - 1;
+        xs[last] = spike;
+        let spiked = trimmed_mean(&xs, 0.1);
+        prop_assert!(
+            (clean - spiked).abs() <= 20.0,
+            "trimmed mean moved from {clean} to {spiked} on a {spike} outlier"
+        );
+        prop_assert!(spiked <= 20.0, "outlier leaked into the trimmed mean: {spiked}");
+    }
+
+    // --- Interval and estimator structural invariants ----------------
+
+    /// The median CI endpoints are order statistics of the sample and
+    /// bracket the median, at every n and confidence.
+    fn median_ci_brackets_the_median_with_sample_endpoints(
+        xs in prop::collection::vec(-1.0e6f64..1.0e6, 1..80),
+        confidence in 0.5f64..0.999,
+    ) {
+        let iv = median_ci(&xs, confidence);
+        let m = median(&xs);
+        prop_assert!(iv.lo <= m && m <= iv.hi);
+        prop_assert!(xs.contains(&iv.lo), "lo {} not a sample", iv.lo);
+        prop_assert!(xs.contains(&iv.hi), "hi {} not a sample", iv.hi);
+    }
+
+    /// One spike far outside a tight cluster is always flagged (a
+    /// cluster point may be too when the cluster's own MAD is tiny —
+    /// the rule is scale-relative), and flagging never drops anything:
+    /// the flag vector keeps the sample length.
+    fn single_far_spike_is_flagged(
+        mut xs in prop::collection::vec(100.0f64..101.0, 6..30),
+        spike in 1.0e4f64..1.0e8,
+        pos in any::<usize>(),
+    ) {
+        let at = pos % xs.len();
+        xs[at] = spike;
+        let flags = flag_outliers(&xs, DEFAULT_OUTLIER_THRESHOLD);
+        prop_assert_eq!(flags.len(), xs.len());
+        prop_assert!(flags[at], "spike at {} not flagged", at);
+        prop_assert!(outlier_count(&xs) >= 1);
+    }
+
+    /// Identical samples have zero spread and no flagged outliers, and
+    /// the stopping rule never asks for more of them.
+    fn constant_samples_are_converged(
+        x in 0.1f64..1.0e6,
+        n in 2usize..40,
+    ) {
+        let xs = vec![x; n];
+        prop_assert_eq!(rel_spread(&xs), 0.0);
+        prop_assert_eq!(outlier_count(&xs), 0);
+        let rule = StoppingRule { rel_tol: 0.05, max_rounds: 8 };
+        prop_assert!(!rule.should_grow(rel_spread(&xs)));
+    }
+
+    // --- Adaptive stopping terminates within budget ------------------
+
+    /// Whatever the sampler returns (here: seeded jitter around a
+    /// center, worst cases included), `measure_adaptive` terminates
+    /// with min_reps ≤ n ≤ max_reps and an internally consistent
+    /// estimate.
+    fn adaptive_stopping_respects_the_budget(
+        seed in any::<u64>(),
+        center in 1.0f64..100.0,
+        jitter in 0.0f64..2.0,
+        min_reps in 1usize..20,
+        extra in 0usize..60,
+    ) {
+        let max_reps = min_reps + extra;
+        let cfg = AdaptiveConfig::with_budget(min_reps, max_reps);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let est = measure_adaptive(&cfg, || {
+            center * (1.0 + jitter * (rng.random::<f64>() - 0.5))
+        });
+        prop_assert!(est.n >= min_reps.min(max_reps));
+        prop_assert!(est.n <= max_reps.max(1));
+        prop_assert!(est.ci_lo <= est.median && est.median <= est.ci_hi);
+        prop_assert!(est.min <= est.median && est.median <= est.max);
+        if est.converged {
+            prop_assert!(est.rel_half_width <= cfg.rel_half_width_target);
+        } else {
+            prop_assert_eq!(est.n, max_reps.max(1));
+        }
+    }
+
+    /// A noiseless sampler converges at the floor: exactly min_reps
+    /// samples, converged, zero-width interval.
+    fn noiseless_sampler_stops_at_the_floor(
+        value in 0.1f64..1.0e3,
+        min_reps in 1usize..15,
+    ) {
+        let cfg = AdaptiveConfig::with_budget(min_reps, min_reps + 50);
+        let est = measure_adaptive(&cfg, || value);
+        prop_assert_eq!(est.n, min_reps);
+        prop_assert!(est.converged);
+        prop_assert_eq!(est.ci_lo, est.ci_hi);
+    }
+
+    /// The sweep stopping rule grows exactly while the spread exceeds
+    /// the tolerance, and `round_allowed` caps the growth rounds.
+    fn stopping_rule_matches_its_definition(
+        rel_tol in 0.0f64..1.0,
+        spread in 0.0f64..2.0,
+        max_rounds in 0u32..10,
+    ) {
+        let rule = StoppingRule { rel_tol, max_rounds };
+        prop_assert_eq!(rule.should_grow(spread), spread > rel_tol);
+        prop_assert!(rule.round_allowed(max_rounds));
+        prop_assert!(!rule.round_allowed(max_rounds + 1));
+    }
+}

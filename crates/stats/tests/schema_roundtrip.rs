@@ -1,0 +1,187 @@
+//! Golden-file schema tests for the BENCH document types.
+//!
+//! Three promises, each pinned here so a drive-by field rename or
+//! reorder fails a test instead of silently invalidating every
+//! checked-in `BENCH_*.json`:
+//!
+//! 1. **Stable field order** — serialization emits fields in
+//!    declaration order, byte-for-byte equal to the golden strings
+//!    below (bump [`SCHEMA_VERSION`] when a golden legitimately
+//!    changes).
+//! 2. **Round-trip fidelity** — `from_value(to_value(x)) == x` for
+//!    [`RunManifest`] and [`Estimate`], through JSON text as well.
+//! 3. **Unknown-field tolerance** — documents written by a *newer*
+//!    schema (extra fields) still parse; documents missing required
+//!    fields fail loudly with the field name.
+
+use hbar_stats::{Estimate, EstimatorSettings, HostInfo, RunManifest, SCHEMA_VERSION};
+use serde::{Deserialize, Serialize, Value};
+
+/// A fully deterministic manifest (no environment capture).
+fn fixture_manifest() -> RunManifest {
+    RunManifest {
+        schema_version: SCHEMA_VERSION,
+        benchmark: "unit_fixture".to_string(),
+        git_rev: "abcdef123456".to_string(),
+        seed: 42,
+        schedule: "ProfilingConfig::default (paper §IV-A)".to_string(),
+        topology: "dual quad-core nodes (P/8), round-robin placement".to_string(),
+        host: HostInfo {
+            os: "linux".to_string(),
+            arch: "x86_64".to_string(),
+            logical_cpus: 8,
+        },
+        command_line: vec![
+            "tuner-perf".to_string(),
+            "--reps".to_string(),
+            "40".to_string(),
+        ],
+        estimator: EstimatorSettings {
+            statistic: "median".to_string(),
+            ci_method: "binomial-order-statistic".to_string(),
+            confidence: 0.95,
+            rel_half_width_target: 0.05,
+            min_reps: 10,
+            max_reps: 40,
+            outlier_policy: "flagged at modified z-score > 3.5, never dropped".to_string(),
+        },
+    }
+}
+
+fn fixture_estimate() -> Estimate {
+    Estimate::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.95, 0.05)
+}
+
+const GOLDEN_MANIFEST: &str = r#"{
+  "schema_version": 2,
+  "benchmark": "unit_fixture",
+  "git_rev": "abcdef123456",
+  "seed": 42,
+  "schedule": "ProfilingConfig::default (paper §IV-A)",
+  "topology": "dual quad-core nodes (P/8), round-robin placement",
+  "host": {
+    "os": "linux",
+    "arch": "x86_64",
+    "logical_cpus": 8
+  },
+  "command_line": [
+    "tuner-perf",
+    "--reps",
+    "40"
+  ],
+  "estimator": {
+    "statistic": "median",
+    "ci_method": "binomial-order-statistic",
+    "confidence": 0.95,
+    "rel_half_width_target": 0.05,
+    "min_reps": 10,
+    "max_reps": 40,
+    "outlier_policy": "flagged at modified z-score > 3.5, never dropped"
+  }
+}"#;
+
+const GOLDEN_ESTIMATE: &str = r#"{
+  "n": 5,
+  "median": 3.0,
+  "ci_lo": 1.0,
+  "ci_hi": 5.0,
+  "confidence": 0.95,
+  "rel_half_width": 0.6666666666666666,
+  "trimmed_mean": 3.0,
+  "mad": 1.0,
+  "min": 1.0,
+  "max": 5.0,
+  "outliers": 0,
+  "converged": false
+}"#;
+
+#[test]
+fn manifest_serializes_to_the_golden_string() {
+    let json = serde_json::to_string_pretty(&fixture_manifest()).expect("serialize");
+    // `to_string_pretty` ends documents with a newline.
+    assert_eq!(
+        json,
+        format!("{GOLDEN_MANIFEST}\n"),
+        "manifest field order or formatting drifted; if intentional, bump SCHEMA_VERSION \
+         and regenerate every BENCH_*.json"
+    );
+}
+
+#[test]
+fn estimate_serializes_to_the_golden_string() {
+    let json = serde_json::to_string_pretty(&fixture_estimate()).expect("serialize");
+    assert_eq!(
+        json,
+        format!("{GOLDEN_ESTIMATE}\n"),
+        "Estimate field order or formatting drifted; if intentional, bump SCHEMA_VERSION \
+         and regenerate every BENCH_*.json"
+    );
+}
+
+#[test]
+fn manifest_round_trips_through_value_and_text() {
+    let m = fixture_manifest();
+    let via_value = RunManifest::from_value(&m.to_value()).expect("value round-trip");
+    assert_eq!(via_value, m);
+    let text = serde_json::to_string(&m).expect("serialize");
+    let parsed: Value = serde_json::from_str(&text).expect("parse");
+    let via_text = RunManifest::from_value(&parsed).expect("text round-trip");
+    assert_eq!(via_text, m);
+}
+
+#[test]
+fn estimate_round_trips_through_value_and_text() {
+    let e = fixture_estimate();
+    let via_value = Estimate::from_value(&e.to_value()).expect("value round-trip");
+    assert_eq!(via_value, e);
+    let text = serde_json::to_string_pretty(&e).expect("serialize");
+    let parsed: Value = serde_json::from_str(&text).expect("parse");
+    let via_text = Estimate::from_value(&parsed).expect("text round-trip");
+    assert_eq!(via_text, e);
+}
+
+#[test]
+fn unknown_fields_are_tolerated() {
+    // A document written by a future schema version: every object level
+    // carries an extra field. Deserialization must skip them.
+    let mut parsed: Value = serde_json::from_str(GOLDEN_MANIFEST).expect("parse");
+    if let Value::Object(entries) = &mut parsed {
+        entries.push((
+            "future_field".to_string(),
+            Value::Str("from a newer writer".to_string()),
+        ));
+        for (key, value) in entries.iter_mut() {
+            if key == "host" || key == "estimator" {
+                if let Value::Object(inner) = value {
+                    inner.push(("also_new".to_string(), Value::UInt(1)));
+                }
+            }
+        }
+    } else {
+        panic!("golden manifest is not an object");
+    }
+    let m = RunManifest::from_value(&parsed).expect("unknown fields must be tolerated");
+    assert_eq!(m, fixture_manifest());
+}
+
+#[test]
+fn missing_required_fields_fail_with_the_field_name() {
+    let mut parsed: Value = serde_json::from_str(GOLDEN_MANIFEST).expect("parse");
+    if let Value::Object(entries) = &mut parsed {
+        entries.retain(|(k, _)| k != "git_rev");
+    }
+    let err = RunManifest::from_value(&parsed).expect_err("missing field must fail");
+    assert!(err.contains("git_rev"), "unhelpful error: {err}");
+}
+
+#[test]
+fn schema_version_constant_matches_the_golden() {
+    // The golden string hard-codes the version; this cross-check makes
+    // a version bump touch both in the same commit.
+    let parsed: Value = serde_json::from_str(GOLDEN_MANIFEST).expect("parse");
+    let golden_version = match parsed.get("schema_version") {
+        Some(Value::UInt(v)) => *v,
+        other => panic!("golden schema_version missing or mistyped: {other:?}"),
+    };
+    assert_eq!(golden_version, u64::from(SCHEMA_VERSION));
+}

@@ -1,0 +1,424 @@
+//! Warm-path perf harness for the tune service (`hbar serve`) and its
+//! `BENCH_serve.json` record.
+//!
+//! Four phases against one in-process loopback server:
+//!
+//! 1. **Per-P rows** — local `tune_hybrid_costs` wall clock (before)
+//!    vs a warm cache-hit round trip over loopback TCP (after), as
+//!    adaptive interval estimates with a conservative speedup CI. This
+//!    is the service's reason to exist: a cached answer must be orders
+//!    of magnitude cheaper than re-tuning.
+//! 2. **Cold pass + parity** — every one of the `--topologies` distinct
+//!    cost matrices is tuned through the server once and (all of them
+//!    in the full run, a sample under `--quick`) asserted bit-identical
+//!    to a local tune of the same request. A parity failure panics; it
+//!    never just lowers a number.
+//! 3. **Latency** — synchronous Zipf(`--zipf`) requests on one
+//!    connection; the warm-path p99 is computed over the *hit-flagged*
+//!    round trips (misses pay a tune and are accounted separately) with
+//!    a percentile-bootstrap CI.
+//! 4. **Throughput** — `--conns` connections pipeline windowed bursts
+//!    of Zipf requests concurrently; sustained req/s is total requests
+//!    over the barrier-to-join wall clock.
+//!
+//! The cache is deliberately capped at 3/4 of the distinct-topology
+//! count, so the run exercises eviction and re-tune, not just an
+//! ever-growing map; the Zipf head keeps the hit rate high anyway.
+//!
+//! ```text
+//! serve-perf [--out FILE] [--reps N] [--quick]
+//!            [--topologies N] [--zipf S] [--conns N]
+//! ```
+
+use hbar_bench::perf_cli::PerfArgs;
+use hbar_bench::stats::{
+    bootstrap_ci, ratio_interval, time_estimate, Estimate, EstimatorSettings, RunManifest,
+};
+use hbar_core::compose::tune_hybrid_costs;
+use hbar_serve::cache::CacheConfig;
+use hbar_serve::client::TuneClient;
+use hbar_serve::proto::{TuneRequest, REQ_EXTENDED, REQ_SCORE_EXACT};
+use hbar_serve::server::{ServeConfig, ServerHandle};
+use hbar_serve::workload::{synthetic_topologies, SplitMix64, ZipfSampler};
+use serde::{Serialize, Value};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+/// Seed for the dedicated per-P row topologies (disjoint from the Zipf
+/// fleet so the rows don't perturb its popularity order).
+const ROW_SEED: u64 = 4242;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// The canonical local answer a served schedule must match bit for bit.
+fn local_schedule_json(req: &TuneRequest) -> String {
+    let members: Vec<usize> = (0..req.cost.p()).collect();
+    let tuned = tune_hybrid_costs(&req.cost, &members, &req.tuner_config());
+    serde_json::to_string(&tuned.schedule).expect("schedule serializes")
+}
+
+/// Empirical q-quantile by the nearest-rank rule (sorts a copy; the
+/// `fn`-pointer shape is what [`bootstrap_ci`] resamples).
+fn p99(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let idx = ((v.len() as f64) * 0.99).ceil() as usize;
+    v[idx.saturating_sub(1).min(v.len() - 1)]
+}
+
+fn main() {
+    let (args, extras) = PerfArgs::parse_with("BENCH_serve.json", &["topologies", "zipf", "conns"]);
+    let quick = args.quick;
+    let parse = |key: &str, default: usize| -> usize {
+        extras
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| panic!("--{key} needs a positive integer"))
+            })
+            .unwrap_or(default)
+    };
+    let topologies = parse("topologies", if quick { 96 } else { 1024 });
+    let zipf_s: f64 = extras
+        .get("zipf")
+        .map(|v| v.parse().expect("--zipf needs a number"))
+        .unwrap_or(1.0);
+    let conns = parse("conns", 4);
+    let (latency_reqs, window, rounds) = if quick {
+        (2_000usize, 64usize, 8usize)
+    } else {
+        (30_000, 64, 256)
+    };
+    let adaptive = if quick {
+        args.adaptive(3, 6)
+    } else {
+        args.adaptive(8, 30)
+    };
+
+    // Cap the cache below the distinct-key count: the run must evict.
+    let capacity = (topologies * 3) / 4;
+    let cfg = ServeConfig {
+        cache: CacheConfig {
+            capacity,
+            ..CacheConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let workers = cfg.workers;
+    let shards = cfg.cache.shards;
+    let server = ServerHandle::spawn("127.0.0.1:0", &cfg).expect("spawn server");
+    let addr = server.addr();
+    println!(
+        "serve-perf: {topologies} topologies, cache cap {capacity} ({shards} shards), \
+         {workers} workers, Zipf({zipf_s}), loopback {addr}"
+    );
+
+    // 1. Per-P rows: local tune vs warm served hit.
+    let next_id = Arc::new(AtomicU64::new(1_000_000));
+    let mut rows = Vec::new();
+    let mut client = TuneClient::connect(addr).expect("connect");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10} {:>7}",
+        "P", "local tune", "warm hit", "speedup", "reps"
+    );
+    for cost in synthetic_topologies(3, ROW_SEED) {
+        let p = cost.p();
+        // The rows time the production-quality configuration (extended
+        // candidate set, exact scoring) — the tune worth memoizing.
+        let mut req = TuneRequest::new(next_id.fetch_add(1, Ordering::Relaxed), cost);
+        req.flags |= REQ_EXTENDED | REQ_SCORE_EXACT;
+        let before = time_estimate(&adaptive, 1, || {
+            let members: Vec<usize> = (0..req.cost.p()).collect();
+            black_box(tune_hybrid_costs(&req.cost, &members, &req.tuner_config()));
+        });
+        // Prime the cache, then time pure hits.
+        let primed = client.request(&req).expect("prime");
+        assert!(!primed.cache_hit, "row key must start cold");
+        let after = time_estimate(&adaptive, 32, || {
+            let resp = client.request(&req).expect("warm hit");
+            debug_assert!(resp.cache_hit);
+            black_box(resp.predicted_cost);
+        });
+        let speedup = before.median / after.median;
+        let speedup_ci = ratio_interval(&before, &after);
+        println!(
+            "{:>6} {:>12.3}ms {:>12.1}us {:>9.0}x {:>3}/{:<3}",
+            p,
+            before.median * 1e3,
+            after.median * 1e6,
+            speedup,
+            before.n,
+            after.n
+        );
+        rows.push(obj(vec![
+            ("ranks", Value::UInt(p as u64)),
+            ("local_tune_s", Value::Float(before.median)),
+            ("warm_hit_s", Value::Float(after.median)),
+            ("speedup", Value::Float(speedup)),
+            ("speedup_ci_lo", Value::Float(speedup_ci.lo)),
+            ("speedup_ci_hi", Value::Float(speedup_ci.hi)),
+            ("before", before.to_value()),
+            ("after", after.to_value()),
+        ]));
+    }
+
+    // 2. Cold pass + parity over the whole fleet.
+    let fleet = synthetic_topologies(topologies, SEED);
+    let parity_stride = if quick { 8 } else { 1 };
+    let mut parity_checked = 0usize;
+    let cold_start = Instant::now();
+    for (k, cost) in fleet.iter().enumerate() {
+        let req = TuneRequest::new(next_id.fetch_add(1, Ordering::Relaxed), cost.clone());
+        let resp = client.request(&req).expect("cold tune");
+        if k % parity_stride == 0 {
+            assert_eq!(
+                resp.schedule_json,
+                local_schedule_json(&req),
+                "PARITY FAILURE: served schedule for topology {k} differs from a local tune"
+            );
+            parity_checked += 1;
+        }
+    }
+    let cold_s = cold_start.elapsed().as_secs_f64();
+    println!(
+        "cold pass: {topologies} tunes in {cold_s:.2}s, {parity_checked} parity-checked, \
+         all bit-identical to local tunes"
+    );
+
+    // 3. Latency: synchronous Zipf round trips, p99 over hits only.
+    let zipf = ZipfSampler::new(topologies, zipf_s);
+    let mut rng = SplitMix64(SEED.wrapping_mul(0x9e37_79b9).wrapping_add(7));
+    let mut hit_lat = Vec::with_capacity(latency_reqs);
+    let mut miss_lat = Vec::new();
+    for _ in 0..latency_reqs {
+        let k = zipf.sample(&mut rng);
+        let req = TuneRequest::new(next_id.fetch_add(1, Ordering::Relaxed), fleet[k].clone());
+        let t = Instant::now();
+        let resp = client.request(&req).expect("zipf request");
+        let dt = t.elapsed().as_secs_f64();
+        if resp.cache_hit {
+            hit_lat.push(dt);
+        } else {
+            miss_lat.push(dt);
+        }
+    }
+    assert!(!hit_lat.is_empty(), "the Zipf head must produce hits");
+    let warm = Estimate::from_samples(&hit_lat, 0.95, 0.05);
+    let warm_p99 = p99(&hit_lat);
+    let warm_p99_ci = bootstrap_ci(&hit_lat, 0.95, 400, SEED, p99);
+    let lat_hit_rate = hit_lat.len() as f64 / latency_reqs as f64;
+    println!(
+        "latency: {latency_reqs} sync requests, hit rate {:.3}; warm p50 {:.1}us, \
+         p99 {:.1}us [{:.1}, {:.1}], {} misses (median {:.2}ms)",
+        lat_hit_rate,
+        warm.median * 1e6,
+        warm_p99 * 1e6,
+        warm_p99_ci.lo * 1e6,
+        warm_p99_ci.hi * 1e6,
+        miss_lat.len(),
+        if miss_lat.is_empty() {
+            0.0
+        } else {
+            hbar_bench::stats::median(&miss_lat) * 1e3
+        },
+    );
+    client.drain().expect("drain row/latency connection");
+
+    // 4. Throughput: pipelined windows across `conns` connections.
+    let fleet = Arc::new(fleet);
+    let barrier = Arc::new(Barrier::new(conns + 1));
+    let zipf = Arc::new(zipf);
+    let threads: Vec<_> = (0..conns)
+        .map(|t| {
+            let fleet = Arc::clone(&fleet);
+            let barrier = Arc::clone(&barrier);
+            let zipf = Arc::clone(&zipf);
+            let next_id = Arc::clone(&next_id);
+            std::thread::spawn(move || {
+                let mut client = TuneClient::connect(addr).expect("connect");
+                let mut rng = SplitMix64(SEED ^ (t as u64).wrapping_mul(0x517c_c1b7_2722_0a95));
+                let mut hits = 0u64;
+                barrier.wait();
+                for _ in 0..rounds {
+                    for _ in 0..window {
+                        let k = zipf.sample(&mut rng);
+                        let req = TuneRequest::new(
+                            next_id.fetch_add(1, Ordering::Relaxed),
+                            fleet[k].clone(),
+                        );
+                        client.send(&req).expect("pipelined send");
+                    }
+                    for _ in 0..window {
+                        match client.recv().expect("pipelined recv") {
+                            hbar_serve::client::TuneReply::Ok(resp) => {
+                                hits += u64::from(resp.cache_hit);
+                            }
+                            hbar_serve::client::TuneReply::Err { id, reason } => {
+                                panic!("request {id} failed under load: {reason}")
+                            }
+                        }
+                    }
+                }
+                client.drain().expect("drain throughput connection");
+                hits
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t = Instant::now();
+    let tp_hits: u64 = threads.into_iter().map(|h| h.join().expect("conn")).sum();
+    let tp_elapsed = t.elapsed().as_secs_f64();
+    let tp_reqs = (conns * rounds * window) as u64;
+    let rps = tp_reqs as f64 / tp_elapsed;
+    let tp_hit_rate = tp_hits as f64 / tp_reqs as f64;
+    println!(
+        "throughput: {tp_reqs} requests over {conns} conns (window {window}) in \
+         {tp_elapsed:.2}s = {rps:.0} req/s, hit rate {tp_hit_rate:.3}"
+    );
+
+    let mut client = TuneClient::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    client.drain().expect("drain stats connection");
+    server.shutdown().expect("shutdown");
+
+    let zipf_reqs = latency_reqs as u64 + tp_reqs;
+    let zipf_hits = hit_lat.len() as u64 + tp_hits;
+    let hit_rate = zipf_hits as f64 / zipf_reqs as f64;
+    println!(
+        "combined Zipf hit rate {hit_rate:.3} over {zipf_reqs} requests; \
+         server counters: {} tunes, {} coalesced, {} evictions, {} errors",
+        stats.tunes, stats.coalesced, stats.cache_evictions, stats.errors
+    );
+    assert_eq!(stats.errors, 0, "no request may fail: {stats:?}");
+    assert!(
+        stats.cache_evictions > 0,
+        "capacity {capacity} < {topologies} keys must evict: {stats:?}"
+    );
+    if !quick {
+        assert!(
+            hit_rate >= 0.9,
+            "Zipf({zipf_s}) over {topologies} keys at capacity {capacity} \
+             must stay >=90% warm, got {hit_rate:.3}"
+        );
+    }
+
+    let manifest = RunManifest::capture(
+        "hbar_serve_warm_path",
+        SEED,
+        if quick {
+            "TunerConfig::default per request; --quick smoke workload"
+        } else {
+            "TunerConfig::default per request; full Zipf workload"
+        },
+        "loopback TCP, synthetic jittered dual-quad-derived fleet (P in {8, 12, 16})",
+        EstimatorSettings::for_adaptive(&adaptive),
+    );
+    let doc = obj(vec![
+        ("benchmark", Value::Str("hbar_serve_warm_path".to_string())),
+        ("manifest", manifest.to_value()),
+        (
+            "before",
+            Value::Str(
+                "local tune_hybrid_costs of the request's cost matrices (what every \
+                 caller paid before the service existed)"
+                    .to_string(),
+            ),
+        ),
+        (
+            "after",
+            Value::Str(
+                "warm cache hit served over loopback TCP: sharded LRU keyed by the \
+                 versioned cost fingerprint, request coalescing, bounded tuner pool"
+                    .to_string(),
+            ),
+        ),
+        (
+            "statistic",
+            Value::Str(
+                "row estimates: median seconds with 95% nonparametric CI, adaptive reps \
+                 (warm hits timed in batches of 32). Warm p99: nearest-rank percentile \
+                 over hit-flagged synchronous round trips with a 400-resample \
+                 percentile-bootstrap CI. Throughput: total pipelined requests over \
+                 barrier-to-join wall clock"
+                    .to_string(),
+            ),
+        ),
+        ("results", Value::Array(rows)),
+        (
+            "serve",
+            obj(vec![
+                ("topologies", Value::UInt(topologies as u64)),
+                ("cache_capacity", Value::UInt(capacity as u64)),
+                ("cache_shards", Value::UInt(shards as u64)),
+                ("workers", Value::UInt(workers as u64)),
+                ("zipf_s", Value::Float(zipf_s)),
+                ("hit_rate", Value::Float(hit_rate)),
+                ("zipf_requests", Value::UInt(zipf_reqs)),
+                (
+                    "parity",
+                    obj(vec![
+                        ("checked", Value::UInt(parity_checked as u64)),
+                        ("stride", Value::UInt(parity_stride as u64)),
+                        ("cold_tunes", Value::UInt(topologies as u64)),
+                        ("cold_pass_s", Value::Float(cold_s)),
+                        (
+                            "semantics",
+                            Value::Str(
+                                "every checked response is byte-identical to a local \
+                                 tune of the same request (asserted, not scored)"
+                                    .to_string(),
+                            ),
+                        ),
+                    ]),
+                ),
+                (
+                    "latency",
+                    obj(vec![
+                        ("requests", Value::UInt(latency_reqs as u64)),
+                        ("hit_rate", Value::Float(lat_hit_rate)),
+                        ("warm_p99_s", Value::Float(warm_p99)),
+                        ("warm_p99_ci_lo", Value::Float(warm_p99_ci.lo)),
+                        ("warm_p99_ci_hi", Value::Float(warm_p99_ci.hi)),
+                        ("warm_hit", warm.to_value()),
+                        ("miss_samples", Value::UInt(miss_lat.len() as u64)),
+                        (
+                            "miss_median_s",
+                            if miss_lat.is_empty() {
+                                Value::Null
+                            } else {
+                                Value::Float(hbar_bench::stats::median(&miss_lat))
+                            },
+                        ),
+                    ]),
+                ),
+                (
+                    "throughput",
+                    obj(vec![
+                        ("conns", Value::UInt(conns as u64)),
+                        ("window", Value::UInt(window as u64)),
+                        ("requests", Value::UInt(tp_reqs)),
+                        ("seconds", Value::Float(tp_elapsed)),
+                        ("rps", Value::Float(rps)),
+                        ("hit_rate", Value::Float(tp_hit_rate)),
+                    ]),
+                ),
+                ("stats", stats.to_value()),
+            ]),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&args.out, json + "\n").expect("write BENCH_serve.json");
+    println!("wrote {}", args.out.display());
+}

@@ -14,6 +14,7 @@
 //! `--skip-4096` is honored by `profile-perf` and ignored by the rest.
 
 use crate::stats::AdaptiveConfig;
+use std::collections::HashMap;
 use std::path::PathBuf;
 
 /// Parsed command line of a `*-perf` bin.
@@ -45,12 +46,37 @@ impl PerfArgs {
     /// # Panics
     /// Panics on an unknown flag or a malformed value.
     pub fn parse_from(args: impl Iterator<Item = String>, default_out: &str) -> PerfArgs {
+        let (parsed, _) = PerfArgs::parse_from_with(args, default_out, &[]);
+        parsed
+    }
+
+    /// [`PerfArgs::parse`] plus a bin-specific flag vocabulary: each
+    /// name in `extra` (without the `--`) is accepted as a value flag
+    /// and returned verbatim in the map. `serve-perf` uses this for its
+    /// workload knobs without re-rolling `--out/--reps/--quick`.
+    ///
+    /// # Panics
+    /// As [`PerfArgs::parse`], for flags in neither vocabulary.
+    pub fn parse_with(default_out: &str, extra: &[&str]) -> (PerfArgs, HashMap<String, String>) {
+        PerfArgs::parse_from_with(std::env::args().skip(1), default_out, extra)
+    }
+
+    /// [`PerfArgs::parse_with`] over an explicit argument stream.
+    ///
+    /// # Panics
+    /// Panics on an unknown flag or a malformed value.
+    pub fn parse_from_with(
+        args: impl Iterator<Item = String>,
+        default_out: &str,
+        extra: &[&str],
+    ) -> (PerfArgs, HashMap<String, String>) {
         let mut parsed = PerfArgs {
             out: PathBuf::from(default_out),
             reps: None,
             quick: false,
             skip_4096: false,
         };
+        let mut extras = HashMap::new();
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -65,10 +91,18 @@ impl PerfArgs {
                 }
                 "--quick" => parsed.quick = true,
                 "--skip-4096" => parsed.skip_4096 = true,
-                other => panic!("unknown argument {other}"),
+                other => match other.strip_prefix("--").filter(|n| extra.contains(n)) {
+                    Some(name) => {
+                        let v = args
+                            .next()
+                            .unwrap_or_else(|| panic!("--{name} needs a value"));
+                        extras.insert(name.to_string(), v);
+                    }
+                    None => panic!("unknown argument {other}"),
+                },
             }
         }
-        parsed
+        (parsed, extras)
     }
 
     /// The adaptive measurement policy this command line asks for:
@@ -129,5 +163,23 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn unknown_flags_panic() {
         PerfArgs::parse_from(argv(&["--frobnicate"]), "o");
+    }
+
+    #[test]
+    fn extra_vocabulary_passes_through() {
+        let (p, extras) = PerfArgs::parse_from_with(
+            argv(&["--quick", "--topologies", "256", "--zipf", "1.2"]),
+            "BENCH_x.json",
+            &["topologies", "zipf"],
+        );
+        assert!(p.quick);
+        assert_eq!(extras.get("topologies").map(String::as_str), Some("256"));
+        assert_eq!(extras.get("zipf").map(String::as_str), Some("1.2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn extra_vocabulary_does_not_swallow_strangers() {
+        PerfArgs::parse_from_with(argv(&["--conns", "4"]), "o", &["topologies"]);
     }
 }

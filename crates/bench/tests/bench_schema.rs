@@ -86,8 +86,8 @@ fn check_row(row: &Value, context: &str) {
 fn every_checked_in_bench_document_is_well_formed() {
     let docs = bench_documents();
     assert!(
-        docs.len() >= 4,
-        "expected the four perf documents at the repo root, found {}",
+        docs.len() >= 5,
+        "expected the five perf documents at the repo root, found {}",
         docs.len()
     );
     for (path, doc) in &docs {
@@ -112,6 +112,73 @@ fn every_checked_in_bench_document_is_well_formed() {
             "{name}: document/manifest benchmark mismatch"
         );
     }
+}
+
+/// The serve document is additionally held to the service-level
+/// objectives the tune service was built around: a four-digit distinct
+/// topology fleet, a warm-path p99 in the tens of microseconds,
+/// five-digit sustained throughput, a ≥ 90% Zipf hit rate, and full parity
+/// coverage of the cold pass. Regenerating the document with a
+/// regressed server fails this gate, not just the eyeball test.
+#[test]
+fn serve_document_meets_the_service_objectives() {
+    let name = "BENCH_serve.json";
+    let (_, doc) = bench_documents()
+        .into_iter()
+        .find(|(path, _)| path.file_name().is_some_and(|n| n == name))
+        .unwrap_or_else(|| panic!("{name} missing from the repo root"));
+    let serve = field(&doc, "serve", name);
+    let float = |v: &Value, ctx: &str| {
+        f64::from_value(v).unwrap_or_else(|e| panic!("{name}: {ctx}: not a number: {e}"))
+    };
+
+    let topologies = float(field(serve, "topologies", name), "topologies");
+    assert!(
+        topologies >= 1000.0,
+        "{name}: fleet of {topologies} distinct topologies is below the 1000 floor"
+    );
+    let hit_rate = float(field(serve, "hit_rate", name), "hit_rate");
+    assert!(
+        hit_rate >= 0.9,
+        "{name}: Zipf hit rate {hit_rate} below the 0.9 objective"
+    );
+
+    let latency = field(serve, "latency", name);
+    let p99 = float(field(latency, "warm_p99_s", name), "warm_p99_s");
+    let p99_hi = float(field(latency, "warm_p99_ci_hi", name), "warm_p99_ci_hi");
+    assert!(
+        p99 <= 100e-6 && p99_hi <= 150e-6,
+        "{name}: warm-path p99 {p99}s (CI hi {p99_hi}s) misses the 100us objective"
+    );
+
+    let throughput = field(serve, "throughput", name);
+    let rps = float(field(throughput, "rps", name), "rps");
+    assert!(
+        rps >= 50_000.0,
+        "{name}: sustained {rps} req/s below the 50k objective"
+    );
+
+    let parity = field(serve, "parity", name);
+    let checked = float(field(parity, "checked", name), "parity.checked");
+    let cold = float(field(parity, "cold_tunes", name), "parity.cold_tunes");
+    assert!(
+        checked >= 1000.0 && (checked - cold).abs() < f64::EPSILON,
+        "{name}: the checked-in document must parity-check every cold tune \
+         (checked {checked} of {cold})"
+    );
+
+    let stats = field(serve, "stats", name);
+    let errors = float(field(stats, "errors", name), "stats.errors");
+    let evictions = float(
+        field(stats, "cache_evictions", name),
+        "stats.cache_evictions",
+    );
+    assert!(errors == 0.0, "{name}: the run recorded server errors");
+    assert!(
+        evictions > 0.0,
+        "{name}: the run never evicted — the cache cap is not binding and the \
+         hit rate is untested against churn"
+    );
 }
 
 #[test]

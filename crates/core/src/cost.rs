@@ -484,8 +484,21 @@ impl CostEvaluator {
     }
 }
 
+/// Version of the [`cost_fingerprint`] function itself.
+///
+/// The fingerprint is a **public, persistent cache key**: `hbar serve`
+/// keys its schedule cache on it, and operators may key on-disk caches
+/// on it too. Its value for a given matrix is therefore a stability
+/// contract — any change to the hash construction (lane count, prime,
+/// absorption order, fold) MUST bump this constant so old caches are
+/// invalidated wholesale instead of silently poisoned. The pinned
+/// golden-fingerprint regression test below fails on any silent change.
+pub const COST_FINGERPRINT_VERSION: u32 = 1;
+
 /// FNV-1a over the raw bits of both cost matrices: the memo guard used
-/// by [`CostEvaluator::rebind`].
+/// by [`CostEvaluator::rebind`] and the schedule-cache key of
+/// `hbar serve` (fingerprint-equal matrices tune to bit-identical
+/// schedules, so one cached artifact serves every requester).
 ///
 /// Runs four independent FNV lanes over interleaved words and folds them
 /// at the end: a single lane is a serial xor-multiply chain whose
@@ -493,7 +506,13 @@ impl CostEvaluator {
 /// P = 1024 (2 M words) made the fingerprint itself a measurable slice
 /// of every tune. Any changed word still changes its lane and therefore
 /// the fold.
-fn cost_fingerprint(cost: &CostMatrices) -> u64 {
+///
+/// Stability: the mapping from matrix bits to fingerprint is frozen at
+/// [`COST_FINGERPRINT_VERSION`]; see the version constant for the
+/// contract. The fingerprint reads raw `f64` bits, so matrices that
+/// differ only in NaN payload or `-0.0` vs `0.0` hash differently —
+/// exactly right for a cache whose values must be bit-reproducible.
+pub fn cost_fingerprint(cost: &CostMatrices) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0100_0000_01b3;
     fn absorb(lanes: &mut [u64; 4], data: &[f64]) {
@@ -824,6 +843,54 @@ mod tests {
         let other_metric = DistanceMetric::from_costs(&other);
         let other_fresh = build_cluster_tree(&other_metric, &members, 0.35, 8);
         assert_eq!(eval.cluster_tree(&other, &members, 0.35, 8), other_fresh);
+    }
+
+    /// Pinned golden fingerprints. These literals are the published
+    /// values of [`COST_FINGERPRINT_VERSION`] 1: a persistent cache
+    /// keyed on the fingerprint is poisoned by any silent change to the
+    /// hash, so a change that trips this test MUST come with a version
+    /// bump (and new goldens), never with a quiet literal update.
+    #[test]
+    fn cost_fingerprint_is_pinned() {
+        assert_eq!(COST_FINGERPRINT_VERSION, 1);
+        let golden: [(CostMatrices, u64); 3] = [
+            (uniform(2), 0x077d_be7e_0a64_5a4d),
+            (uniform(8), 0xf418_07da_a556_813f),
+            (
+                {
+                    let machine = MachineSpec::dual_quad_cluster(2);
+                    TopologyProfile::from_ground_truth(&machine, &RankMapping::Block).cost
+                },
+                0x254e_5871_b4fd_2b87,
+            ),
+        ];
+        for (i, (cost, expected)) in golden.iter().enumerate() {
+            assert_eq!(
+                cost_fingerprint(cost),
+                *expected,
+                "golden fingerprint {i} changed: bump COST_FINGERPRINT_VERSION and re-pin"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_fingerprint_separates_single_bit_flips() {
+        let base = uniform(4);
+        let fp = cost_fingerprint(&base);
+        let mut o_flip = base.clone();
+        o_flip.o[(1, 2)] = f64::from_bits(o_flip.o[(1, 2)].to_bits() ^ 1);
+        assert_ne!(cost_fingerprint(&o_flip), fp);
+        let mut l_flip = base.clone();
+        l_flip.l[(3, 0)] = f64::from_bits(l_flip.l[(3, 0)].to_bits() ^ 1);
+        assert_ne!(cost_fingerprint(&l_flip), fp);
+        // Negative zero is a different bit pattern from positive zero.
+        let mut z = base;
+        z.l[(0, 1)] = -0.0;
+        assert_ne!(
+            cost_fingerprint(&z),
+            fp,
+            "-0.0 must hash differently from 0.0"
+        );
     }
 
     #[test]

@@ -34,5 +34,7 @@ pub mod verify;
 
 pub use algorithms::Algorithm;
 pub use compose::{tune_hybrid, TunedBarrier, TunerConfig};
-pub use cost::{predict_barrier_cost, CostParams, Prediction};
+pub use cost::{
+    cost_fingerprint, predict_barrier_cost, CostParams, Prediction, COST_FINGERPRINT_VERSION,
+};
 pub use schedule::{BarrierSchedule, Stage};

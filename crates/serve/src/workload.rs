@@ -1,0 +1,162 @@
+//! Synthetic serve workloads: distinct-but-plausible topologies and a
+//! Zipf request distribution.
+//!
+//! The load generator and the perf harness need many *distinct* cost
+//! matrices (distinct fingerprints → distinct cache keys) whose values
+//! stay inside the regime the tuner was built for. Each topology here
+//! is a ground-truth profile of a small machine with deterministic
+//! multiplicative jitter — the jitter keeps fingerprints unique while
+//! preserving the hierarchical cost structure the SSS clustering feeds
+//! on. Everything is seeded: the same `(count, seed)` always produces
+//! bit-identical matrices, so client and checker can regenerate the
+//! workload independently.
+
+use hbar_topo::cost::CostMatrices;
+use hbar_topo::machine::MachineSpec;
+use hbar_topo::mapping::RankMapping;
+use hbar_topo::profile::TopologyProfile;
+
+/// SplitMix64: tiny, seedable, and good enough for workload jitter.
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The machine shapes the synthetic fleet cycles through
+/// (`P ∈ {8, 12, 16}` — small enough that a single tune is fast, varied
+/// enough that schedules differ structurally).
+const SHAPES: [(usize, usize, usize); 3] = [(1, 2, 4), (2, 2, 3), (2, 2, 4)];
+
+/// Generates `count` distinct cost matrices, deterministically from
+/// `seed`. Entry `k` is shape `SHAPES[k % 3]`'s ground-truth profile
+/// with ±10% per-entry multiplicative jitter.
+pub fn synthetic_topologies(count: usize, seed: u64) -> Vec<CostMatrices> {
+    let bases: Vec<CostMatrices> = SHAPES
+        .iter()
+        .map(|&(nodes, sockets, cores)| {
+            let machine = MachineSpec::new(nodes, sockets, cores);
+            TopologyProfile::from_ground_truth(&machine, &RankMapping::Block).cost
+        })
+        .collect();
+    let mut rng = SplitMix64(seed ^ 0x5e2e_7065_7270_7665);
+    (0..count)
+        .map(|k| {
+            let mut cost = bases[k % bases.len()].clone();
+            for m in [&mut cost.o, &mut cost.l] {
+                let n = m.n();
+                for i in 0..n {
+                    for v in m.row_mut(i) {
+                        *v *= 1.0 + 0.2 * (rng.next_f64() - 0.5);
+                    }
+                }
+            }
+            cost
+        })
+        .collect()
+}
+
+/// Zipf(s) sampler over `0..n` by inverse-CDF binary search on the
+/// cumulative weights. Rank 0 is the most popular item.
+pub struct ZipfSampler {
+    cum: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` items with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0, "Zipf over zero items");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        ZipfSampler { cum }
+    }
+
+    /// Draws one item index.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        // partition_point: first index whose cumulative weight exceeds u.
+        self.cum
+            .partition_point(|&c| c <= u)
+            .min(self.cum.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbar_core::cost::cost_fingerprint;
+    use std::collections::HashSet;
+
+    #[test]
+    fn topologies_are_distinct_and_deterministic() {
+        let a = synthetic_topologies(64, 9);
+        let b = synthetic_topologies(64, 9);
+        let fps: HashSet<u64> = a.iter().map(cost_fingerprint).collect();
+        assert_eq!(fps.len(), 64, "fingerprints must be unique");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(cost_fingerprint(x), cost_fingerprint(y));
+        }
+        let c = synthetic_topologies(4, 10);
+        assert_ne!(cost_fingerprint(&a[0]), cost_fingerprint(&c[0]));
+        // Shapes cycle 8, 12, 16.
+        assert_eq!(a[0].p(), 8);
+        assert_eq!(a[1].p(), 12);
+        assert_eq!(a[2].p(), 16);
+    }
+
+    #[test]
+    fn jittered_costs_stay_finite_and_nonnegative() {
+        for cost in synthetic_topologies(12, 3) {
+            for &v in cost.o.as_slice().iter().chain(cost.l.as_slice()) {
+                assert!(v.is_finite() && v >= 0.0, "bad jittered entry {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_heavily_skewed_toward_low_ranks() {
+        let zipf = ZipfSampler::new(1000, 1.0);
+        let mut rng = SplitMix64(7);
+        let mut head = 0usize;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if zipf.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // Zipf(1.0) over 1000 items puts ~69% of mass on the top 100.
+        let frac = head as f64 / draws as f64;
+        assert!((0.6..0.8).contains(&frac), "head mass {frac}");
+    }
+
+    #[test]
+    fn zipf_never_indexes_out_of_range() {
+        let zipf = ZipfSampler::new(3, 1.0);
+        let mut rng = SplitMix64(1);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 3);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Loopback integration tests of the tune service: bit-parity against
+//! local tunes, coalesced-miss single-tune accounting, eviction under a
+//! bytes budget, client-death robustness, and graceful drain.
+
+use hbar_core::compose::tune_hybrid_costs;
+use hbar_serve::cache::CacheConfig;
+use hbar_serve::client::{TuneClient, TuneReply};
+use hbar_serve::proto::{TuneRequest, FRAME_TUNE_REQ, REQ_WANT_CODE};
+use hbar_serve::server::{ServeConfig, ServerHandle};
+use hbar_serve::workload::synthetic_topologies;
+use std::io::Write;
+use std::net::TcpStream;
+
+fn small_server(cache: CacheConfig, workers: usize) -> ServerHandle {
+    ServerHandle::spawn("127.0.0.1:0", &ServeConfig { cache, workers }).expect("spawn server")
+}
+
+fn default_server() -> ServerHandle {
+    small_server(CacheConfig::default(), 2)
+}
+
+/// The canonical local answer a served schedule must match bit for bit.
+fn local_schedule_json(req: &TuneRequest) -> String {
+    let members: Vec<usize> = (0..req.cost.p()).collect();
+    let tuned = tune_hybrid_costs(&req.cost, &members, &req.tuner_config());
+    serde_json::to_string(&tuned.schedule).expect("schedule serializes")
+}
+
+#[test]
+fn served_schedules_are_bit_identical_to_local_tunes() {
+    let server = default_server();
+    let mut client = TuneClient::connect(server.addr()).expect("connect");
+    for (k, cost) in synthetic_topologies(6, 21).into_iter().enumerate() {
+        let mut req = TuneRequest::new(k as u64, cost);
+        if k % 2 == 1 {
+            req.flags |= REQ_WANT_CODE;
+        }
+        let expected = local_schedule_json(&req);
+        // Twice per topology: the first answer is a fresh tune, the
+        // second a cache hit — both must be the same bytes.
+        let miss = client.request(&req).expect("tune");
+        assert!(!miss.cache_hit);
+        assert_eq!(miss.schedule_json, expected, "fresh tune parity, k={k}");
+        assert_eq!(
+            !miss.code_c.is_empty(),
+            k % 2 == 1,
+            "code only when requested"
+        );
+        let hit = client.request(&req).expect("tune again");
+        assert!(hit.cache_hit, "second request must hit the cache");
+        assert_eq!(hit.schedule_json, expected, "cached parity, k={k}");
+        assert_eq!(
+            hit.predicted_cost.to_bits(),
+            miss.predicted_cost.to_bits(),
+            "prediction must be bit-stable across hit and miss"
+        );
+    }
+    client.drain().expect("drain");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn concurrent_misses_on_one_key_tune_exactly_once() {
+    let server = small_server(CacheConfig::default(), 3);
+    let addr = server.addr();
+    let cost = synthetic_topologies(1, 77).pop().expect("one topology");
+    let expected = local_schedule_json(&TuneRequest::new(0, cost.clone()));
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let cost = cost.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = TuneClient::connect(addr).expect("connect");
+                let resp = client.request(&TuneRequest::new(t, cost)).expect("tune");
+                assert_eq!(resp.schedule_json, expected, "thread {t}");
+                client.drain().expect("drain");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let mut client = TuneClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.tunes, 1,
+        "8 concurrent requests for one key must coalesce into one tune: {stats:?}"
+    );
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.hits + stats.misses, 8);
+    assert_eq!(stats.errors, 0);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn concurrent_mixed_workload_tunes_each_key_once_and_stays_deterministic() {
+    let server = small_server(CacheConfig::default(), 4);
+    let addr = server.addr();
+    let topologies = synthetic_topologies(10, 5);
+    let expected: Vec<String> = topologies
+        .iter()
+        .map(|c| local_schedule_json(&TuneRequest::new(0, c.clone())))
+        .collect();
+    let threads: Vec<_> = (0..6)
+        .map(|t| {
+            let topologies = topologies.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = TuneClient::connect(addr).expect("connect");
+                // Every thread walks all keys from a different offset,
+                // so hits, misses, and coalesced misses all interleave.
+                for step in 0..topologies.len() * 2 {
+                    let k = (t + step) % topologies.len();
+                    let resp = client
+                        .request(&TuneRequest::new(k as u64, topologies[k].clone()))
+                        .expect("tune");
+                    assert_eq!(resp.schedule_json, expected[k], "thread {t} key {k}");
+                }
+                client.drain().expect("drain");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let mut client = TuneClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.tunes,
+        topologies.len() as u64,
+        "each distinct key must tune exactly once: {stats:?}"
+    );
+    assert_eq!(stats.requests, 6 * 20);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.cache_entries, topologies.len() as u64);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn bytes_budget_evicts_and_evicted_keys_retune_identically() {
+    // A budget that holds only a few schedules: walking 8 topologies
+    // twice must evict, and a re-request after eviction must re-tune to
+    // the same bytes.
+    let server = small_server(
+        CacheConfig {
+            shards: 1,
+            capacity: 1024,
+            bytes_budget: 3 * 4096,
+        },
+        2,
+    );
+    let topologies = synthetic_topologies(8, 13);
+    let mut client = TuneClient::connect(server.addr()).expect("connect");
+    let mut first_pass = Vec::new();
+    for (k, cost) in topologies.iter().enumerate() {
+        let resp = client
+            .request(&TuneRequest::new(k as u64, cost.clone()))
+            .expect("tune");
+        first_pass.push(resp.schedule_json);
+    }
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.cache_evictions > 0,
+        "the bytes budget must force evictions: {stats:?}"
+    );
+    assert!(stats.cache_bytes <= 3 * 4096 + 4096, "budget respected");
+    for (k, cost) in topologies.iter().enumerate() {
+        let resp = client
+            .request(&TuneRequest::new(100 + k as u64, cost.clone()))
+            .expect("re-tune");
+        assert_eq!(
+            resp.schedule_json, first_pass[k],
+            "evicted key {k} must re-tune bit-identically"
+        );
+    }
+    client.drain().expect("drain");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn dying_clients_do_not_take_the_server_down() {
+    let server = small_server(CacheConfig::default(), 2);
+    let addr = server.addr();
+    let cost = synthetic_topologies(1, 3).pop().expect("one topology");
+
+    // Client 1: opens a frame header promising a payload, then dies.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(&[FRAME_TUNE_REQ, 0xFF, 0xFF, 0x00, 0x00])
+            .expect("partial header");
+        // Dropped here mid-frame.
+    }
+    // Client 2: sends a full request and disconnects without reading
+    // the answer (the pool's write will fail; the server must shrug).
+    {
+        let mut client = TuneClient::connect(addr).expect("connect");
+        client
+            .send(&TuneRequest::new(7, cost.clone()))
+            .expect("send");
+        // recv() never called; connection dropped with a tune in flight.
+    }
+    // Client 3: garbage tag.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(&[0x7F, 0x00, 0x00, 0x00, 0x00])
+            .expect("garbage tag");
+    }
+
+    // The server must still answer correctly afterwards.
+    let mut client = TuneClient::connect(addr).expect("connect");
+    let req = TuneRequest::new(8, cost);
+    let resp = client.request(&req).expect("tune after client deaths");
+    assert_eq!(resp.schedule_json, local_schedule_json(&req));
+    client.drain().expect("drain");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn malformed_requests_get_error_replies_not_disconnects() {
+    let server = default_server();
+    let mut client = TuneClient::connect(server.addr()).expect("connect");
+    // A request whose advertised p disagrees with its payload length.
+    let cost = synthetic_topologies(1, 1).pop().expect("one topology");
+    let mut buf = Vec::new();
+    TuneRequest::new(3, cost.clone()).encode_into(&mut buf);
+    buf[8..12].copy_from_slice(&64u32.to_le_bytes());
+    {
+        use hbar_simnet::wire::write_frame;
+        // Reach under the client to send the corrupt frame verbatim.
+        let mut raw = TcpStream::connect(server.addr()).expect("connect raw");
+        write_frame(&mut raw, FRAME_TUNE_REQ, &buf).expect("send corrupt");
+        let (tag, payload) = hbar_simnet::wire::read_frame(&mut raw).expect("read err");
+        assert_eq!(tag, hbar_serve::proto::FRAME_TUNE_ERR);
+        let (id, reason) = hbar_serve::proto::decode_tune_error(&payload).expect("decode err");
+        assert_eq!(id, 3, "the salvaged id must survive the malformed body");
+        assert!(!reason.is_empty());
+    }
+    // The same connection-independent server still tunes fine.
+    let req = TuneRequest::new(4, cost);
+    match client
+        .send(&req)
+        .and_then(|()| client.recv())
+        .expect("tune")
+    {
+        TuneReply::Ok(resp) => assert_eq!(resp.schedule_json, local_schedule_json(&req)),
+        TuneReply::Err { reason, .. } => panic!("unexpected failure: {reason}"),
+    }
+    client.drain().expect("drain");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn drain_waits_for_pipelined_work_then_acknowledges() {
+    let server = small_server(CacheConfig::default(), 2);
+    let topologies = synthetic_topologies(5, 99);
+    let mut client = TuneClient::connect(server.addr()).expect("connect");
+    // Pipeline five misses without reading a single answer…
+    for (k, cost) in topologies.iter().enumerate() {
+        client
+            .send(&TuneRequest::new(k as u64, cost.clone()))
+            .expect("send");
+    }
+    // …then read them all back; ids must cover the full set.
+    let mut seen: Vec<u64> = (0..topologies.len())
+        .map(|_| match client.recv().expect("recv") {
+            TuneReply::Ok(resp) => resp.id,
+            TuneReply::Err { id, reason } => panic!("request {id} failed: {reason}"),
+        })
+        .collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..topologies.len() as u64).collect::<Vec<_>>());
+    // Drain with nothing outstanding must ack immediately; the server
+    // connection closes cleanly afterwards.
+    client.drain().expect("drain ack");
+    server.shutdown().expect("server exits")
+}

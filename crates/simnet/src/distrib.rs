@@ -23,8 +23,9 @@ use crate::noise::NoiseModel;
 use crate::profiling::ProfilingConfig;
 use crate::sweep::{DescriptorExecutor, LocalExecutor, PairSample, PairWorkDescriptor, SweepError};
 use crate::wire::{
-    decode_batch, decode_job, decode_results, encode_batch, encode_job, encode_results, read_frame,
-    write_frame, JobHeader, FRAME_BATCH, FRAME_JOB, FRAME_RESULT, FRAME_SHUTDOWN,
+    decode_batch, decode_job, decode_results, encode_batch_into, encode_job, encode_results_into,
+    read_frame_into, write_frame, JobHeader, FRAME_BATCH, FRAME_DRAIN, FRAME_JOB, FRAME_RESULT,
+    FRAME_SHUTDOWN,
 };
 use std::collections::VecDeque;
 use std::io::{self, ErrorKind};
@@ -81,15 +82,19 @@ enum ConnectionEnd {
     Shutdown,
 }
 
-/// Serves one driver connection: job header first, then batches.
+/// Serves one driver connection: job header first, then batches. One
+/// read buffer and one result-encode buffer live for the whole
+/// connection — frames of a steady-state session allocate nothing.
 fn serve_connection(
     stream: &mut TcpStream,
     answered: &mut usize,
     fault: WorkerFault,
     drop_armed: &mut bool,
 ) -> io::Result<ConnectionEnd> {
-    let (tag, payload) = match read_frame(stream) {
-        Ok(f) => f,
+    let mut payload = Vec::new();
+    let mut resp_buf = Vec::new();
+    let tag = match read_frame_into(stream, &mut payload) {
+        Ok(t) => t,
         // Driver connected and went away (or a port scanner said hello):
         // not fatal to the worker.
         Err(e) if is_disconnect(&e) => return Ok(ConnectionEnd::Continue),
@@ -97,6 +102,11 @@ fn serve_connection(
     };
     if tag == FRAME_SHUTDOWN {
         return Ok(ConnectionEnd::Shutdown);
+    }
+    if tag == FRAME_DRAIN {
+        // Graceful no-op session: acknowledge and return to accept.
+        write_frame(stream, FRAME_DRAIN, &[]).ok();
+        return Ok(ConnectionEnd::Continue);
     }
     if tag != FRAME_JOB {
         // Protocol violation from the peer; drop the connection, keep
@@ -110,13 +120,21 @@ fn serve_connection(
     let mut executor = LocalExecutor::new(job.machine, job.noise, job.profiling);
 
     loop {
-        let (tag, payload) = match read_frame(stream) {
-            Ok(f) => f,
+        let tag = match read_frame_into(stream, &mut payload) {
+            Ok(t) => t,
             Err(e) if is_disconnect(&e) => return Ok(ConnectionEnd::Continue),
             Err(e) => return Err(e),
         };
         match tag {
             FRAME_SHUTDOWN => return Ok(ConnectionEnd::Shutdown),
+            FRAME_DRAIN => {
+                // Driver is done with this session: everything it sent
+                // has been answered (the conversation is synchronous),
+                // so acknowledge the drain and end the connection
+                // cleanly instead of waiting for an abrupt EOF.
+                write_frame(stream, FRAME_DRAIN, &[]).ok();
+                return Ok(ConnectionEnd::Continue);
+            }
             FRAME_BATCH => {
                 let descriptors = match decode_batch(&payload) {
                     Ok(d) => d,
@@ -139,7 +157,8 @@ fn serve_connection(
                     }
                     _ => {}
                 }
-                write_frame(stream, FRAME_RESULT, &encode_results(&samples))?;
+                encode_results_into(&samples, &mut resp_buf);
+                write_frame(stream, FRAME_RESULT, &resp_buf)?;
                 *answered += 1;
             }
             _ => return Ok(ConnectionEnd::Continue),
@@ -321,17 +340,27 @@ fn feed_worker(
     if write_frame(&mut stream, FRAME_JOB, &header).is_err() {
         return FeederEnd::Lost(None);
     }
+    let mut batch_buf = Vec::new();
+    let mut payload = Vec::new();
     loop {
         let Some(batch) = queue.lock().expect("queue lock").pop_front() else {
-            // Plain disconnect: the worker loops back to accept, staying
-            // available for the next adaptive round.
+            // Graceful end-of-session: tell the worker we are done and
+            // wait for its ack (best effort — a vanished worker is the
+            // same as a drained one from the driver's point of view), so
+            // it loops back to accept instead of seeing an abrupt EOF.
+            if write_frame(&mut stream, FRAME_DRAIN, &[]).is_ok() {
+                // Ack tag is FRAME_DRAIN on a well-behaved worker; any
+                // other answer (or an error) changes nothing here.
+                let _ = read_frame_into(&mut stream, &mut payload);
+            }
             return FeederEnd::QueueDrained;
         };
-        if write_frame(&mut stream, FRAME_BATCH, &encode_batch(&batch)).is_err() {
+        encode_batch_into(&batch, &mut batch_buf);
+        if write_frame(&mut stream, FRAME_BATCH, &batch_buf).is_err() {
             return FeederEnd::Lost(Some(batch));
         }
-        let samples = match read_frame(&mut stream) {
-            Ok((FRAME_RESULT, payload)) => match decode_results(&payload) {
+        let samples = match read_frame_into(&mut stream, &mut payload) {
+            Ok(FRAME_RESULT) => match decode_results(&payload) {
                 Ok(s) => s,
                 Err(_) => return FeederEnd::Lost(Some(batch)),
             },

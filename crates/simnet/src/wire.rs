@@ -38,6 +38,13 @@ pub const FRAME_BATCH: u8 = 0x02;
 pub const FRAME_RESULT: u8 = 0x03;
 /// Frame tag: worker shutdown request (empty payload).
 pub const FRAME_SHUTDOWN: u8 = 0x04;
+/// Frame tag: graceful end-of-session (empty payload). A peer that is
+/// done sending work emits this instead of dropping the socket; the
+/// serving side finishes everything in flight, answers with its own
+/// [`FRAME_DRAIN`], flushes, and only then closes the connection. Both
+/// `hbar profile-worker` and `hbar serve` speak it, so a driver/client
+/// can distinguish "clean end" from "peer crashed mid-conversation".
+pub const FRAME_DRAIN: u8 = 0x05;
 
 /// Upper bound on accepted payload length (guards against garbage length
 /// prefixes allocating unbounded memory).
@@ -62,8 +69,17 @@ pub struct JobHeader {
     pub profiling: ProfilingConfig,
 }
 
-/// Writes one `[tag][len][payload]` frame.
+/// Writes one `[tag][len][payload]` frame and flushes the writer.
 pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    write_frame_buffered(w, tag, payload)?;
+    w.flush()
+}
+
+/// [`write_frame`] without the trailing flush: for buffered writers
+/// that batch many frames into one syscall. The caller owns the flush
+/// policy (the serve hot path flushes once per drained request batch,
+/// not once per response).
+pub fn write_frame_buffered(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
     if payload.len() > MAX_FRAME_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -72,12 +88,26 @@ pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()
     }
     w.write_all(&[tag])?;
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
+    w.write_all(payload)
 }
 
 /// Reads one frame, returning `(tag, payload)`.
+///
+/// Allocates a fresh payload vector per call; connection loops that
+/// read many frames should use [`read_frame_into`] with one reusable
+/// buffer instead.
 pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    let mut payload = Vec::new();
+    let tag = read_frame_into(r, &mut payload)?;
+    Ok((tag, payload))
+}
+
+/// Reads one frame into a caller-owned buffer (cleared and refilled),
+/// returning the tag. The per-connection loops in `distrib` and
+/// `hbar serve` call this with one long-lived buffer, so steady-state
+/// frame reads perform zero heap allocation once the buffer has grown
+/// to the session's largest frame.
+pub fn read_frame_into(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result<u8> {
     let mut head = [0u8; 5];
     r.read_exact(&mut head)?;
     let tag = head[0];
@@ -88,9 +118,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
             format!("frame length {len} exceeds cap"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok((tag, payload))
+    payload.clear();
+    payload.resize(len, 0);
+    r.read_exact(payload)?;
+    Ok(tag)
 }
 
 /// Encodes the job header as a JSON frame payload.
@@ -113,6 +144,15 @@ pub fn decode_job(payload: &[u8]) -> io::Result<JobHeader> {
 /// sub_seed:u64 | rep_scale:u32`, all little-endian.
 pub fn encode_batch(descriptors: &[PairWorkDescriptor]) -> Vec<u8> {
     let mut out = Vec::with_capacity(descriptors.len() * DESCRIPTOR_WIRE_LEN);
+    encode_batch_into(descriptors, &mut out);
+    out
+}
+
+/// [`encode_batch`] into a caller-owned buffer (cleared first), so a
+/// feeder loop reuses one encode buffer across every batch it ships.
+pub fn encode_batch_into(descriptors: &[PairWorkDescriptor], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(descriptors.len() * DESCRIPTOR_WIRE_LEN);
     for d in descriptors {
         out.extend_from_slice(&d.id.to_le_bytes());
         out.push(match d.kind {
@@ -126,7 +166,6 @@ pub fn encode_batch(descriptors: &[PairWorkDescriptor]) -> Vec<u8> {
         out.extend_from_slice(&d.sub_seed.to_le_bytes());
         out.extend_from_slice(&d.rep_scale.to_le_bytes());
     }
-    out
 }
 
 /// Decodes a descriptor batch.
@@ -170,12 +209,20 @@ pub fn decode_batch(payload: &[u8]) -> io::Result<Vec<PairWorkDescriptor>> {
 /// Encodes a result batch: `id:u32 | o:f64 | l:f64`, little-endian.
 pub fn encode_results(samples: &[PairSample]) -> Vec<u8> {
     let mut out = Vec::with_capacity(samples.len() * SAMPLE_WIRE_LEN);
+    encode_results_into(samples, &mut out);
+    out
+}
+
+/// [`encode_results`] into a caller-owned buffer (cleared first); the
+/// worker loop reuses one encode buffer across every answered batch.
+pub fn encode_results_into(samples: &[PairSample], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(samples.len() * SAMPLE_WIRE_LEN);
     for s in samples {
         out.extend_from_slice(&s.id.to_le_bytes());
         out.extend_from_slice(&s.o.to_le_bytes());
         out.extend_from_slice(&s.l.to_le_bytes());
     }
-    out
 }
 
 /// Decodes a result batch.
@@ -279,6 +326,40 @@ mod tests {
         assert_eq!(tag, FRAME_SHUTDOWN);
         assert!(payload.is_empty());
         assert!(read_frame(&mut cursor).is_err(), "stream exhausted");
+    }
+
+    #[test]
+    fn reusable_buffer_roundtrip_and_drain() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_BATCH, &encode_batch(&sample_descriptors())).unwrap();
+        write_frame(&mut buf, FRAME_DRAIN, &[]).unwrap();
+        let mut cursor = &buf[..];
+        let mut payload = vec![0xAA; 3]; // stale content must be cleared
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut payload).unwrap(),
+            FRAME_BATCH
+        );
+        assert_eq!(decode_batch(&payload).unwrap(), sample_descriptors());
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut payload).unwrap(),
+            FRAME_DRAIN
+        );
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn into_encoders_match_allocating_encoders() {
+        let descs = sample_descriptors();
+        let mut buf = vec![1, 2, 3];
+        encode_batch_into(&descs, &mut buf);
+        assert_eq!(buf, encode_batch(&descs));
+        let samples = vec![PairSample {
+            id: 9,
+            o: 1.5e-6,
+            l: 2.5e-7,
+        }];
+        encode_results_into(&samples, &mut buf);
+        assert_eq!(buf, encode_results(&samples));
     }
 
     #[test]

@@ -233,6 +233,50 @@ fn loopback_fleet_survives_mid_sweep_crash_and_matches_local() {
     handle_b.join().expect("join b").expect("worker b ok");
 }
 
+/// Drain handshake: a driver that finishes its queue sends FRAME_DRAIN
+/// and gets an acknowledging FRAME_DRAIN back, and the worker stays
+/// alive for the next session instead of seeing an abrupt EOF.
+#[test]
+fn worker_acknowledges_drain_and_keeps_serving() {
+    use hbar_simnet::wire::{
+        encode_batch, encode_job, read_frame, write_frame, FRAME_BATCH, FRAME_DRAIN, FRAME_JOB,
+        FRAME_RESULT,
+    };
+    use std::net::TcpStream;
+
+    let (addr, handle) = spawn_worker(WorkerFault::None);
+    let job = JobHeader {
+        machine: MachineSpec::new(1, 1, 2),
+        noise: NoiseModel::none(),
+        profiling: ProfilingConfig::fast(),
+    };
+
+    for session in 0..2 {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        write_frame(&mut stream, FRAME_JOB, &encode_job(&job).unwrap()).expect("send job");
+        let batch = vec![PairWorkDescriptor {
+            id: 0,
+            kind: WorkKind::Pair,
+            i: 0,
+            j: 1,
+            core_a: 0,
+            core_b: 1,
+            sub_seed: 42 + session,
+            rep_scale: 1,
+        }];
+        write_frame(&mut stream, FRAME_BATCH, &encode_batch(&batch)).expect("send batch");
+        let (tag, _) = read_frame(&mut stream).expect("read result");
+        assert_eq!(tag, FRAME_RESULT, "session {session}: expected a result");
+        write_frame(&mut stream, FRAME_DRAIN, &[]).expect("send drain");
+        let (tag, payload) = read_frame(&mut stream).expect("read drain ack");
+        assert_eq!(tag, FRAME_DRAIN, "session {session}: expected a drain ack");
+        assert!(payload.is_empty());
+    }
+
+    shutdown_worker(&addr).expect("shutdown worker");
+    handle.join().expect("join").expect("worker ok");
+}
+
 /// A second fleet scenario: a worker that dies for good. The other
 /// worker must drain the whole queue alone.
 #[test]

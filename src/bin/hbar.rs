@@ -4,6 +4,9 @@
 //! hbar profile  --machine 8x2x4 --mapping rr --ranks 64 --out prof.json [--fast] [--seed N] [--exact-machine]
 //!               [--clustered] [--probes N] [--workers HOST:PORT,...] [--stop-workers]
 //! hbar profile-worker --listen HOST:PORT
+//! hbar serve    --listen HOST:PORT [--shards N] [--cache-cap N] [--cache-bytes N] [--workers N]
+//! hbar tune-client --connect HOST:PORT [--count N] [--requests N] [--seed N] [--zipf S]
+//!               [--check all|sample|none] [--stats] [--shutdown]
 //! hbar tune     --profile prof.json --out sched.json [--extended] [--exact-scoring] [--sparseness F]
 //! hbar predict  --profile prof.json --schedule sched.json
 //! hbar verify   --schedule sched.json
@@ -12,6 +15,11 @@
 //! hbar heatmap  --profile prof.json [--matrix l|o]
 //! hbar search   --profile prof.json --out sched.json [--max-stages N] [--max-expansions N]
 //! ```
+//!
+//! `hbar serve` is the tuning daemon (sharded schedule cache, request
+//! coalescing, bounded tuner pool); `hbar tune-client` is its load
+//! generator and correctness checker — `--check all` asserts every
+//! served schedule bit-identical to a local tune.
 //!
 //! Machines are `NODESxSOCKETSxCORES` (e.g. `8x2x4`) or the presets
 //! `cluster-a` / `cluster-b`; mappings are `rr` (round-robin) or `block`.
@@ -59,6 +67,8 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "profile" => cmd_profile(&flags),
         "profile-worker" => cmd_profile_worker(&flags),
+        "serve" => cmd_serve(&flags),
+        "tune-client" => cmd_tune_client(&flags),
         "tune" => cmd_tune(&flags),
         "predict" => cmd_predict(&flags),
         "verify" => cmd_verify(&flags),
@@ -75,7 +85,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: hbar <profile|profile-worker|tune|predict|verify|simulate|codegen|heatmap|search> [--flag value]...\n\
+    "usage: hbar <profile|profile-worker|serve|tune-client|tune|predict|verify|simulate|codegen|heatmap|search> [--flag value]...\n\
      run `hbar help` or see the crate docs for flags"
         .to_string()
 }
@@ -92,7 +102,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         // Boolean flags take no value; value flags consume the next arg.
         let boolean = matches!(
             name,
-            "fast" | "extended" | "exact-scoring" | "exact-machine" | "clustered" | "stop-workers"
+            "fast"
+                | "extended"
+                | "exact-scoring"
+                | "exact-machine"
+                | "clustered"
+                | "stop-workers"
+                | "stats"
+                | "shutdown"
         );
         if boolean {
             flags.insert(name.to_string(), "true".to_string());
@@ -246,6 +263,138 @@ fn cmd_profile_worker(flags: &Flags) -> Result<(), String> {
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
     println!("profile worker listening on {local}");
     serve_worker(listener, WorkerFault::None).map_err(|e| format!("worker failed: {e}"))
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use hbarrier::serve::{serve, ServeConfig};
+    let listen = req(flags, "listen")?;
+    let mut cfg = ServeConfig::default();
+    let parse_num = |flags: &Flags, name: &str, into: &mut usize| -> Result<(), String> {
+        if let Some(v) = flags.get(name) {
+            *into = v
+                .parse()
+                .ok()
+                .filter(|&n: &usize| n > 0)
+                .ok_or_else(|| format!("bad --{name}"))?;
+        }
+        Ok(())
+    };
+    parse_num(flags, "shards", &mut cfg.cache.shards)?;
+    parse_num(flags, "cache-cap", &mut cfg.cache.capacity)?;
+    parse_num(flags, "cache-bytes", &mut cfg.cache.bytes_budget)?;
+    parse_num(flags, "workers", &mut cfg.workers)?;
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    println!(
+        "serve listening on {local} ({} shards, {} entries / {} bytes cache, {} workers)",
+        cfg.cache.shards, cfg.cache.capacity, cfg.cache.bytes_budget, cfg.workers
+    );
+    // Scripted callers (CI smoke, tests) parse the bound address from a
+    // pipe, so it must not sit in a block buffer.
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    serve(&listener, &cfg).map_err(|e| format!("serve failed: {e}"))
+}
+
+fn cmd_tune_client(flags: &Flags) -> Result<(), String> {
+    use hbarrier::core::compose::tune_hybrid_costs;
+    use hbarrier::serve::workload::{synthetic_topologies, SplitMix64, ZipfSampler};
+    use hbarrier::serve::{shutdown_server, TuneClient, TuneRequest};
+
+    let addr = req(flags, "connect")?;
+    let count: usize = flags
+        .get("count")
+        .map(|v| v.parse().map_err(|_| "bad --count".to_string()))
+        .transpose()?
+        .unwrap_or(64);
+    let requests: usize = flags
+        .get("requests")
+        .map(|v| v.parse().map_err(|_| "bad --requests".to_string()))
+        .transpose()?
+        .unwrap_or(count * 4);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|v| v.parse().map_err(|_| "bad --seed".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let zipf_s: f64 = flags
+        .get("zipf")
+        .map(|v| v.parse().map_err(|_| "bad --zipf".to_string()))
+        .transpose()?
+        .unwrap_or(1.0);
+    let check = flags.get("check").map(String::as_str).unwrap_or("sample");
+    let check_every = match check {
+        "all" => 1,
+        "sample" => 16,
+        "none" => 0,
+        other => return Err(format!("--check must be all|sample|none, got `{other}`")),
+    };
+
+    let topologies = synthetic_topologies(count, seed);
+    let zipf = ZipfSampler::new(count, zipf_s);
+    let mut rng = SplitMix64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(7));
+    let mut client =
+        TuneClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut local_cache: HashMap<usize, String> = HashMap::new();
+    let (mut hits, mut checked) = (0u64, 0u64);
+    let started = std::time::Instant::now();
+    for n in 0..requests {
+        let k = zipf.sample(&mut rng);
+        let req = TuneRequest::new(n as u64, topologies[k].clone());
+        let resp = client
+            .request(&req)
+            .map_err(|e| format!("request {n} failed: {e}"))?;
+        if resp.cache_hit {
+            hits += 1;
+        }
+        if check_every > 0 && n % check_every == 0 {
+            let expected = local_cache.entry(k).or_insert_with(|| {
+                let members: Vec<usize> = (0..topologies[k].p()).collect();
+                let tuned = tune_hybrid_costs(&topologies[k], &members, &req.tuner_config());
+                serde_json::to_string(&tuned.schedule).expect("schedule serializes")
+            });
+            if resp.schedule_json != *expected {
+                return Err(format!(
+                    "PARITY FAILURE: request {n} (topology {k}) served a schedule \
+                     that differs from the local tune"
+                ));
+            }
+            checked += 1;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "{requests} requests over {count} topologies (zipf {zipf_s}): \
+         {hits} hits ({:.1}% hit rate), {checked} parity-checked, \
+         {:.0} req/s sync",
+        100.0 * hits as f64 / requests.max(1) as f64,
+        requests as f64 / elapsed.max(1e-9),
+    );
+    if flags.contains_key("stats") {
+        let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+        println!(
+            "server: {} requests, {} hits / {} misses ({} coalesced), {} tunes, \
+             {} errors, cache {} entries / {} bytes / {} evictions",
+            stats.requests,
+            stats.hits,
+            stats.misses,
+            stats.coalesced,
+            stats.tunes,
+            stats.errors,
+            stats.cache_entries,
+            stats.cache_bytes,
+            stats.cache_evictions
+        );
+    }
+    client.drain().map_err(|e| format!("drain failed: {e}"))?;
+    if flags.contains_key("shutdown") {
+        shutdown_server(addr).map_err(|e| format!("shutdown failed: {e}"))?;
+        println!("server shut down");
+    }
+    Ok(())
 }
 
 fn cmd_tune(flags: &Flags) -> Result<(), String> {

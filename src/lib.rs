@@ -36,6 +36,7 @@
 pub use hbar_analyze as analyze;
 pub use hbar_core as core;
 pub use hbar_matrix as matrix;
+pub use hbar_serve as serve;
 pub use hbar_simnet as simnet;
 pub use hbar_threadrun as threadrun;
 pub use hbar_topo as topo;

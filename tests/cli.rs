@@ -202,6 +202,50 @@ fn search_subcommand_finds_a_barrier() {
 }
 
 #[test]
+fn serve_and_tune_client_round_trip() {
+    use std::io::BufRead;
+
+    // Bind on port 0 and parse the kernel-assigned address from the
+    // daemon's first stdout line, exactly as a scripted caller would.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_hbar"))
+        .args(["serve", "--listen", "127.0.0.1:0", "--cache-cap", "64"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve daemon spawns");
+    let mut banner = String::new();
+    std::io::BufReader::new(server.stdout.take().expect("piped stdout"))
+        .read_line(&mut banner)
+        .expect("daemon prints its address");
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unparseable banner: {banner:?}"))
+        .to_string();
+
+    let o = hbar(&[
+        "tune-client",
+        "--connect",
+        &addr,
+        "--count",
+        "8",
+        "--requests",
+        "32",
+        "--check",
+        "all",
+        "--stats",
+        "--shutdown",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("32 parity-checked"), "{out}");
+    assert!(out.contains("server shut down"), "{out}");
+    // The shutdown frame must take the daemon down cleanly.
+    let status = server.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit: {status:?}");
+}
+
+#[test]
 fn preset_machines_parse() {
     let dir = workdir("presets");
     let profile = dir.join("a.json");

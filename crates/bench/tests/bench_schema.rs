@@ -61,11 +61,16 @@ fn check_row(row: &Value, context: &str) {
         "{context}: speedup {point} outside its own CI [{lo}, {hi}]"
     );
     // The before/after key pair differs per harness (profile uses
-    // exhaustive/clustered); accept either spelling but require one.
-    let pair = [("before", "after"), ("exhaustive", "clustered")]
-        .into_iter()
-        .find(|(b, a)| row.get(b).is_some() && row.get(a).is_some())
-        .unwrap_or_else(|| panic!("{context}: no before/after estimate objects"));
+    // exhaustive/clustered, scale uses dense/compressed); accept any
+    // spelling but require one.
+    let pair = [
+        ("before", "after"),
+        ("exhaustive", "clustered"),
+        ("dense", "compressed"),
+    ]
+    .into_iter()
+    .find(|(b, a)| row.get(b).is_some() && row.get(a).is_some())
+    .unwrap_or_else(|| panic!("{context}: no before/after estimate objects"));
     for key in [pair.0, pair.1] {
         let est = Estimate::from_value(field(row, key, context))
             .unwrap_or_else(|e| panic!("{context}: `{key}` is not an Estimate: {e}"));
@@ -86,8 +91,8 @@ fn check_row(row: &Value, context: &str) {
 fn every_checked_in_bench_document_is_well_formed() {
     let docs = bench_documents();
     assert!(
-        docs.len() >= 5,
-        "expected the five perf documents at the repo root, found {}",
+        docs.len() >= 6,
+        "expected the six perf documents at the repo root, found {}",
         docs.len()
     );
     for (path, doc) in &docs {
@@ -181,20 +186,134 @@ fn serve_document_meets_the_service_objectives() {
     );
 }
 
+/// The scale document is held to the |P|² memory-wall objectives it was
+/// built to witness: every parity row's bit-equality flags true, every
+/// cold-tune speedup self-consistent with its own medians, and a
+/// headline run that stayed under its memory budget while actually
+/// exercising the out-of-core spill path. A regenerated document from a
+/// regressed build fails this gate, not just the eyeball test.
+#[test]
+fn scale_document_meets_the_memory_wall_objectives() {
+    let name = "BENCH_scale.json";
+    let (_, doc) = bench_documents()
+        .into_iter()
+        .find(|(path, _)| path.file_name().is_some_and(|n| n == name))
+        .unwrap_or_else(|| panic!("{name} missing from the repo root"));
+    let float = |v: &Value, ctx: &str| {
+        f64::from_value(v).unwrap_or_else(|e| panic!("{name}: {ctx}: not a number: {e}"))
+    };
+    let flag = |row: &Value, key: &str, ctx: &str| match field(row, key, ctx) {
+        Value::Bool(b) => *b,
+        other => panic!("{ctx}: `{key}` is not a bool: {other:?}"),
+    };
+
+    // Parity: every row must attest bit-equality against the dense path.
+    let Value::Array(parity) = field(&doc, "parity", name) else {
+        panic!("{name}: `parity` is not an array");
+    };
+    assert!(!parity.is_empty(), "{name}: empty parity table");
+    for (i, row) in parity.iter().enumerate() {
+        let ctx = format!("{name}:parity[{i}]");
+        for key in ["dense_roundtrip_equal", "fingerprint_equal", "tune_equal"] {
+            assert!(flag(row, key, &ctx), "{ctx}: `{key}` is false");
+        }
+        assert!(
+            float(field(row, "classes", &ctx), "classes") >= 1.0,
+            "{ctx}: no pair classes"
+        );
+    }
+
+    // Cold-tune rows: the quoted speedup must be the ratio of the two
+    // quoted medians, and the compressed model strictly smaller.
+    let Value::Array(cold) = field(&doc, "cold_tune", name) else {
+        panic!("{name}: `cold_tune` is not an array");
+    };
+    assert!(!cold.is_empty(), "{name}: empty cold_tune table");
+    for (i, row) in cold.iter().enumerate() {
+        let ctx = format!("{name}:cold_tune[{i}]");
+        let dense_s = float(field(row, "dense_s", &ctx), "dense_s");
+        let compressed_s = float(field(row, "compressed_s", &ctx), "compressed_s");
+        let speedup = float(field(row, "speedup", &ctx), "speedup");
+        assert!(
+            (speedup - dense_s / compressed_s).abs() <= 1e-9 * speedup.abs(),
+            "{ctx}: speedup {speedup} is not dense_s/compressed_s = {}",
+            dense_s / compressed_s
+        );
+        let dense_b = float(field(row, "dense_model_bytes", &ctx), "dense_model_bytes");
+        let compr_b = float(
+            field(row, "compressed_model_bytes", &ctx),
+            "compressed_model_bytes",
+        );
+        assert!(
+            compr_b < dense_b,
+            "{ctx}: compressed model ({compr_b} B) not smaller than dense ({dense_b} B)"
+        );
+    }
+
+    // Headline: the budget held, the spill path ran, and the model beat
+    // the dense equivalent by construction.
+    let headline = field(&doc, "headline", name);
+    assert!(
+        flag(headline, "budget_respected", name),
+        "{name}: headline run exceeded its memory budget"
+    );
+    let budget = float(field(&doc, "mem_budget_bytes", name), "mem_budget_bytes");
+    let peak = float(
+        field(headline, "peak_rss_bytes", name),
+        "headline.peak_rss_bytes",
+    );
+    assert!(
+        peak <= budget,
+        "{name}: headline peak RSS {peak} B over the {budget} B budget"
+    );
+    assert!(
+        flag(headline, "spill_forced", name),
+        "{name}: the staging budget never forced a spill — the out-of-core \
+         path is untested at scale"
+    );
+    let spill = field(headline, "spill", name);
+    let spilled = float(field(spill, "spilled_tiles", name), "spill.spilled_tiles");
+    let tiles = float(field(spill, "tiles", name), "spill.tiles");
+    assert!(
+        spilled >= 1.0 && spilled <= tiles,
+        "{name}: {spilled} of {tiles} tiles spilled is not a witness of the \
+         out-of-core path"
+    );
+    let compr_b = float(
+        field(headline, "compressed_model_bytes", name),
+        "headline.compressed_model_bytes",
+    );
+    let dense_b = float(
+        field(headline, "dense_equivalent_bytes", name),
+        "headline.dense_equivalent_bytes",
+    );
+    assert!(
+        compr_b < dense_b && compr_b <= budget,
+        "{name}: headline model {compr_b} B does not beat dense {dense_b} B \
+         within the {budget} B budget"
+    );
+}
+
 #[test]
 fn every_result_row_carries_interval_estimates() {
     for (path, doc) in bench_documents() {
         let name = path.file_name().unwrap().to_string_lossy().to_string();
-        // Every array of row objects in the document is held to the row
+        // Every array of timing rows in the document is held to the row
         // schema; documents keep their rows under different keys
-        // (results, closure, clustering).
+        // (results, closure, clustering, cold_tune). Arrays of
+        // non-timing rows (the scale document's parity table) carry no
+        // `speedup` and are gated by their own document test instead.
         let mut row_arrays = 0;
         for (key, value) in doc
             .as_object()
             .unwrap_or_else(|| panic!("{name}: not an object"))
         {
             let Value::Array(rows) = value else { continue };
-            if rows.iter().all(|r| r.get("ranks").is_some()) && !rows.is_empty() {
+            if rows
+                .iter()
+                .all(|r| r.get("ranks").is_some() && r.get("speedup").is_some())
+                && !rows.is_empty()
+            {
                 row_arrays += 1;
                 for (i, row) in rows.iter().enumerate() {
                     check_row(row, &format!("{name}:{key}[{i}]"));

@@ -48,6 +48,10 @@ pub struct SssScratch {
     /// so the absorb scan updates both arrays with uniform-width selects
     /// (the index is always an exactly representable small integer).
     nearest: Vec<f64>,
+    /// Decompression buffer for class-compressed metrics (see
+    /// [`DistanceMetric::row_into`]); untouched for dense metrics, and
+    /// reused across every center of every tree level once grown.
+    row_buf: Vec<f64>,
 }
 
 /// Clusters `members` (global ranks) by SSS over `metric`.
@@ -157,10 +161,17 @@ fn absorb_center(
     scratch: &mut SssScratch,
 ) -> Result<(), ClusterError> {
     let center = members[center_pos];
-    let row = metric.row(center);
+    // Destructure so the decompression borrow (`row_buf`) and the update
+    // borrows (`min_dist`/`nearest`) split disjointly.
+    let SssScratch {
+        min_dist,
+        nearest,
+        row_buf,
+    } = scratch;
+    let row = metric.row_into(center, row_buf);
     let tail = &members[center_pos + 1..];
-    let min_dist = &mut scratch.min_dist[center_pos + 1..];
-    let nearest = &mut scratch.nearest[center_pos + 1..];
+    let min_dist = &mut min_dist[center_pos + 1..];
+    let nearest = &mut nearest[center_pos + 1..];
     let ci = cluster_idx as f64;
     // NaN/±inf carry an all-ones exponent; OR-ing the raw bits keeps the
     // check off the critical path (a false positive — finite distances

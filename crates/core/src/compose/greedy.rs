@@ -4,8 +4,8 @@ use crate::algorithms::Algorithm;
 use crate::clustering::{ClusterNode, SSS_DEFAULT_SPARSENESS};
 use crate::cost::{member_set_hash, CostEvaluator, CostParams, ScoreKey};
 use crate::schedule::BarrierSchedule;
-use hbar_matrix::{BoolMatrix, DenseMatrix};
-use hbar_topo::cost::CostMatrices;
+use hbar_matrix::BoolMatrix;
+use hbar_topo::cost::{CostMatrices, CostProvider};
 use hbar_topo::profile::TopologyProfile;
 use rayon::prelude::*;
 
@@ -129,18 +129,21 @@ pub fn tune_hybrid_for(
     tune_hybrid_costs(&profile.cost, members, cfg)
 }
 
-/// Tunes a hybrid barrier directly from cost matrices, with no machine
+/// Tunes a hybrid barrier directly from a cost model, with no machine
 /// metadata required. This is the entry point for platforms beyond the
 /// hierarchical clusters the paper evaluates (its §VIII generalization):
-/// any cost matrix whose symmetrization is a metric drives the SSS
-/// clustering and the greedy composition identically.
+/// any cost model whose symmetrization is a metric drives the SSS
+/// clustering and the greedy composition identically. Generic over the
+/// [`CostProvider`] backing — dense [`CostMatrices`] and the
+/// class-compressed model tune bit-identically when their entries are
+/// bit-equal.
 ///
 /// # Panics
 /// Panics if `members` is empty, if no candidate algorithm is applicable
 /// to some cluster size, or if composition produces an invalid barrier
 /// (which would be a bug — the construction is verified with Eq. 3).
-pub fn tune_hybrid_costs(
-    cost: &CostMatrices,
+pub fn tune_hybrid_costs<C: CostProvider + ?Sized>(
+    cost: &C,
     members: &[usize],
     cfg: &TunerConfig,
 ) -> TunedBarrier {
@@ -157,8 +160,8 @@ pub fn tune_hybrid_costs(
 /// # Panics
 /// As [`tune_hybrid_costs`], plus if the evaluator's params differ from
 /// the configuration's.
-pub fn tune_hybrid_costs_with(
-    cost: &CostMatrices,
+pub fn tune_hybrid_costs_with<C: CostProvider + ?Sized>(
+    cost: &C,
     members: &[usize],
     cfg: &TunerConfig,
     eval: &mut CostEvaluator,
@@ -245,10 +248,10 @@ struct PlanNode {
 }
 
 /// Recursively selects algorithms for `node`'s subtree.
-fn plan_node(
+fn plan_node<C: CostProvider + ?Sized>(
     node: &ClusterNode,
     depth: usize,
-    cost: &CostMatrices,
+    cost: &C,
     cfg: &TunerConfig,
     eval: &mut CostEvaluator,
 ) -> PlanNode {
@@ -351,10 +354,10 @@ fn collect_choices(plan: PlanNode, depth: usize, out: &mut Vec<LevelChoice>) {
 /// Greedy candidate selection for one cluster level: lowest arrival-phase
 /// critical path, doubled to approximate the departure except for fully
 /// synchronizing algorithms at the root.
-fn select_algorithm(
+fn select_algorithm<C: CostProvider + ?Sized>(
     participants: &[usize],
     is_root: bool,
-    cost: &CostMatrices,
+    cost: &C,
     cfg: &TunerConfig,
     eval: &mut CostEvaluator,
 ) -> (Algorithm, f64) {
@@ -406,13 +409,11 @@ fn is_ascending(ranks: &[usize]) -> bool {
 }
 
 /// The participants' pairwise costs re-indexed into the local `0..m`
-/// space that `Algorithm::arrival_local` generates over.
-fn local_costs(cost: &CostMatrices, participants: &[usize]) -> CostMatrices {
-    let m = participants.len();
-    CostMatrices {
-        o: DenseMatrix::from_fn(m, |a, b| cost.o[(participants[a], participants[b])]),
-        l: DenseMatrix::from_fn(m, |a, b| cost.l[(participants[a], participants[b])]),
-    }
+/// space that `Algorithm::arrival_local` generates over. Delegates to
+/// the provider (same `from_fn` fill order as the pre-provider code, so
+/// dense extraction is bit-identical).
+fn local_costs<C: CostProvider + ?Sized>(cost: &C, participants: &[usize]) -> CostMatrices {
+    cost.local_costs(participants)
 }
 
 /// Prices one candidate algorithm for one cluster level.
@@ -430,23 +431,41 @@ fn local_costs(cost: &CostMatrices, participants: &[usize]) -> CostMatrices {
 /// to the embedded one. It is also what makes tuning at P ≥ 1024
 /// tractable: scoring drops from O(levels · candidates · n²) to
 /// O(levels · candidates · m²) with m = cluster size.
-fn score_candidate(
+fn score_candidate<C: CostProvider + ?Sized>(
     alg: Algorithm,
     participants: &[usize],
     is_root: bool,
-    cost: &CostMatrices,
+    cost: &C,
     local: Option<&CostMatrices>,
     cfg: &TunerConfig,
     eval: &mut CostEvaluator,
 ) -> f64 {
-    let (w, cmat, arrival) = match local {
-        Some(sub) => (
-            participants.len(),
-            sub,
-            alg.arrival_local(participants.len()),
-        ),
-        None => (cost.p(), cost, alg.arrival_embedded(cost.p(), participants)),
-    };
+    // The two arms price against differently typed backings (the dense
+    // submatrix vs whatever `cost` is), so the shared scoring logic is
+    // the generic helper below rather than one tuple match.
+    match local {
+        Some(sub) => {
+            let w = participants.len();
+            score_schedule(alg, w, alg.arrival_local(w), is_root, sub, cfg, eval)
+        }
+        None => {
+            let w = cost.p();
+            let arrival = alg.arrival_embedded(w, participants);
+            score_schedule(alg, w, arrival, is_root, cost, cfg, eval)
+        }
+    }
+}
+
+/// Prices one candidate's arrival stages against one cost backing.
+fn score_schedule<C: CostProvider + ?Sized>(
+    alg: Algorithm,
+    w: usize,
+    arrival: Vec<BoolMatrix>,
+    is_root: bool,
+    cmat: &C,
+    cfg: &TunerConfig,
+    eval: &mut CostEvaluator,
+) -> f64 {
     if cfg.score_exact {
         // Extension: predict the full local schedule, with the real
         // Eq. 2 departure (omitted entirely for fully synchronizing
@@ -479,6 +498,7 @@ mod tests {
     use super::*;
     use crate::cost::predict_barrier_cost;
     use crate::verify;
+    use hbar_matrix::DenseMatrix;
     use hbar_topo::machine::MachineSpec;
     use hbar_topo::mapping::RankMapping;
 

@@ -30,9 +30,14 @@ use crate::algorithms::Algorithm;
 use crate::clustering::{build_cluster_tree, ClusterNode};
 use crate::schedule::BarrierSchedule;
 use hbar_matrix::ClosureWorkspace;
-use hbar_topo::cost::{CostMatrices, SendMode};
+use hbar_topo::cost::{CostMatrices, CostProvider, SendMode};
 use hbar_topo::metric::DistanceMetric;
 use std::collections::HashMap;
+
+// The fingerprint moved to `hbar-topo::cost` so the compressed model can
+// stream it without depending on this crate; re-exported here because
+// `hbar serve` and external cache keys were documented against this path.
+pub use hbar_topo::cost::{cost_fingerprint, COST_FINGERPRINT_VERSION};
 
 /// Options for the prediction model.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -277,11 +282,12 @@ impl CostEvaluator {
         &self.params
     }
 
-    /// Binds the score memo to `cost`: a no-op when the matrices are
+    /// Binds the score memo to `cost`: a no-op when the model is
     /// unchanged (so successive tunes on the same profile share hits),
-    /// a cache clear when they differ.
-    pub fn rebind(&mut self, cost: &CostMatrices) {
-        let fp = cost_fingerprint(cost);
+    /// a cache clear when it differs. Backing-agnostic: a compressed
+    /// model with the same dense image keeps the memo warm.
+    pub fn rebind<C: CostProvider + ?Sized>(&mut self, cost: &C) {
+        let fp = cost.fingerprint();
         if self.bound_fingerprint != Some(fp) {
             self.memo.clear();
             self.derived = None;
@@ -298,15 +304,15 @@ impl CostEvaluator {
     ///
     /// As with [`Self::cached_score`], callers must have
     /// [`Self::rebind`]-ed to `cost` first.
-    pub fn cluster_tree(
+    pub fn cluster_tree<C: CostProvider + ?Sized>(
         &mut self,
-        cost: &CostMatrices,
+        cost: &C,
         members: &[usize],
         sparseness: f64,
         max_depth: usize,
     ) -> ClusterNode {
         let derived = self.derived.get_or_insert_with(|| DerivedTopology {
-            metric: DistanceMetric::from_costs(cost),
+            metric: cost.distance_metric(),
             trees: HashMap::new(),
         });
         let key = TreeKey {
@@ -339,10 +345,10 @@ impl CostEvaluator {
     }
 
     /// Critical-path cost only — the fully allocation-free entry point.
-    pub fn barrier_cost(
+    pub fn barrier_cost<C: CostProvider + ?Sized>(
         &mut self,
         schedule: &BarrierSchedule,
-        cost: &CostMatrices,
+        cost: &C,
         skews: Option<&[f64]>,
     ) -> f64 {
         let origin = self.advance(schedule, cost, skews, None);
@@ -350,10 +356,10 @@ impl CostEvaluator {
     }
 
     /// Full prediction; only the returned vectors are allocated.
-    pub fn predict(
+    pub fn predict<C: CostProvider + ?Sized>(
         &mut self,
         schedule: &BarrierSchedule,
-        cost: &CostMatrices,
+        cost: &C,
         skews: Option<&[f64]>,
     ) -> Prediction {
         let mut stage_frontier = Vec::with_capacity(schedule.len());
@@ -367,11 +373,14 @@ impl CostEvaluator {
     }
 
     /// Runs the stage recurrence, leaving final per-rank exit times in
-    /// `self.ready`, and returns the time origin.
-    fn advance(
+    /// `self.ready`, and returns the time origin. Generic over the cost
+    /// backing: with dense matrices every `*_at` inlines to the index
+    /// load the pre-provider code performed; with the compressed model
+    /// it is a `u16` class load plus a table load.
+    fn advance<C: CostProvider + ?Sized>(
         &mut self,
         schedule: &BarrierSchedule,
-        cost: &CostMatrices,
+        cost: &C,
         skews: Option<&[f64]>,
         mut frontier: Option<&mut Vec<f64>>,
     ) -> f64 {
@@ -423,7 +432,7 @@ impl CostEvaluator {
 
             for (i, targets) in stage.sends() {
                 let base = self.ready[i];
-                let oii = cost.o[(i, i)];
+                let oii = cost.o_at(i, i);
                 // Running prefix latency / startup max reproduce the
                 // reference's per-target `arrival_offset` exactly: both
                 // accumulate left to right over the same target order.
@@ -431,8 +440,8 @@ impl CostEvaluator {
                 let mut run_max = f64::NEG_INFINITY;
                 for &j in targets {
                     debug_assert_ne!(j, i, "rank {i} cannot signal itself");
-                    lat += cost.l[(i, j)];
-                    run_max = run_max.max(cost.o[(i, j)]);
+                    lat += cost.l_at(i, j);
+                    run_max = run_max.max(cost.o_at(i, j));
                     let startup = match stage.mode {
                         SendMode::General => run_max,
                         SendMode::ReceiversAwaiting => oii,
@@ -465,7 +474,7 @@ impl CostEvaluator {
                 let mut t = f64::NEG_INFINITY;
                 for &(at, src) in seg.iter() {
                     t = if self.params.receiver_processing {
-                        t.max(at) + cost.l[(src, j)]
+                        t.max(at) + cost.l_at(src, j)
                     } else {
                         t.max(at)
                     };
@@ -482,61 +491,6 @@ impl CostEvaluator {
         }
         origin
     }
-}
-
-/// Version of the [`cost_fingerprint`] function itself.
-///
-/// The fingerprint is a **public, persistent cache key**: `hbar serve`
-/// keys its schedule cache on it, and operators may key on-disk caches
-/// on it too. Its value for a given matrix is therefore a stability
-/// contract — any change to the hash construction (lane count, prime,
-/// absorption order, fold) MUST bump this constant so old caches are
-/// invalidated wholesale instead of silently poisoned. The pinned
-/// golden-fingerprint regression test below fails on any silent change.
-pub const COST_FINGERPRINT_VERSION: u32 = 1;
-
-/// FNV-1a over the raw bits of both cost matrices: the memo guard used
-/// by [`CostEvaluator::rebind`] and the schedule-cache key of
-/// `hbar serve` (fingerprint-equal matrices tune to bit-identical
-/// schedules, so one cached artifact serves every requester).
-///
-/// Runs four independent FNV lanes over interleaved words and folds them
-/// at the end: a single lane is a serial xor-multiply chain whose
-/// multiply latency caps throughput at one word per ~3 cycles, which at
-/// P = 1024 (2 M words) made the fingerprint itself a measurable slice
-/// of every tune. Any changed word still changes its lane and therefore
-/// the fold.
-///
-/// Stability: the mapping from matrix bits to fingerprint is frozen at
-/// [`COST_FINGERPRINT_VERSION`]; see the version constant for the
-/// contract. The fingerprint reads raw `f64` bits, so matrices that
-/// differ only in NaN payload or `-0.0` vs `0.0` hash differently —
-/// exactly right for a cache whose values must be bit-reproducible.
-pub fn cost_fingerprint(cost: &CostMatrices) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0100_0000_01b3;
-    fn absorb(lanes: &mut [u64; 4], data: &[f64]) {
-        let mut chunks = data.chunks_exact(4);
-        for c in &mut chunks {
-            for (lane, v) in lanes.iter_mut().zip(c) {
-                *lane ^= v.to_bits();
-                *lane = lane.wrapping_mul(PRIME);
-            }
-        }
-        for (lane, v) in lanes.iter_mut().zip(chunks.remainder()) {
-            *lane ^= v.to_bits();
-            *lane = lane.wrapping_mul(PRIME);
-        }
-    }
-    let mut lanes = [OFFSET ^ 1, OFFSET ^ 2, OFFSET ^ 3, OFFSET ^ 4];
-    absorb(&mut lanes, cost.o.as_slice());
-    absorb(&mut lanes, cost.l.as_slice());
-    let mut h = OFFSET;
-    for v in [cost.p() as u64, lanes[0], lanes[1], lanes[2], lanes[3]] {
-        h ^= v;
-        h = h.wrapping_mul(PRIME);
-    }
-    h
 }
 
 #[cfg(test)]

@@ -94,6 +94,12 @@ impl CompiledStage {
             .enumerate()
             .map(move |(k, &i)| (i, self.targets_of(k)))
     }
+
+    /// Bytes of heap behind the CSR vectors.
+    pub fn heap_bytes(&self) -> usize {
+        (self.senders.capacity() + self.target_offsets.capacity() + self.targets.capacity())
+            * std::mem::size_of::<usize>()
+    }
 }
 
 /// A complete signal pattern for `n` processes.
@@ -205,6 +211,26 @@ impl BarrierSchedule {
     /// Just the incidence matrices, in execution order.
     pub fn matrices(&self) -> Vec<&BoolMatrix> {
         self.stages.iter().map(|s| &s.matrix).collect()
+    }
+
+    /// Bytes of heap this schedule holds: the stage vector, every
+    /// stage's packed incidence words, and — when materialized — the
+    /// compiled CSR cache's sender/offset/target vectors. Cache budgets
+    /// that retain schedules must charge this, not
+    /// `size_of::<BarrierSchedule>()`; at P = 4096 one stage's matrix
+    /// alone is 2 MiB against a 56-byte struct.
+    pub fn heap_bytes(&self) -> usize {
+        let stages = self.stages.capacity() * std::mem::size_of::<Stage>()
+            + self
+                .stages
+                .iter()
+                .map(|s| s.matrix.heap_bytes())
+                .sum::<usize>();
+        let compiled = self.compiled.get().map_or(0, |c| {
+            c.capacity() * std::mem::size_of::<CompiledStage>()
+                + c.iter().map(CompiledStage::heap_bytes).sum::<usize>()
+        });
+        stages + compiled
     }
 
     /// Appends a stage.
@@ -642,6 +668,29 @@ mod tests {
         let back = BarrierSchedule::from_value(&sched.to_value()).expect("round trip");
         assert_eq!(back, sched);
         assert!(back.is_barrier());
+    }
+
+    #[test]
+    fn heap_bytes_follows_stages_and_compiled_cache() {
+        let mut sched = BarrierSchedule::new(256);
+        assert_eq!(sched.heap_bytes(), 0, "empty schedule holds no heap");
+        let mut m = BoolMatrix::zeros(256);
+        for i in 1..256 {
+            m.set(i, 0, true);
+        }
+        sched.push(Stage::arrival(m));
+        let base = sched.heap_bytes();
+        // One 256×256 stage packs 256 rows × 4 words × 8 bytes of bitset.
+        assert!(base >= 256 * 4 * 8, "bitset storage uncounted: {base}");
+        let _ = sched.compiled();
+        let with_csr = sched.heap_bytes();
+        assert!(with_csr > base, "compiled CSR cache uncounted");
+        // A mutation drops the CSR cache; accounting must follow.
+        sched.push(Stage::arrival(BoolMatrix::zeros(256)));
+        assert!(
+            sched.heap_bytes() < with_csr + 256 * 4 * 8,
+            "stale CSR share still counted after invalidation"
+        );
     }
 
     #[test]

@@ -76,6 +76,14 @@ impl BoolMatrix {
         self.n
     }
 
+    /// Bytes of heap the packed bit storage occupies. Capacity, not
+    /// length: this feeds cache budgets, which must account for what the
+    /// allocator actually holds.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.capacity() * std::mem::size_of::<u64>()
+    }
+
     #[inline]
     fn row_range(&self, i: usize) -> std::ops::Range<usize> {
         let start = i * self.words_per_row;

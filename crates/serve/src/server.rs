@@ -35,7 +35,7 @@ use crate::proto::{
 use hbar_core::codegen::{c_source, compile_schedule};
 use hbar_core::compose::tune_hybrid_costs_with;
 use hbar_core::cost::CostEvaluator;
-use hbar_core::CostParams;
+use hbar_core::{BarrierSchedule, CostParams};
 use hbar_simnet::wire::{read_frame_into, write_frame_buffered, FRAME_DRAIN, FRAME_SHUTDOWN};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
@@ -71,17 +71,29 @@ impl Default for ServeConfig {
 }
 
 /// A cached tune result: everything needed to answer any request with
-/// the same cache key, including clients that want generated code.
+/// the same cache key, including clients that want generated code. The
+/// tuned schedule itself is retained (compiled CSR cache and all) so
+/// repeat structural queries never re-parse the JSON.
 struct TunedArtifact {
     predicted_cost: f64,
+    schedule: BarrierSchedule,
     schedule_json: String,
     code_c: String,
 }
 
 impl TunedArtifact {
-    /// Approximate resident bytes, charged against the cache budget.
+    /// Resident bytes, charged against the cache budget. This must
+    /// follow every heap allocation the artifact keeps alive — the
+    /// schedule's stage bitsets and compiled CSR vectors dwarf the
+    /// strings at large P, and a budget that only counted
+    /// `schedule_json.len() + code_c.len()` would admit far more
+    /// resident memory than configured.
     fn weight(&self) -> usize {
-        self.schedule_json.len() + self.code_c.len() + std::mem::size_of::<TunedArtifact>() + 64
+        self.schedule.heap_bytes()
+            + self.schedule_json.capacity()
+            + self.code_c.capacity()
+            + std::mem::size_of::<TunedArtifact>()
+            + 64
     }
 }
 
@@ -342,6 +354,7 @@ fn worker_loop(shared: &Shared) {
                 serde_json::to_string(&tuned.schedule).expect("schedule serializes");
             TunedArtifact {
                 predicted_cost: tuned.predicted_cost,
+                schedule: tuned.schedule,
                 schedule_json,
                 code_c,
             }
@@ -498,4 +511,46 @@ fn handle_tune_request(shared: &Shared, conn: &Arc<Conn>, payload: &[u8]) -> io:
         shared.queue_cv.notify_one();
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbar_core::Stage;
+    use hbar_matrix::BoolMatrix;
+
+    #[test]
+    fn artifact_weight_charges_schedule_heap_not_just_strings() {
+        // A P = 512 flat stage holds 512 rows × 8 words × 8 B = 32 KiB
+        // of bitset, while the strings here total 2 bytes. The cache
+        // budget must see the bitset, or a budget of N bytes would admit
+        // hundreds of times N resident.
+        let n = 512;
+        let mut m = BoolMatrix::zeros(n);
+        for i in 1..n {
+            m.set(i, 0, true);
+        }
+        let mut schedule = BarrierSchedule::new(n);
+        schedule.push(Stage::arrival(m));
+        let _ = schedule.compiled();
+        let artifact = TunedArtifact {
+            predicted_cost: 1.0,
+            schedule,
+            schedule_json: String::from("{}"),
+            code_c: String::new(),
+        };
+        assert!(
+            artifact.weight() >= 512 * 8 * 8,
+            "schedule heap uncharged: weight {}",
+            artifact.weight()
+        );
+        assert_eq!(
+            artifact.weight(),
+            artifact.schedule.heap_bytes()
+                + artifact.schedule_json.capacity()
+                + artifact.code_c.capacity()
+                + std::mem::size_of::<TunedArtifact>()
+                + 64
+        );
+    }
 }

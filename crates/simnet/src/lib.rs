@@ -22,6 +22,9 @@
 //!   produces a [`hbar_topo::profile::TopologyProfile`] by regression;
 //! * [`sweep`] — the decomposed (pair-clustered, representative +
 //!   validation-probe) profiling sweep with work-stealing local fan-out;
+//! * [`scatter`] — the out-of-core class-grid scatter that writes the
+//!   sweep's results into a [`hbar_topo::CompressedCostModel`]
+//!   tile-at-a-time under a memory budget, for `P ≫ 4096`;
 //! * [`wire`] — the compact framed codec for shipping sweep work to
 //!   remote workers;
 //! * [`distrib`] — the TCP worker loop and the fleet driver that shards
@@ -36,6 +39,7 @@ pub mod engine;
 pub mod noise;
 pub mod profiling;
 pub mod program;
+pub mod scatter;
 pub mod sweep;
 pub mod trace;
 pub mod wire;
@@ -43,6 +47,9 @@ pub mod world;
 
 pub use noise::{NoiseModel, NoiseState};
 pub use program::{Instr, Program};
+pub use scatter::{
+    measure_profile_clustered_compressed, measure_profile_compressed, SpillConfig, SpillReport,
+};
 pub use sweep::{
     measure_profile_clustered, measure_profile_decomposed, DescriptorExecutor, LocalExecutor,
     PairSample, PairWorkDescriptor, SequentialExecutor, SweepConfig, SweepError, SweepReport,

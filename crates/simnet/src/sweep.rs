@@ -45,6 +45,7 @@ use crate::profiling::{diag_sub_seed, measure_pair, pair_bench, pair_sub_seed, P
 use hbar_core::clustering::{classify_pairs, ClassingConfig, PairClassing};
 use hbar_matrix::DenseMatrix;
 use hbar_stats::StoppingRule;
+use hbar_topo::compressed::CompressError;
 use hbar_topo::cost::CostMatrices;
 use hbar_topo::features::{ExactExtractor, PairFeatureExtractor, TopologyExtractor};
 use hbar_topo::machine::MachineSpec;
@@ -101,11 +102,13 @@ pub struct PairSample {
     pub l: f64,
 }
 
-/// Errors of the decomposed sweep (all from the distributed layer; local
-/// execution is infallible).
+/// Errors of the decomposed sweep. The distributed layer contributes the
+/// socket/protocol variants; the class-compressed scatter
+/// ([`crate::scatter`]) contributes spill i/o and model-construction
+/// failures. Local dense execution is infallible.
 #[derive(Debug)]
 pub enum SweepError {
-    /// Socket-level failure talking to a worker.
+    /// Socket-level failure talking to a worker, or spill-file i/o.
     Io(std::io::Error),
     /// A worker answered with a malformed or mismatched frame.
     Protocol(String),
@@ -115,6 +118,9 @@ pub enum SweepError {
         /// Batches never executed.
         remaining_batches: usize,
     },
+    /// The compressed scatter could not build a valid class model (e.g.
+    /// the class space overflowed the `u16` grid).
+    Compress(CompressError),
 }
 
 impl std::fmt::Display for SweepError {
@@ -126,6 +132,7 @@ impl std::fmt::Display for SweepError {
                 f,
                 "all workers exhausted with {remaining_batches} batches unexecuted"
             ),
+            SweepError::Compress(e) => write!(f, "compressed scatter failed: {e}"),
         }
     }
 }
@@ -431,7 +438,8 @@ pub fn measure_profile_decomposed(
         },
     );
 
-    let (cost, report) = run_classed_sweep(machine, &cores, &classing, noise, cfg, executor)?;
+    let (cost, report) =
+        run_classed_sweep(machine, &cores, &classing, extractor, noise, cfg, executor)?;
 
     Ok((
         TopologyProfile {
@@ -451,16 +459,62 @@ struct ClassSamples {
     rep_scale: u32,
 }
 
+/// Everything the measurement phase learned, in class space: per-class
+/// estimates, the explosion decisions, and the per-member exact
+/// measurements of exploded classes. Both scatter backends (dense
+/// matrices here, class-grid tiles in [`crate::scatter`]) consume this —
+/// it is `O(classes + exploded members)`, never `O(P²)`.
+pub(crate) struct ClassMeasurements {
+    /// Median `(O, L)` per pair class.
+    pub(crate) pair_estimates: Vec<(f64, f64)>,
+    /// Median `O_ii` per diagonal class.
+    pub(crate) diag_estimates: Vec<f64>,
+    /// Pair classes the safety valve exploded.
+    pub(crate) explode_pair: Vec<bool>,
+    /// Diag classes the safety valve exploded.
+    pub(crate) explode_diag: Vec<bool>,
+    /// Exact per-member measurements of exploded pair classes.
+    pub(crate) exploded_pairs: HashMap<(usize, usize), (f64, f64)>,
+    /// Exact per-member measurements of exploded diag classes.
+    pub(crate) exploded_diags: HashMap<usize, f64>,
+}
+
 /// Executes the measurement plan for an already-built classing and
-/// scatters estimates into cost matrices.
+/// scatters estimates into dense cost matrices.
 fn run_classed_sweep(
     machine: &MachineSpec,
     cores: &[usize],
     classing: &PairClassing,
+    extractor: &dyn PairFeatureExtractor,
     noise: NoiseModel,
     cfg: &SweepConfig,
     executor: &mut dyn DescriptorExecutor,
 ) -> Result<(CostMatrices, SweepReport), SweepError> {
+    let (m, report) = measure_classes(machine, cores, classing, extractor, noise, cfg, executor)?;
+    let cost = scatter_dense(
+        machine,
+        cores,
+        classing,
+        extractor,
+        cfg.profiling.symmetric,
+        &m,
+    );
+    Ok((cost, report))
+}
+
+/// The measurement phase: representatives + probes, adaptive growth, and
+/// the explosion safety valve. Returns class-space results only — matrix
+/// materialization is the scatter phase's job, so this function's memory
+/// footprint is independent of `P²`.
+pub(crate) fn measure_classes(
+    machine: &MachineSpec,
+    cores: &[usize],
+    classing: &PairClassing,
+    extractor: &dyn PairFeatureExtractor,
+    noise: NoiseModel,
+    cfg: &SweepConfig,
+    executor: &mut dyn DescriptorExecutor,
+) -> Result<(ClassMeasurements, SweepReport), SweepError> {
     let p = cores.len();
     let n_pair = classing.pair_classes.len();
     let n_diag = classing.diag_classes.len();
@@ -636,16 +690,6 @@ fn run_classed_sweep(
     let diag_estimates: Vec<f64> = diag_samples.iter().map(|s| medians(&s.values).0).collect();
 
     let symmetric = cfg.profiling.symmetric;
-    let regime = noise_regime_of(&noise);
-    let topo_extractor = TopologyExtractor::with_noise_regime(regime);
-    let exact_extractor = ExactExtractor {
-        noise_regime: regime,
-    };
-    let extractor: &dyn PairFeatureExtractor = if cfg.exact_classes {
-        &exact_extractor
-    } else {
-        &topo_extractor
-    };
 
     // Safety valve: a class whose *validated* scatter still exceeds
     // `explode_rel_tol` after all growth rounds abandons the clustering
@@ -744,47 +788,6 @@ fn run_classed_sweep(
         }
     }
 
-    // Scatter: map every matrix entry to its class estimate by re-deriving
-    // the entry's feature vector (same extractor, same placement — the
-    // classing saw identical features). Exploded classes scatter their
-    // per-member exact measurements instead.
-    let mut o = DenseMatrix::new(p);
-    let mut l = DenseMatrix::new(p);
-    for i in 0..p {
-        let range: Box<dyn Iterator<Item = usize>> = if symmetric {
-            Box::new((i + 1)..p)
-        } else {
-            Box::new((0..p).filter(move |&j| j != i))
-        };
-        for j in range {
-            let f = extractor.pair_features(machine, (i, j), (cores[i], cores[j]));
-            let c = classing
-                .pair_class_index(&f)
-                .expect("scatter features must re-derive a seen class");
-            let (oij, lij) = if explode_pair[c] {
-                exploded_pairs[&(i, j)]
-            } else {
-                pair_estimates[c]
-            };
-            o[(i, j)] = oij;
-            l[(i, j)] = lij;
-            if symmetric {
-                o[(j, i)] = oij;
-                l[(j, i)] = lij;
-            }
-        }
-        let f = extractor.rank_features(machine, i, cores[i]);
-        let c = classing
-            .diag_class_index(&f)
-            .expect("scatter features must re-derive a seen diag class");
-        o[(i, i)] = if explode_diag[c] {
-            exploded_diags[&i]
-        } else {
-            diag_estimates[c]
-        };
-        l[(i, i)] = 0.0;
-    }
-
     // Report.
     let mut pair_stats = Vec::with_capacity(n_pair);
     for s in &pair_samples {
@@ -835,7 +838,71 @@ fn run_classed_sweep(
         diag_stats,
     };
 
-    Ok((CostMatrices { o, l }, report))
+    Ok((
+        ClassMeasurements {
+            pair_estimates,
+            diag_estimates,
+            explode_pair,
+            explode_diag,
+            exploded_pairs,
+            exploded_diags,
+        },
+        report,
+    ))
+}
+
+/// The dense scatter: maps every matrix entry to its class estimate by
+/// re-deriving the entry's feature vector (same extractor, same placement
+/// — the classing saw identical features). Exploded classes scatter their
+/// per-member exact measurements instead. Allocates the full `|P|²`
+/// matrices; past P ≈ 4096 prefer the tiled class-grid scatter in
+/// [`crate::scatter`].
+fn scatter_dense(
+    machine: &MachineSpec,
+    cores: &[usize],
+    classing: &PairClassing,
+    extractor: &dyn PairFeatureExtractor,
+    symmetric: bool,
+    m: &ClassMeasurements,
+) -> CostMatrices {
+    let p = cores.len();
+    let mut o = DenseMatrix::new(p);
+    let mut l = DenseMatrix::new(p);
+    for i in 0..p {
+        let range: Box<dyn Iterator<Item = usize>> = if symmetric {
+            Box::new((i + 1)..p)
+        } else {
+            Box::new((0..p).filter(move |&j| j != i))
+        };
+        for j in range {
+            let f = extractor.pair_features(machine, (i, j), (cores[i], cores[j]));
+            let c = classing
+                .pair_class_index(&f)
+                .expect("scatter features must re-derive a seen class");
+            let (oij, lij) = if m.explode_pair[c] {
+                m.exploded_pairs[&(i, j)]
+            } else {
+                m.pair_estimates[c]
+            };
+            o[(i, j)] = oij;
+            l[(i, j)] = lij;
+            if symmetric {
+                o[(j, i)] = oij;
+                l[(j, i)] = lij;
+            }
+        }
+        let f = extractor.rank_features(machine, i, cores[i]);
+        let c = classing
+            .diag_class_index(&f)
+            .expect("scatter features must re-derive a seen diag class");
+        o[(i, i)] = if m.explode_diag[c] {
+            m.exploded_diags[&i]
+        } else {
+            m.diag_estimates[c]
+        };
+        l[(i, i)] = 0.0;
+    }
+    CostMatrices { o, l }
 }
 
 /// Relative scatter of the `(o, l)` samples around their medians,

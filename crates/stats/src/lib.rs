@@ -40,6 +40,6 @@ pub mod stopping;
 pub use ci::{bootstrap_ci, median_ci, median_ci_indices, Interval};
 pub use estimate::{ratio_interval, Estimate};
 pub use estimators::{mad, mean, median, trimmed_mean};
-pub use manifest::{EstimatorSettings, HostInfo, RunManifest, SCHEMA_VERSION};
+pub use manifest::{peak_rss_bytes, EstimatorSettings, HostInfo, RunManifest, SCHEMA_VERSION};
 pub use outliers::{flag_outliers, outlier_count, DEFAULT_OUTLIER_THRESHOLD};
 pub use stopping::{measure_adaptive, rel_spread, AdaptiveConfig, StoppingRule};

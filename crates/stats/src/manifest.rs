@@ -80,7 +80,14 @@ impl HostInfo {
 }
 
 /// The reproducibility manifest serialized into every BENCH document.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Serde impls are hand-written (not derived) because
+/// [`RunManifest::peak_rss_bytes`] is an *additive optional* field:
+/// it is omitted from the serialization when `None` and tolerated when
+/// missing on read, so schema-2 documents written before the gauge
+/// existed stay byte-identical and parseable. The derive would demand
+/// the key's presence.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunManifest {
     /// BENCH document schema version ([`SCHEMA_VERSION`]).
     pub schema_version: u32,
@@ -104,11 +111,61 @@ pub struct RunManifest {
     pub command_line: Vec<String>,
     /// Estimator and stopping settings.
     pub estimator: EstimatorSettings,
+    /// Peak resident set size of the harness process in bytes
+    /// ([`peak_rss_bytes`]), read at capture time — the bins capture
+    /// their manifest after the workload, so this gauges the whole run.
+    /// `None` on platforms without a gauge and in documents written
+    /// before the field existed.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl Serialize for RunManifest {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("schema_version".to_string(), self.schema_version.to_value()),
+            ("benchmark".to_string(), self.benchmark.to_value()),
+            ("git_rev".to_string(), self.git_rev.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("schedule".to_string(), self.schedule.to_value()),
+            ("topology".to_string(), self.topology.to_value()),
+            ("host".to_string(), self.host.to_value()),
+            ("command_line".to_string(), self.command_line.to_value()),
+            ("estimator".to_string(), self.estimator.to_value()),
+        ];
+        if let Some(peak) = self.peak_rss_bytes {
+            fields.push(("peak_rss_bytes".to_string(), peak.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for RunManifest {
+    fn from_value(value: &serde::Value) -> Result<Self, String> {
+        let field = |key: &str| serde::__field(value, key, "RunManifest");
+        let peak_rss_bytes = match value.get("peak_rss_bytes") {
+            None | Some(serde::Value::Null) => None,
+            Some(v) => {
+                Some(u64::from_value(v).map_err(|e| format!("RunManifest.peak_rss_bytes: {e}"))?)
+            }
+        };
+        Ok(RunManifest {
+            schema_version: u32::from_value(field("schema_version")?)?,
+            benchmark: String::from_value(field("benchmark")?)?,
+            git_rev: String::from_value(field("git_rev")?)?,
+            seed: u64::from_value(field("seed")?)?,
+            schedule: String::from_value(field("schedule")?)?,
+            topology: String::from_value(field("topology")?)?,
+            host: HostInfo::from_value(field("host")?)?,
+            command_line: Vec::<String>::from_value(field("command_line")?)?,
+            estimator: EstimatorSettings::from_value(field("estimator")?)?,
+            peak_rss_bytes,
+        })
+    }
 }
 
 impl RunManifest {
     /// Builds a manifest for `benchmark`, capturing git revision, host,
-    /// and command line from the environment.
+    /// command line, and peak RSS from the environment.
     pub fn capture(
         benchmark: &str,
         seed: u64,
@@ -126,7 +183,31 @@ impl RunManifest {
             host: HostInfo::capture(),
             command_line: std::env::args().collect(),
             estimator,
+            peak_rss_bytes: peak_rss_bytes(),
         }
+    }
+}
+
+/// The process's high-water resident set size in bytes — `VmHWM` from
+/// `/proc/self/status` on Linux, `None` where no portable gauge exists.
+/// This is the kernel's own account of the worst moment of the run,
+/// which is what a memory-ceiling claim must be judged against (any
+/// instantaneous sampling can miss the peak).
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kib: u64 = rest.trim().strip_suffix("kB")?.trim().parse().ok()?;
+                return Some(kib * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
     }
 }
 
@@ -161,5 +242,26 @@ mod tests {
         assert!(!m.git_rev.is_empty());
         assert!(!m.command_line.is_empty());
         assert_eq!(m.host.os, std::env::consts::OS);
+        if cfg!(target_os = "linux") {
+            assert!(m.peak_rss_bytes.is_some(), "VmHWM must gauge on linux");
+        }
+    }
+
+    #[test]
+    fn peak_rss_gauge_is_sane_on_linux() {
+        let Some(peak) = peak_rss_bytes() else {
+            assert!(
+                std::env::consts::OS != "linux",
+                "VmHWM must gauge on linux"
+            );
+            return;
+        };
+        // A running test process has touched at least a few hundred KiB
+        // and (here) far less than a terabyte; the gauge is monotone.
+        assert!(peak > 64 * 1024, "peak {peak} implausibly small");
+        assert!(peak < 1 << 40, "peak {peak} implausibly large");
+        let _ballast = vec![7u8; 4 << 20];
+        let after = peak_rss_bytes().expect("still linux");
+        assert!(after >= peak, "VmHWM went backwards: {peak} -> {after}");
     }
 }

@@ -45,6 +45,7 @@ fn fixture_manifest() -> RunManifest {
             max_reps: 40,
             outlier_policy: "flagged at modified z-score > 3.5, never dropped".to_string(),
         },
+        peak_rss_bytes: None,
     }
 }
 
@@ -105,6 +106,31 @@ fn manifest_serializes_to_the_golden_string() {
         "manifest field order or formatting drifted; if intentional, bump SCHEMA_VERSION \
          and regenerate every BENCH_*.json"
     );
+}
+
+#[test]
+fn peak_rss_is_additive_and_optional() {
+    // Absent `peak_rss_bytes` (every pre-gauge document) parses as None
+    // and serializes back without the key — the golden above covers the
+    // byte-stability half. Present, it round-trips and lands last.
+    let mut m = fixture_manifest();
+    m.peak_rss_bytes = Some(1_073_741_824);
+    let text = serde_json::to_string_pretty(&m).expect("serialize");
+    assert!(
+        text.contains("\"peak_rss_bytes\": 1073741824"),
+        "gauge missing from serialization: {text}"
+    );
+    let parsed: Value = serde_json::from_str(&text).expect("parse");
+    let back = RunManifest::from_value(&parsed).expect("round-trip");
+    assert_eq!(back, m);
+    // An explicit null also reads as None (a writer that serialized the
+    // Option directly rather than omitting it).
+    let mut parsed: Value = serde_json::from_str(GOLDEN_MANIFEST).expect("parse");
+    if let Value::Object(entries) = &mut parsed {
+        entries.push(("peak_rss_bytes".to_string(), Value::Null));
+    }
+    let back = RunManifest::from_value(&parsed).expect("null tolerated");
+    assert_eq!(back, fixture_manifest());
 }
 
 #[test]

@@ -1,5 +1,8 @@
-//! The `O`/`L` cost matrices and the paper's Eq. 1 / Eq. 2 send-set costs.
+//! The `O`/`L` cost matrices, the paper's Eq. 1 / Eq. 2 send-set costs,
+//! the [`CostProvider`] abstraction over dense and class-compressed
+//! backings, and the versioned cost fingerprint both backings share.
 
+use crate::metric::DistanceMetric;
 use hbar_matrix::DenseMatrix;
 use serde::{Deserialize, Serialize};
 
@@ -114,6 +117,201 @@ impl CostMatrices {
     }
 }
 
+/// Version of the [`cost_fingerprint`] function itself.
+///
+/// The fingerprint is a **public, persistent cache key**: `hbar serve`
+/// keys its schedule cache on it, and operators may key on-disk caches
+/// on it too. Its value for a given matrix is therefore a stability
+/// contract — any change to the hash construction (lane count, prime,
+/// absorption order, fold) MUST bump this constant so old caches are
+/// invalidated wholesale instead of silently poisoned. The pinned
+/// golden-fingerprint regression test in `hbar-core::cost` fails on any
+/// silent change.
+pub const COST_FINGERPRINT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// FNV-1a over the raw bits of both cost matrices: the memo guard used
+/// by `CostEvaluator::rebind` and the schedule-cache key of
+/// `hbar serve` (fingerprint-equal matrices tune to bit-identical
+/// schedules, so one cached artifact serves every requester).
+///
+/// Runs four independent FNV lanes over interleaved words and folds them
+/// at the end: a single lane is a serial xor-multiply chain whose
+/// multiply latency caps throughput at one word per ~3 cycles, which at
+/// P = 1024 (2 M words) made the fingerprint itself a measurable slice
+/// of every tune. Any changed word still changes its lane and therefore
+/// the fold.
+///
+/// Stability: the mapping from matrix bits to fingerprint is frozen at
+/// [`COST_FINGERPRINT_VERSION`]; see the version constant for the
+/// contract. The fingerprint reads raw `f64` bits, so matrices that
+/// differ only in NaN payload or `-0.0` vs `0.0` hash differently —
+/// exactly right for a cache whose values must be bit-reproducible.
+pub fn cost_fingerprint(cost: &CostMatrices) -> u64 {
+    fn absorb(lanes: &mut [u64; 4], data: &[f64]) {
+        let mut chunks = data.chunks_exact(4);
+        for c in &mut chunks {
+            for (lane, v) in lanes.iter_mut().zip(c) {
+                *lane ^= v.to_bits();
+                *lane = lane.wrapping_mul(FNV_PRIME);
+            }
+        }
+        for (lane, v) in lanes.iter_mut().zip(chunks.remainder()) {
+            *lane ^= v.to_bits();
+            *lane = lane.wrapping_mul(FNV_PRIME);
+        }
+    }
+    let mut lanes = [
+        FNV_OFFSET ^ 1,
+        FNV_OFFSET ^ 2,
+        FNV_OFFSET ^ 3,
+        FNV_OFFSET ^ 4,
+    ];
+    absorb(&mut lanes, cost.o.as_slice());
+    absorb(&mut lanes, cost.l.as_slice());
+    let mut h = FNV_OFFSET;
+    for v in [cost.p() as u64, lanes[0], lanes[1], lanes[2], lanes[3]] {
+        h ^= v;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Streaming form of [`cost_fingerprint`] for backings that never hold a
+/// dense matrix: absorb all of `O` in row-major order, call
+/// [`matrix_boundary`](Self::matrix_boundary), absorb all of `L`, then
+/// [`finish`](Self::finish). Produces the identical value because the
+/// dense absorber assigns element `e` of each matrix to lane `e mod 4`
+/// (the chunked loop and its remainder both preserve that phase) and the
+/// phase restarts at every matrix boundary.
+#[derive(Clone, Debug)]
+pub struct FingerprintStream {
+    lanes: [u64; 4],
+    idx: usize,
+}
+
+impl Default for FingerprintStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FingerprintStream {
+    /// A fresh stream at the start of the `O` matrix.
+    pub fn new() -> Self {
+        FingerprintStream {
+            lanes: [
+                FNV_OFFSET ^ 1,
+                FNV_OFFSET ^ 2,
+                FNV_OFFSET ^ 3,
+                FNV_OFFSET ^ 4,
+            ],
+            idx: 0,
+        }
+    }
+
+    /// Absorbs one value in stream order.
+    #[inline]
+    pub fn absorb(&mut self, v: f64) {
+        let lane = &mut self.lanes[self.idx & 3];
+        *lane ^= v.to_bits();
+        *lane = lane.wrapping_mul(FNV_PRIME);
+        self.idx += 1;
+    }
+
+    /// Restarts the lane phase between the `O` and `L` matrices.
+    pub fn matrix_boundary(&mut self) {
+        self.idx = 0;
+    }
+
+    /// Folds the lanes exactly as [`cost_fingerprint`] does.
+    pub fn finish(self, p: usize) -> u64 {
+        let mut h = FNV_OFFSET;
+        for v in [
+            p as u64,
+            self.lanes[0],
+            self.lanes[1],
+            self.lanes[2],
+            self.lanes[3],
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+}
+
+/// Read access to a `P × P` topological cost model, independent of how
+/// the entries are stored.
+///
+/// Two backings exist: the dense [`CostMatrices`] (16 bytes per pair)
+/// and the class-compressed [`CompressedCostModel`]
+/// (2 bytes per pair plus per-class tables)
+/// [`crate::compressed::CompressedCostModel`]. The tuner, clustering and
+/// composer are generic over this trait, so a tune monomorphizes to the
+/// exact same index loads it performed before the abstraction existed
+/// when handed dense matrices, and to two loads (class id, table entry)
+/// when handed the compressed model. `Sync` is required so the greedy
+/// composer's rayon fork can share the provider across worker threads.
+pub trait CostProvider: Sync {
+    /// Number of processes.
+    fn p(&self) -> usize;
+
+    /// `O_ij` (`i ≠ j`: single-message cost; `i = j`: call overhead).
+    fn o_at(&self, i: usize, j: usize) -> f64;
+
+    /// `L_ij`, the marginal cost of one more simultaneous message.
+    fn l_at(&self, i: usize, j: usize) -> f64;
+
+    /// The versioned fingerprint of the dense image of this model —
+    /// equal across backings whenever the decompressed entries are
+    /// bit-equal, so memo guards and the serve cache key are
+    /// backing-agnostic.
+    fn fingerprint(&self) -> u64;
+
+    /// The symmetrized SSS clustering metric over this model.
+    fn distance_metric(&self) -> DistanceMetric;
+
+    /// Dense restriction of both matrices to `participants` (in the
+    /// given order) — the participants-only subspace the composer
+    /// scores candidates in. Subspaces are small (one cluster), so they
+    /// are always materialized densely.
+    fn local_costs(&self, participants: &[usize]) -> CostMatrices {
+        let m = participants.len();
+        CostMatrices {
+            o: DenseMatrix::from_fn(m, |a, b| self.o_at(participants[a], participants[b])),
+            l: DenseMatrix::from_fn(m, |a, b| self.l_at(participants[a], participants[b])),
+        }
+    }
+}
+
+impl CostProvider for CostMatrices {
+    #[inline]
+    fn p(&self) -> usize {
+        self.o.n()
+    }
+
+    #[inline]
+    fn o_at(&self, i: usize, j: usize) -> f64 {
+        self.o[(i, j)]
+    }
+
+    #[inline]
+    fn l_at(&self, i: usize, j: usize) -> f64 {
+        self.l[(i, j)]
+    }
+
+    fn fingerprint(&self) -> u64 {
+        cost_fingerprint(self)
+    }
+
+    fn distance_metric(&self) -> DistanceMetric {
+        DistanceMetric::from_costs(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +404,42 @@ mod tests {
         assert_eq!(s.o[(0, 1)], 50.0);
         assert_eq!(s.l[(0, 1)], 2.0);
         assert_eq!(s.o[(0, 0)], 0.5);
+    }
+
+    /// The streaming absorber must reproduce the chunked dense
+    /// fingerprint for every lane phase, including sizes whose `p²` is
+    /// not a multiple of the 4-lane width.
+    #[test]
+    fn fingerprint_stream_matches_dense() {
+        for p in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 16] {
+            let c = CostMatrices {
+                o: DenseMatrix::from_fn(p, |i, j| (i * 31 + j) as f64 * 0.5 - 3.0),
+                l: DenseMatrix::from_fn(p, |i, j| (i * 7 + j * 13) as f64 * 0.25),
+            };
+            let mut s = FingerprintStream::new();
+            for &v in c.o.as_slice() {
+                s.absorb(v);
+            }
+            s.matrix_boundary();
+            for &v in c.l.as_slice() {
+                s.absorb(v);
+            }
+            assert_eq!(s.finish(p), cost_fingerprint(&c), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn provider_view_of_dense_matches_indexing() {
+        let c = sample();
+        assert_eq!(CostProvider::p(&c), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(c.o_at(i, j).to_bits(), c.o[(i, j)].to_bits());
+                assert_eq!(c.l_at(i, j).to_bits(), c.l[(i, j)].to_bits());
+            }
+        }
+        assert_eq!(c.fingerprint(), cost_fingerprint(&c));
+        let local = c.local_costs(&[2, 0]);
+        assert_eq!(local, c.submatrices(&[2, 0]));
     }
 }

@@ -27,8 +27,13 @@
 //! rendering for Fig. 9 ([`heatmap`]), the component-submatrix
 //! replication shortcut discussed in §IV-B ([`replicate`]), and its
 //! generalization to feature-vector pair classes ([`features`]) that the
-//! decomposed profiling sweep clusters on.
+//! decomposed profiling sweep clusters on. For machines past P ≈ 4096,
+//! [`compressed`] stores the same model as a `u16` class grid plus
+//! per-class value tables (2 bytes per pair instead of 16), and
+//! [`cost::CostProvider`] abstracts over both storages so the tuner
+//! never needs the dense matrices.
 
+pub mod compressed;
 pub mod cost;
 pub mod features;
 pub mod heatmap;
@@ -40,10 +45,15 @@ pub mod profile;
 pub mod regress;
 pub mod replicate;
 
-pub use cost::{CostMatrices, SendMode};
+pub use compressed::{CompressError, CompressedCostModel, MAX_CLASSES};
+pub use cost::{
+    cost_fingerprint, CostMatrices, CostProvider, FingerprintStream, SendMode,
+    COST_FINGERPRINT_VERSION,
+};
 pub use features::{
     ExactExtractor, PairFeatureExtractor, PairFeatures, RankFeatures, TopologyExtractor,
 };
 pub use machine::{CoreId, GroundTruth, LinkClass, MachineSpec};
 pub use mapping::RankMapping;
+pub use metric::DistanceMetric;
 pub use profile::TopologyProfile;

@@ -11,11 +11,30 @@
 
 use crate::cost::CostMatrices;
 use hbar_matrix::DenseMatrix;
+use std::sync::Arc;
 
 /// A finite metric space over ranks `0..p`, derived from measured costs.
+///
+/// Two backings exist: a dense `p × p` distance matrix, and a
+/// class-compressed form sharing a `u16` class grid (normally the
+/// [`crate::compressed::CompressedCostModel`]'s own grid, zero extra
+/// memory) with one distance per class. Row access for clustering scans
+/// goes through [`row_into`](Self::row_into), which decompresses a
+/// classed row into caller-owned scratch and borrows a dense row
+/// directly, so neither backing allocates per query.
 #[derive(Clone, Debug)]
 pub struct DistanceMetric {
-    d: DenseMatrix<f64>,
+    backing: Backing,
+}
+
+#[derive(Clone, Debug)]
+enum Backing {
+    Dense(DenseMatrix<f64>),
+    Classed {
+        p: usize,
+        grid: Arc<Vec<u16>>,
+        table: Vec<f64>,
+    },
 }
 
 /// A violation found by [`DistanceMetric::validate`].
@@ -62,7 +81,7 @@ impl DistanceMetric {
             }
         }
         DistanceMetric {
-            d: DenseMatrix::from_vec(p, data),
+            backing: Backing::Dense(DenseMatrix::from_vec(p, data)),
         }
     }
 
@@ -73,42 +92,142 @@ impl DistanceMetric {
         for i in 0..d.n() {
             d[(i, i)] = 0.0;
         }
-        DistanceMetric { d }
+        DistanceMetric {
+            backing: Backing::Dense(d),
+        }
+    }
+
+    /// Builds a class-compressed metric: `d(i, j) = table[grid[i·p + j]]`.
+    ///
+    /// The grid is shared (typically with the compressed cost model that
+    /// derived this metric), so the metric itself costs only the
+    /// per-class table. Every diagonal cell's class must map to `0.0`
+    /// and the grid must be symmetric — the compressed model guarantees
+    /// both by construction.
+    ///
+    /// # Panics
+    /// Panics if `grid.len() != p * p` or a class id is outside `table`.
+    pub fn from_classes(p: usize, grid: Arc<Vec<u16>>, table: Vec<f64>) -> Self {
+        assert_eq!(grid.len(), p * p, "class grid must be p × p");
+        debug_assert!(
+            grid.iter().all(|&c| (c as usize) < table.len()),
+            "class id out of table range"
+        );
+        debug_assert!(
+            (0..p).all(|i| table[grid[i * p + i] as usize] == 0.0),
+            "diagonal classes must map to zero distance"
+        );
+        DistanceMetric {
+            backing: Backing::Classed { p, grid, table },
+        }
     }
 
     /// Number of points.
     pub fn p(&self) -> usize {
-        self.d.n()
+        match &self.backing {
+            Backing::Dense(d) => d.n(),
+            Backing::Classed { p, .. } => *p,
+        }
     }
 
     /// Distance between two ranks.
     #[inline]
     pub fn dist(&self, i: usize, j: usize) -> f64 {
-        self.d[(i, j)]
+        match &self.backing {
+            Backing::Dense(d) => d[(i, j)],
+            Backing::Classed { p, grid, table } => {
+                assert!(i < *p && j < *p, "index ({i},{j}) out of range {p}");
+                table[grid[i * p + j] as usize]
+            }
+        }
     }
 
     /// All distances from rank `i`, as one contiguous row — the cache-
     /// friendly access pattern for clustering scans over a fixed center.
+    ///
+    /// # Panics
+    /// Panics on a class-compressed metric, which has no dense rows to
+    /// borrow; use [`row_into`](Self::row_into) there.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        self.d.row(i)
+        match &self.backing {
+            Backing::Dense(d) => d.row(i),
+            Backing::Classed { .. } => {
+                panic!("class-compressed metric has no dense rows; use row_into")
+            }
+        }
+    }
+
+    /// All distances from rank `i`: a direct borrow for a dense metric,
+    /// or a decompression of the class row into `scratch` (resized as
+    /// needed, reused across calls — no steady-state allocation).
+    #[inline]
+    pub fn row_into<'a>(&'a self, i: usize, scratch: &'a mut Vec<f64>) -> &'a [f64] {
+        match &self.backing {
+            Backing::Dense(d) => d.row(i),
+            Backing::Classed { p, grid, table } => {
+                scratch.resize(*p, 0.0);
+                let classes = &grid[i * p..(i + 1) * p];
+                for (dst, &c) in scratch.iter_mut().zip(classes) {
+                    *dst = table[c as usize];
+                }
+                &scratch[..]
+            }
+        }
     }
 
     /// The diameter: maximum pairwise distance (0 for fewer than 2 points).
     pub fn diameter(&self) -> f64 {
-        self.d.max_off_diagonal().unwrap_or(0.0)
+        match &self.backing {
+            Backing::Dense(d) => d.max_off_diagonal().unwrap_or(0.0),
+            Backing::Classed { p, grid, table } => {
+                let mut acc: Option<f64> = None;
+                for i in 0..*p {
+                    for (j, &c) in grid[i * p..(i + 1) * p].iter().enumerate() {
+                        let v = table[c as usize];
+                        if i != j && v.is_finite() {
+                            acc = Some(acc.map_or(v, |a| a.max(v)));
+                        }
+                    }
+                }
+                acc.unwrap_or(0.0)
+            }
+        }
     }
 
-    /// Diameter restricted to a subset of ranks.
+    /// Diameter restricted to a subset of ranks. Scans class rows
+    /// through the table directly, so no decompression buffer is needed.
     pub fn diameter_of(&self, members: &[usize]) -> f64 {
         let mut max = 0.0f64;
-        for (a, &i) in members.iter().enumerate() {
-            let row = self.row(i);
-            for &j in &members[a + 1..] {
-                max = max.max(row[j]);
+        match &self.backing {
+            Backing::Dense(d) => {
+                for (a, &i) in members.iter().enumerate() {
+                    let row = d.row(i);
+                    for &j in &members[a + 1..] {
+                        max = max.max(row[j]);
+                    }
+                }
+            }
+            Backing::Classed { p, grid, table } => {
+                for (a, &i) in members.iter().enumerate() {
+                    let row = &grid[i * p..(i + 1) * p];
+                    for &j in &members[a + 1..] {
+                        max = max.max(table[row[j] as usize]);
+                    }
+                }
             }
         }
         max
+    }
+
+    /// Adopts an already-symmetrized, zero-diagonal distance matrix
+    /// verbatim (no re-symmetrization pass) — the asymmetric-model
+    /// fallback of the compressed backend, which computes entries with
+    /// the exact `from_costs` arithmetic itself.
+    pub(crate) fn from_dense_unchecked(d: DenseMatrix<f64>) -> Self {
+        DistanceMetric {
+            backing: Backing::Dense(d),
+        }
     }
 
     /// Checks metric-space axioms up to a relative tolerance, returning
@@ -223,6 +342,54 @@ mod tests {
         assert!(v
             .iter()
             .any(|x| matches!(x, MetricViolation::NonPositive { i: 0, j: 1, .. })));
+    }
+
+    /// A classed metric over a shared grid must agree with the dense
+    /// metric built from the decompressed matrix, for every accessor.
+    #[test]
+    fn classed_metric_matches_dense_equivalent() {
+        // 3 ranks, 2 off-diagonal classes + 1 diagonal class.
+        let p = 3;
+        #[rustfmt::skip]
+        let grid = Arc::new(vec![
+            2u16, 0, 1,
+            0, 2, 0,
+            1, 0, 2,
+        ]);
+        let table = vec![4.0, 9.0, 0.0];
+        let classed = DistanceMetric::from_classes(p, Arc::clone(&grid), table.clone());
+        let dense = DistanceMetric::from_matrix(DenseMatrix::from_fn(p, |i, j| {
+            table[grid[i * p + j] as usize]
+        }));
+        assert_eq!(classed.p(), dense.p());
+        assert_eq!(classed.diameter(), dense.diameter());
+        let mut scratch = Vec::new();
+        for i in 0..p {
+            assert_eq!(classed.row_into(i, &mut scratch), dense.row(i));
+            for j in 0..p {
+                assert_eq!(classed.dist(i, j), dense.dist(i, j));
+            }
+        }
+        for members in [vec![0, 2], vec![0, 1, 2], vec![1]] {
+            assert_eq!(classed.diameter_of(&members), dense.diameter_of(&members));
+        }
+        assert_eq!(classed.validate(1e-9), dense.validate(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "use row_into")]
+    fn classed_metric_has_no_borrowable_rows() {
+        let grid = Arc::new(vec![0u16]);
+        let m = DistanceMetric::from_classes(1, grid, vec![0.0]);
+        let _ = m.row(0);
+    }
+
+    #[test]
+    fn row_into_borrows_dense_rows_without_copying() {
+        let m = metric_for(&MachineSpec::dual_quad_cluster(2));
+        let mut scratch = Vec::new();
+        assert_eq!(m.row_into(3, &mut scratch), m.row(3));
+        assert!(scratch.is_empty(), "dense backing must not touch scratch");
     }
 
     #[test]

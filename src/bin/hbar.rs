@@ -3,6 +3,7 @@
 //! ```text
 //! hbar profile  --machine 8x2x4 --mapping rr --ranks 64 --out prof.json [--fast] [--seed N] [--exact-machine]
 //!               [--clustered] [--probes N] [--workers HOST:PORT,...] [--stop-workers]
+//!               [--compressed] [--mem-budget BYTES]
 //! hbar profile-worker --listen HOST:PORT
 //! hbar serve    --listen HOST:PORT [--shards N] [--cache-cap N] [--cache-bytes N] [--workers N]
 //! hbar tune-client --connect HOST:PORT [--count N] [--requests N] [--seed N] [--zipf S]
@@ -29,6 +30,13 @@
 //! validation probes, scattered into the full matrices); `--workers`
 //! additionally shards the measurements across `hbar profile-worker`
 //! TCP processes, falling back to local execution if the fleet dies.
+//!
+//! `--compressed` (implies `--clustered`) runs the out-of-core scatter:
+//! class-grid tiles are staged under `--mem-budget` bytes (default
+//! unbounded) and spilled to a scratch directory beyond it, so the
+//! sweep itself runs in bounded resident memory even at P ≫ 4096. The
+//! written profile is the standard dense document (expanded from the
+//! class grid on save, bit-identical to the dense sweep).
 
 use hbarrier::core::codegen::{c_source, compile_schedule, rust_source};
 use hbarrier::core::compose::{tune_hybrid_for, TunerConfig};
@@ -107,6 +115,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 | "exact-scoring"
                 | "exact-machine"
                 | "clustered"
+                | "compressed"
                 | "stop-workers"
                 | "stats"
                 | "shutdown"
@@ -175,8 +184,10 @@ fn cmd_profile(flags: &Flags) -> Result<(), String> {
     };
     let out = req(flags, "out")?;
     // --workers implies the decomposed sweep: only classed descriptor
-    // batches can be shipped over the wire.
-    let clustered = flags.contains_key("clustered") || flags.contains_key("workers");
+    // batches can be shipped over the wire. --compressed implies it
+    // too: the class-grid scatter exists only for the classed sweep.
+    let compressed = flags.contains_key("compressed");
+    let clustered = flags.contains_key("clustered") || flags.contains_key("workers") || compressed;
     let mut summary = format!("{} pairwise estimates", p * (p - 1) / 2);
     let profile = if flags.contains_key("exact-machine") {
         // Closed-form noise-free profile (no benchmarking).
@@ -201,7 +212,47 @@ fn cmd_profile(flags: &Flags) -> Result<(), String> {
             if let Some(v) = flags.get("probes") {
                 sweep_cfg.probes_per_class = v.parse().map_err(|_| "bad --probes".to_string())?;
             }
-            let (profile, report) = if let Some(list) = flags.get("workers") {
+            let (profile, report) = if compressed {
+                use hbarrier::simnet::{measure_profile_clustered_compressed, SpillConfig};
+                if flags.contains_key("workers") {
+                    return Err(
+                        "--compressed runs locally; it cannot be combined with --workers"
+                            .to_string(),
+                    );
+                }
+                let dir =
+                    std::env::temp_dir().join(format!("hbar-profile-spill-{}", std::process::id()));
+                let spill = match flags.get("mem-budget") {
+                    Some(v) => {
+                        let bytes: usize = v
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n > 0)
+                            .ok_or_else(|| "bad --mem-budget".to_string())?;
+                        SpillConfig::budgeted(dir, bytes)
+                    }
+                    None => SpillConfig::in_memory(dir),
+                };
+                let (model, report, spilled) = measure_profile_clustered_compressed(
+                    &machine, &mapping, p, noise, &sweep_cfg, &spill,
+                )
+                .map_err(|e| format!("compressed sweep failed: {e}"))?;
+                println!(
+                    "scatter: {} classes in a {} B grid ({} of {} tiles spilled, {} B to disk)",
+                    model.classes(),
+                    model.heap_bytes(),
+                    spilled.spilled_tiles,
+                    spilled.tiles,
+                    spilled.spill_bytes
+                );
+                let profile = TopologyProfile {
+                    machine: machine.clone(),
+                    mapping,
+                    p,
+                    cost: model.to_dense(),
+                };
+                (profile, report)
+            } else if let Some(list) = flags.get("workers") {
                 let addrs: Vec<String> = list
                     .split(',')
                     .map(str::trim)
